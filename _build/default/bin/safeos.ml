@@ -1,0 +1,295 @@
+(* safeos: the command-line face of the simulator.
+
+   Subcommands regenerate each paper artifact (figures, the CWE table,
+   the injection matrix), run the incremental migration, crash-test the
+   journaled and direct file systems, and replay workloads. *)
+
+let std = Format.std_formatter
+
+(* The kernel as shipped: every subsystem registered at its current
+   safety level.  LoC values are the sizes of the corresponding modules
+   in this repository. *)
+let boot_registry () =
+  let r = Safeos_core.Registry.create () in
+  let reg = Safeos_core.Registry.register r in
+  let open Safeos_core in
+  ignore
+    (reg ~name:"memfs" ~kind:Registry.File_system ~level:Level.Modular
+       ~iface:Interface.fs_interface ~loc:430
+       ~description:"in-memory FS, C idioms behind a modular interface"
+       ~instance:(Kvfs.Iface.make (module Kfs.Memfs_unsafe.Modular) ())
+       ());
+  ignore
+    (reg ~name:"journalfs" ~kind:Registry.File_system ~level:Level.Type_safe
+       ~iface:Interface.fs_interface ~loc:620 ~description:"journaled block FS (ext4-shaped)"
+       ~instance:(Kvfs.Iface.make (module Kfs.Journalfs.Journaled_fs) ())
+       ());
+  ignore
+    (reg ~name:"unionfs" ~kind:Registry.File_system ~level:Level.Type_safe
+       ~iface:Interface.fs_interface ~loc:330 ~description:"overlay FS on the modular interface"
+       ~instance:(Kvfs.Iface.make (module Kfs.Unionfs) ())
+       ());
+  ignore
+    (reg ~name:"cowfs" ~kind:Registry.File_system ~level:Level.Type_safe
+       ~iface:Interface.fs_interface ~loc:280 ~description:"copy-on-write FS with snapshots"
+       ~instance:(Kvfs.Iface.make (module Kfs.Cowfs) ())
+       ());
+  let plain name kind loc description level =
+    ignore
+      (reg ~name ~kind ~level
+         ~iface:(Interface.v ~name ~version:1 ~supports:Level.Verified [])
+         ~loc ~description ())
+  in
+  plain "blockdev" Registry.Block 160 "simulated disk with crash semantics" Level.Type_safe;
+  plain "buffer_cache" Registry.Block 250 "buffer_head cache, 16 state flags" Level.Type_safe;
+  plain "journal" Registry.Block 300 "jbd2-style write-ahead journal" Level.Type_safe;
+  plain "tcp" Registry.Network 230 "RFC793 connection state machine" Level.Type_safe;
+  plain "socket" Registry.Network 180 "protocol-family dispatch" Level.Modular;
+  plain "kmem" Registry.Memory 90 "manual allocator (unsafe by design)" Level.Unsafe;
+  plain "sched" Registry.Scheduler 120 "deterministic cooperative scheduler" Level.Type_safe;
+  plain "ebpf_vm" (Registry.Other "extension") 280
+    "verified extension VM (forward-jump eBPF miniature)" Level.Type_safe;
+  plain "mm" Registry.Memory 330 "virtual memory: vmas, demand paging, COW fork"
+    Level.Type_safe;
+  plain "lockdep" (Registry.Other "checker") 110 "lock-order (deadlock) validator"
+    Level.Type_safe;
+  plain "proc" Registry.Scheduler 150 "process layer: syscall surface over VFS+MM"
+    Level.Type_safe;
+  r
+
+(* figures ------------------------------------------------------------- *)
+
+let figures which =
+  let r = boot_registry () in
+  (match which with
+  | "1" -> Kcve.Figures.fig1 std r
+  | "2a" -> Kcve.Figures.fig2a std ()
+  | "2b" -> Kcve.Figures.fig2b std ()
+  | "2c" -> Kcve.Figures.fig2c std ()
+  | "cwe" -> Kcve.Figures.cwe_table std ()
+  | "matrix" -> Kcve.Figures.injection_matrix std ()
+  | _ -> Kcve.Figures.all std r);
+  Format.pp_print_flush std ()
+
+(* migrate ------------------------------------------------------------- *)
+
+let migrate validation_ops =
+  let r = boot_registry () in
+  Fmt.pr "before migration:@.%a@.@." Safeos_core.Registry.pp r;
+  let outcomes =
+    Safeos_core.Roadmap.run_plan ~validation_ops r (Safeos_core.Roadmap.memfs_ladder ())
+  in
+  List.iter (fun o -> Fmt.pr "  %a@." Safeos_core.Roadmap.pp_outcome o) outcomes;
+  Fmt.pr "@.after migration:@.%a@.@." Safeos_core.Registry.pp r;
+  Safeos_core.Audit.render_progress std (Safeos_core.Audit.progress r);
+  Format.pp_print_flush std ();
+  if List.for_all Safeos_core.Roadmap.succeeded outcomes then 0 else 1
+
+(* crash-test ---------------------------------------------------------- *)
+
+let crash_test mode ops images =
+  let trace =
+    Kfs.Workload.generate ~seed:11 Kfs.Workload.Mixed ~ops
+    |> List.filter (fun op ->
+           (* keep the trace journal-friendly: moderate payloads *)
+           match op with
+           | Kspec.Fs_spec.Write { data; _ } -> String.length data <= 512
+           | _ -> true)
+  in
+  let check name (module F : Kspec.Crash.CRASHABLE_FS) =
+    let verdict = Kspec.Crash.check (module F) ~images_per_point:images trace in
+    Fmt.pr "%-10s ops=%d crash-points=%d images=%d failures=%d -> %s@." name
+      verdict.Kspec.Crash.ops_executed verdict.Kspec.Crash.crash_points
+      verdict.Kspec.Crash.images_checked
+      (List.length verdict.Kspec.Crash.failures)
+      (if Kspec.Crash.is_safe verdict then "CRASH-SAFE" else "UNSAFE");
+    List.iteri
+      (fun i f -> if i < 3 then Fmt.pr "    %a@." Kspec.Crash.pp_failure f)
+      verdict.Kspec.Crash.failures;
+    Kspec.Crash.is_safe verdict
+  in
+  match mode with
+  | "journaled" -> if check "journaled" (module Kfs.Journalfs.Crashable_journaled) then 0 else 1
+  | "group" ->
+      if check "group" (module Kfs.Journalfs.Crashable_journaled_group) then 0 else 1
+  | "direct" -> if check "direct" (module Kfs.Journalfs.Crashable_direct) then 0 else 1
+  | _ ->
+      let a = check "journaled" (module Kfs.Journalfs.Crashable_journaled) in
+      let g = check "group" (module Kfs.Journalfs.Crashable_journaled_group) in
+      let b = check "direct" (module Kfs.Journalfs.Crashable_direct) in
+      Fmt.pr "@.expected shape: journaled and group-commit crash-safe, direct not.@.";
+      if a && g && not b then 0 else 1
+
+(* inject --------------------------------------------------------------- *)
+
+let inject verbose =
+  let m = Kbugs.Inject.matrix () in
+  Kbugs.Inject.render_matrix std m;
+  if verbose then begin
+    Fmt.pr "@.details:@.";
+    List.iter
+      (fun (fault, cells) ->
+        List.iter
+          (fun (stage, d) ->
+            Fmt.pr "  %-22s @ %-14s %s@."
+              (Kbugs.Inject.fault_to_string fault)
+              (Safeos_core.Level.to_string stage)
+              (Kbugs.Inject.detection_to_string d))
+          cells)
+      m
+  end;
+  let c = Kbugs.Analysis.check_claims () in
+  Fmt.pr "@.claims checked: %d, upheld: %d@." c.Kbugs.Analysis.claims_checked
+    c.Kbugs.Analysis.claims_upheld;
+  Format.pp_print_flush std ();
+  if c.Kbugs.Analysis.broken = [] then 0 else 1
+
+(* workload -------------------------------------------------------------- *)
+
+let fs_by_name = function
+  | "memfs_unsafe" -> Some (Kvfs.Iface.make (module Kfs.Memfs_unsafe.Modular) ())
+  | "memfs_typed" -> Some (Kvfs.Iface.make (module Kfs.Memfs_typed) ())
+  | "memfs_owned" -> Some (Kvfs.Iface.make (module Kfs.Memfs_owned) ())
+  | "memfs_verified" -> Some (Kvfs.Iface.make (module Kfs.Memfs_verified) ())
+  | "journalfs" -> Some (Kvfs.Iface.make (module Kfs.Journalfs.Journaled_fs) ())
+  | "unionfs" -> Some (Kvfs.Iface.make (module Kfs.Unionfs) ())
+  | "cowfs" -> Some (Kvfs.Iface.make (module Kfs.Cowfs) ())
+  | _ -> None
+
+let profile_by_name = function
+  | "metadata" -> Some Kfs.Workload.Metadata_heavy
+  | "data" -> Some Kfs.Workload.Data_heavy
+  | "mixed" -> Some Kfs.Workload.Mixed
+  | "read" -> Some Kfs.Workload.Read_mostly
+  | _ -> None
+
+let workload fs_name profile_name ops seed =
+  match (fs_by_name fs_name, profile_by_name profile_name) with
+  | None, _ ->
+      Fmt.epr "unknown fs %S@." fs_name;
+      2
+  | _, None ->
+      Fmt.epr "unknown profile %S@." profile_name;
+      2
+  | Some instance, Some profile ->
+      let trace = Kfs.Workload.generate ~seed profile ~ops in
+      let t0 = Unix.gettimeofday () in
+      let ok, errs = Kfs.Workload.replay instance trace in
+      let dt = Unix.gettimeofday () -. t0 in
+      Fmt.pr "fs=%s profile=%s ops=%d ok=%d err=%d  %.3f s (%.0f ops/s)@."
+        (Kvfs.Iface.instance_name instance)
+        (Kfs.Workload.profile_to_string profile)
+        ops ok errs dt
+        (float_of_int ops /. dt);
+      0
+
+(* ebpf ------------------------------------------------------------------- *)
+
+let ebpf packets =
+  Fmt.pr "== the safe-extension mechanism the paper contrasts with module replacement ==@.";
+  (* 1. A loop does not load. *)
+  (match Kebpf.Vm.load Kebpf.Attach.looping_program with
+  | Ok _ -> Fmt.pr "loop accepted?!@."
+  | Error r -> Fmt.pr "loop rejected by the verifier: %a@." Kebpf.Verifier.pp_rejection r);
+  (* 2. A packet filter runs over hostile traffic without harming the kernel. *)
+  let filter =
+    match Kebpf.Attach.attach_filter (Kebpf.Attach.packet_kind_filter ~kind:1 ~min_len:4) with
+    | Ok f -> f
+    | Error _ -> assert false
+  in
+  let rng = Ksim.Rng.of_int 7 in
+  for _ = 1 to packets do
+    let len = Ksim.Rng.int rng 12 in
+    let packet = Bytes.to_string (Ksim.Rng.bytes rng len) in
+    ignore (Kebpf.Attach.filter_packet filter packet)
+  done;
+  let accepted, dropped, traps = Kebpf.Attach.filter_stats filter in
+  Fmt.pr "filtered %d random packets: %d accepted, %d dropped, %d traps (all contained)@."
+    packets accepted dropped traps;
+  (* 3. An op tracer over a kernel workload. *)
+  let tracer =
+    match Kebpf.Attach.attach_tracer Kebpf.Attach.opcode_tracer with
+    | Ok t -> t
+    | Error _ -> assert false
+  in
+  let trace = Kfs.Workload.generate ~seed:4 Kfs.Workload.Mixed ~ops:2_000 in
+  List.iter (Kebpf.Attach.trace_op tracer) trace;
+  let buckets = Kebpf.Attach.bucket_counts tracer in
+  Fmt.pr "traced a 2000-op workload by opcode:@.";
+  Array.iteri (fun i n -> if n > 0 then Fmt.pr "  opcode %2d: %4d ops@." i n) buckets;
+  0
+
+(* audit ------------------------------------------------------------------ *)
+
+let audit () =
+  let r = boot_registry () in
+  Fmt.pr "%a@.@." Safeos_core.Registry.pp r;
+  Safeos_core.Audit.render_progress std (Safeos_core.Audit.progress r);
+  Format.pp_print_flush std ();
+  0
+
+(* cmdliner glue ------------------------------------------------------------ *)
+
+open Cmdliner
+
+let figures_cmd =
+  let which =
+    Arg.(value & opt string "all" & info [ "fig" ] ~docv:"FIG" ~doc:"1, 2a, 2b, 2c, cwe, matrix, or all")
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's figures and tables")
+    Term.(const (fun w -> figures w; 0) $ which)
+
+let migrate_cmd =
+  let ops =
+    Arg.(value & opt int 400 & info [ "validation-ops" ] ~docv:"N" ~doc:"trace length used to validate each step")
+  in
+  Cmd.v
+    (Cmd.info "migrate" ~doc:"Run the incremental memfs migration (unsafe -> verified)")
+    Term.(const migrate $ ops)
+
+let crash_cmd =
+  let mode =
+    Arg.(value & opt string "both" & info [ "mode" ] ~docv:"MODE" ~doc:"journaled, group, direct, or all")
+  in
+  let ops = Arg.(value & opt int 25 & info [ "ops" ] ~docv:"N" ~doc:"trace length") in
+  let images =
+    Arg.(value & opt int 16 & info [ "images" ] ~docv:"N" ~doc:"crash images explored per crash point")
+  in
+  Cmd.v
+    (Cmd.info "crash-test" ~doc:"Check crash safety against the crash-safe specification")
+    Term.(const crash_test $ mode $ ops $ images)
+
+let inject_cmd =
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print per-cell details") in
+  Cmd.v
+    (Cmd.info "inject" ~doc:"Run the fault-injection matrix across roadmap stages")
+    Term.(const inject $ verbose)
+
+let workload_cmd =
+  let fs = Arg.(value & opt string "memfs_typed" & info [ "fs" ] ~docv:"FS") in
+  let profile = Arg.(value & opt string "mixed" & info [ "profile" ] ~docv:"PROFILE") in
+  let ops = Arg.(value & opt int 10_000 & info [ "ops" ] ~docv:"N") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Replay a generated workload against a file system")
+    Term.(const workload $ fs $ profile $ ops $ seed)
+
+let ebpf_cmd =
+  let packets = Arg.(value & opt int 1000 & info [ "packets" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "ebpf" ~doc:"Demonstrate the verified extension VM (loads, filters, traces)")
+    Term.(const ebpf $ packets)
+
+let audit_cmd =
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Show the component registry and safety progress")
+    Term.(const audit $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "safeos" ~version:"1.0.0"
+       ~doc:"An incremental path towards a safer OS kernel — simulator and experiments")
+    [ figures_cmd; migrate_cmd; crash_cmd; inject_cmd; workload_cmd; ebpf_cmd; audit_cmd ]
+
+let () = exit (Cmd.eval' main)

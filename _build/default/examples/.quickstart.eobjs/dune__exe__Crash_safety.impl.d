@@ -1,0 +1,1 @@
+examples/crash_safety.ml: Crash Fmt Fs_spec Kblock Kfs Kspec List Printf

@@ -1,0 +1,1 @@
+examples/incremental_migration.ml: Fmt Format Kfs Kspec Kvfs List Safeos_core

@@ -1,0 +1,1 @@
+examples/ownership_models.ml: Bytes Fmt List Ownership

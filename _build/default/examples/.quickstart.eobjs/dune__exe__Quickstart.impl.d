@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Kfs Ksim Kspec Kvfs List Printf Result String

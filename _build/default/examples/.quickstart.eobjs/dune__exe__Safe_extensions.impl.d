@@ -1,0 +1,1 @@
+examples/safe_extensions.ml: Char Fmt Format Kebpf Kfs Ksim Kspec List Printf String

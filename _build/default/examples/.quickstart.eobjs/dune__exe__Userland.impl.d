@@ -1,0 +1,1 @@
+examples/userland.ml: Buffer Fmt Kmm Kproc Ksim Kspec Kvfs String

@@ -1,0 +1,74 @@
+(* The paper's §3 roadmap, executed: one kernel component (memfs) climbs
+   the safety ladder one validated step at a time, while the registry's
+   ratchet refuses downgrades and broken candidates.
+
+     dune exec examples/incremental_migration.exe
+*)
+
+let std = Format.std_formatter
+
+let () =
+  (* The kernel as shipped: memfs is C-shaped code behind a modular
+     interface — roadmap step 1 already applied. *)
+  let registry = Safeos_core.Registry.create () in
+  ignore
+    (Safeos_core.Registry.register registry ~name:"memfs"
+       ~kind:Safeos_core.Registry.File_system ~level:Safeos_core.Level.Modular
+       ~iface:Safeos_core.Interface.fs_interface ~loc:430
+       ~description:"C idioms behind a modular interface"
+       ~instance:(Kvfs.Iface.make (module Kfs.Memfs_unsafe.Modular) ())
+       ());
+  Fmt.pr "== before ==@.%a@.@." Safeos_core.Registry.pp registry;
+  Safeos_core.Audit.render_progress std (Safeos_core.Audit.progress registry);
+
+  (* A broken candidate is rejected by validation, not by code review. *)
+  let module Lying : Kvfs.Iface.FS_OPS = struct
+    include Kfs.Memfs_typed
+
+    let fs_name = "memfs_lying"
+
+    let apply fs op =
+      match (op, Kfs.Memfs_typed.apply fs op) with
+      | Kspec.Fs_spec.Read _, Ok (Kspec.Fs_spec.Data _) -> Ok (Kspec.Fs_spec.Data "42")
+      | _, r -> r
+  end in
+  let bad_step =
+    {
+      Safeos_core.Roadmap.component = "memfs";
+      to_level = Safeos_core.Level.Type_safe;
+      iface = Safeos_core.Interface.fs_interface;
+      candidate = (fun () -> Kvfs.Iface.make (module Lying) ());
+      loc = 200;
+      description = "a rewrite that lies on reads";
+    }
+  in
+  Fmt.pr "@.== a broken rewrite tries to land ==@.";
+  Fmt.pr "  %a@." Safeos_core.Roadmap.pp_outcome
+    (Safeos_core.Roadmap.run_step registry bad_step);
+
+  (* The real ladder: type safety -> ownership safety -> verification,
+     each step validated against the specification before the swap. *)
+  Fmt.pr "@.== the incremental ladder ==@.";
+  List.iter
+    (fun outcome -> Fmt.pr "  %a@." Safeos_core.Roadmap.pp_outcome outcome)
+    (Safeos_core.Roadmap.run_plan registry (Safeos_core.Roadmap.memfs_ladder ()));
+
+  Fmt.pr "@.== after ==@.%a@.@." Safeos_core.Registry.pp registry;
+  Safeos_core.Audit.render_progress std (Safeos_core.Audit.progress registry);
+
+  (* Figure 1, with this kernel's components plotted amid the literature. *)
+  Fmt.pr "@.";
+  Safeos_core.Audit.render_figure1 std (Safeos_core.Audit.figure1 registry);
+
+  (* And the ratchet: nobody can ever bring the C version back. *)
+  Fmt.pr "@.== the ratchet ==@.";
+  (match
+     Safeos_core.Registry.replace registry ~name:"memfs" ~level:Safeos_core.Level.Modular
+       ~iface:Safeos_core.Interface.fs_interface ()
+   with
+  | Ok _ -> Fmt.pr "  downgrade accepted (BUG)@."
+  | Error (`Would_lower_level (current, proposed)) ->
+      Fmt.pr "  downgrade %a -> %a refused@." Safeos_core.Level.pp current Safeos_core.Level.pp
+        proposed
+  | Error _ -> Fmt.pr "  refused for another reason@.");
+  Format.pp_print_flush std ()

@@ -1,0 +1,72 @@
+(* The three ownership-sharing models of §4.3, executed.
+
+   Model 1 — ownership transfer: the caller loses all access.
+   Model 2 — exclusive lend: callee reads/writes, caller suspended.
+   Model 3 — shared lend: everyone reads, nobody writes.
+   Baseline — copying message passing, semantically equivalent, pays
+   memcpy on every hop.
+
+     dune exec examples/ownership_models.exe
+*)
+
+let show_violation f =
+  match f () with
+  | _ -> Fmt.pr "     ...allowed?! (should not happen)@."
+  | exception Ownership.Checker.Violation v ->
+      Fmt.pr "     checker: %a@." Ownership.Checker.pp_violation v
+
+let () =
+  let ck = Ownership.Checker.create ~strict:true () in
+
+  Fmt.pr "== model 1: ownership is passed ==@.";
+  let buf = Ownership.Checker.alloc ck ~holder:"driver" ~size:64 in
+  Ownership.Checker.write ck buf ~off:0 (Bytes.of_string "dma buffer");
+  let nic = Ownership.Checker.transfer ck buf ~to_:"nic-queue" in
+  Fmt.pr "   driver handed the buffer to the NIC queue.@.";
+  Fmt.pr "   driver tries to touch it again:@.";
+  show_violation (fun () -> Ownership.Checker.read ck buf ~off:0 ~len:4);
+  Ownership.Checker.free ck nic;
+  Fmt.pr "   the NIC queue, as owner, freed it. no leak, no double free.@.";
+
+  Fmt.pr "@.== model 2: exclusive rights for the duration of the call ==@.";
+  let page = Ownership.Checker.alloc ck ~holder:"vfs" ~size:32 in
+  Ownership.Checker.lend_exclusive ck page ~to_:"filesystem" ~f:(fun fs_view ->
+      Ownership.Checker.write ck fs_view ~off:0 (Bytes.of_string "block content");
+      Fmt.pr "   filesystem filled the page while the VFS was locked out:@.";
+      show_violation (fun () -> Ownership.Checker.read ck page ~off:0 ~len:4));
+  Fmt.pr "   call returned; the VFS reads what the callee wrote: %S@."
+    (Bytes.to_string (Ownership.Checker.read ck page ~off:0 ~len:13));
+
+  Fmt.pr "@.== model 3: shared read-only rights ==@.";
+  Ownership.Checker.lend_shared ck page ~to_:[ "reader-a"; "reader-b" ] ~f:(fun readers ->
+      List.iter
+        (fun r ->
+          Fmt.pr "   %s reads %S@." r.Ownership.Cap.holder
+            (Bytes.to_string (Ownership.Checker.read ck r ~off:0 ~len:5)))
+        readers;
+      Fmt.pr "   a reader tries to mutate:@.";
+      show_violation (fun () ->
+          Ownership.Checker.write ck (List.hd readers) ~off:0 (Bytes.of_string "x")));
+  Ownership.Checker.free ck page;
+
+  Fmt.pr "@.== the copying baseline ==@.";
+  let ch = Ownership.Message.create () in
+  let payload = Bytes.make 4096 'p' in
+  let _reply = Ownership.Message.call ch payload ~f:(fun req -> Bytes.sub req 0 16) in
+  Fmt.pr "   one 4 KiB request/reply round-trip copied %d bytes@."
+    (Ownership.Message.bytes_copied ch);
+  Fmt.pr "   the three models above copied 0 payload bytes — that is their point.@.";
+
+  (* The explicit contract: the checker-readable form of the interface. *)
+  Fmt.pr "@.== the contract, as the checker sees it ==@.";
+  let contract =
+    Ownership.Contract.v ~interface:"block_io"
+      [
+        Ownership.Contract.op ~name:"submit" [ ("bio", Ownership.Contract.Move) ];
+        Ownership.Contract.op ~name:"fill" [ ("page", Ownership.Contract.Borrow_exclusive) ];
+        Ownership.Contract.op ~name:"inspect" [ ("page", Ownership.Contract.Borrow_shared) ];
+      ]
+  in
+  Fmt.pr "%a@." Ownership.Contract.pp contract;
+  Fmt.pr "@.violations recorded in this demo: %d (each one a would-be kernel CVE)@."
+    (Ownership.Checker.violation_count ck)

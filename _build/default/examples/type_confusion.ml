@@ -1,0 +1,52 @@
+(* Type confusion, before and after roadmap step 2.
+
+   Reproduces the shape of CVE-2020-12351 ("type confusion while
+   processing AMP packets"): a packet whose header claims one channel
+   type, delivered to a channel registered as another.  The C-shaped
+   stack casts and crashes; the type-safe stack returns EPROTO.
+
+     dune exec examples/type_confusion.exe
+*)
+
+let () =
+  let attack = Knet.Amp.confusion_packet ~control_channel:1 "malicious payload" in
+  Fmt.pr "the attack packet: header claims DATA, addressed to control channel 1@.@.";
+
+  (* Step 0: the void-pointer stack. *)
+  Fmt.pr "== unsafe (C-shaped) AMP stack ==@.";
+  let unsafe = Knet.Amp.Unsafe.create () in
+  Knet.Amp.Unsafe.register unsafe ~channel:1 Knet.Amp.Control;
+  (match Knet.Amp.Unsafe.receive unsafe attack with
+  | Ok () -> Fmt.pr "  processed?! (should not happen)@."
+  | Error e -> Fmt.pr "  error: %a@." Ksim.Errno.pp e
+  | exception Ksim.Dyn.Type_confusion { expected; actual } ->
+      Fmt.pr "  KERNEL OOPS: type confusion — cast to %s, but memory holds %s@." expected actual;
+      Fmt.pr "  (in C this is a use of attacker-controlled memory: CVE material)@.");
+
+  (* Step 2: the same protocol, decoded into a sum type. *)
+  Fmt.pr "@.== type-safe AMP stack ==@.";
+  let typed = Knet.Amp.Typed.create () in
+  Knet.Amp.Typed.register typed ~channel:1 Knet.Amp.Control;
+  (match Knet.Amp.Typed.receive typed attack with
+  | Ok () -> Fmt.pr "  processed?! (should not happen)@."
+  | Error e -> Fmt.pr "  rejected with %a — no crash, no corruption, connection lives on@." Ksim.Errno.pp e);
+
+  (* The same lesson at the socket layer: private data behind void*. *)
+  Fmt.pr "@.== socket private data ==@.";
+  let bad = Knet.Sock.Dyn_style.mismatched_socket () in
+  (match Knet.Sock.Dyn_style.send bad "payload" with
+  | Ok _ | Error _ -> Fmt.pr "  sent?!@."
+  | exception Ksim.Dyn.Type_confusion { expected; actual } ->
+      Fmt.pr "  KERNEL OOPS: socket ops cast private data to %s, found %s@." expected actual);
+
+  (* And the error-pointer idiom the paper calls out for VFS lookup. *)
+  Fmt.pr "@.== ERR_PTR dereference ==@.";
+  let fs = Kfs.Memfs_unsafe.mkfs () in
+  let handle = Kfs.Memfs_unsafe.Legacy.lookup fs "/does/not/exist" in
+  Fmt.pr "  lookup returned %a@." Ksim.Dyn.Errptr.pp handle;
+  (match Ksim.Dyn.Errptr.deref handle with
+  | _ -> Fmt.pr "  dereferenced?!@."
+  | exception Ksim.Dyn.Null_dereference ->
+      Fmt.pr "  KERNEL OOPS: dereferenced an error pointer (the caller forgot IS_ERR)@.");
+  Fmt.pr "@.in the type-safe convention the same mistakes do not compile:@.";
+  Fmt.pr "  results are sum types, private data is matched, not cast.@."

@@ -1,0 +1,1 @@
+lib/core/audit.ml: Fmt Level List Registry String

@@ -1,0 +1,1 @@
+lib/core/interface.ml: Fmt Level List Ownership String

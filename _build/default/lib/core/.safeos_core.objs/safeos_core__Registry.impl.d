@@ -1,0 +1,1 @@
+lib/core/registry.ml: Fmt Hashtbl Interface Kvfs Level List Option String

@@ -1,0 +1,1 @@
+lib/core/roadmap.ml: Fmt Interface Kfs Kspec Kvfs Level List Registry Result Stdlib

@@ -1,0 +1,1 @@
+lib/core/roadmap.mli: Format Interface Kspec Kvfs Level Registry Stdlib

@@ -1,0 +1,211 @@
+(* The incremental migration engine: §3 made executable.
+
+   One component is replaced at a time, and each replacement must (a) be
+   a safety upgrade, (b) speak a compatible interface, and (c) pass
+   functional validation — a generated trace whose every operation is
+   checked against the abstract specification, results and interpreted
+   states both.  Only then does the registry swap implementations.  This
+   is "incremental benefit for incremental work": after each step the
+   kernel runs with one more component at a higher rung. *)
+
+type divergence = {
+  at_op : int;
+  op : Kspec.Fs_spec.op;
+  expected : Kspec.Fs_spec.result;
+  got : Kspec.Fs_spec.result;
+}
+
+let pp_divergence ppf d =
+  Fmt.pf ppf "op %d (%a): spec %a, candidate %a" d.at_op Kspec.Fs_spec.pp_op d.op
+    Kspec.Fs_spec.pp_result d.expected Kspec.Fs_spec.pp_result d.got
+
+type validation = {
+  trace_ops : int;
+  checked : int;
+  divergence : divergence option;
+}
+
+(* Validate a candidate against the specification on a deterministic
+   generated trace: result equality on every op, state equality through
+   the interpretation function after every op. *)
+let validate ?(seed = 7) ?(ops = 400) candidate =
+  let trace = Kfs.Workload.generate ~seed Kfs.Workload.Mixed ~ops in
+  let instance = candidate () in
+  let rec go i spec_state = function
+    | [] -> { trace_ops = ops; checked = i; divergence = None }
+    | op :: rest ->
+        let got = Kvfs.Iface.instance_apply instance op in
+        let spec_state', expected = Kspec.Fs_spec.step spec_state op in
+        if not (Kspec.Fs_spec.equal_result expected got) then
+          { trace_ops = ops; checked = i; divergence = Some { at_op = i; op; expected; got } }
+        else if
+          not (Kspec.Fs_spec.equal spec_state' (Kvfs.Iface.instance_interpret instance))
+        then
+          { trace_ops = ops; checked = i; divergence = Some { at_op = i; op; expected; got } }
+        else go (i + 1) spec_state' rest
+  in
+  go 0 Kspec.Fs_spec.empty trace
+
+type step = {
+  component : string;
+  to_level : Level.t;
+  iface : Interface.t;
+  candidate : unit -> Kvfs.Iface.instance;
+  loc : int;
+  description : string;
+}
+
+type failure =
+  | Not_an_upgrade of { current : Level.t; proposed : Level.t }
+  | Interface_rejected of string
+  | Validation_failed of divergence
+  | Unknown_component
+
+type outcome = {
+  step : step;
+  result : (Registry.entry * validation, failure) Stdlib.result;
+}
+
+let pp_failure ppf = function
+  | Not_an_upgrade { current; proposed } ->
+      Fmt.pf ppf "not an upgrade: %a -> %a" Level.pp current Level.pp proposed
+  | Interface_rejected why -> Fmt.pf ppf "interface rejected: %s" why
+  | Validation_failed d -> Fmt.pf ppf "validation failed: %a" pp_divergence d
+  | Unknown_component -> Fmt.string ppf "unknown component"
+
+let run_step ?(validation_ops = 400) registry step =
+  match Registry.find registry step.component with
+  | None -> { step; result = Error Unknown_component }
+  | Some current ->
+      if Level.rank step.to_level <= Level.rank current.Registry.level then
+        {
+          step;
+          result =
+            Error (Not_an_upgrade { current = current.Registry.level; proposed = step.to_level });
+        }
+      else begin
+        let validation = validate ~ops:validation_ops step.candidate in
+        match validation.divergence with
+        | Some d -> { step; result = Error (Validation_failed d) }
+        | None -> (
+            match
+              Registry.replace registry ~name:step.component ~level:step.to_level
+                ~iface:step.iface ~loc:step.loc ~description:step.description
+                ~instance:(step.candidate ()) ()
+            with
+            | Ok entry -> { step; result = Ok (entry, validation) }
+            | Error (`Incompatible_interface (a, b)) ->
+                { step; result = Error (Interface_rejected (Fmt.str "%s vs %s" a b)) }
+            | Error (`Would_lower_level _) ->
+                {
+                  step;
+                  result =
+                    Error
+                      (Not_an_upgrade
+                         { current = current.Registry.level; proposed = step.to_level });
+                }
+            | Error (`Interface_cannot_host level) ->
+                {
+                  step;
+                  result =
+                    Error
+                      (Interface_rejected
+                         (Fmt.str "interface cannot host %a" Level.pp level));
+                })
+      end
+
+let run_plan ?validation_ops registry steps =
+  List.map (fun step -> run_step ?validation_ops registry step) steps
+
+let succeeded outcome = Result.is_ok outcome.result
+
+let pp_outcome ppf outcome =
+  match outcome.result with
+  | Ok (entry, validation) ->
+      Fmt.pf ppf "%-14s -> %-14s ok (%d ops validated)" outcome.step.component
+        (Level.to_string entry.Registry.level)
+        validation.checked
+  | Error failure ->
+      Fmt.pf ppf "%-14s -> %-14s FAILED: %a" outcome.step.component
+        (Level.to_string outcome.step.to_level)
+        pp_failure failure
+
+(* §4.5 Rate of change: a patch is a same-level replacement of a
+   component's implementation.  "Local changes to code require similarly
+   local changes to proofs" — here, a patch triggers revalidation of the
+   patched component only, and the cost is the validation trace, not a
+   whole-kernel proof.  The ratchet still applies: a patch cannot lower
+   the level, and a patch that diverges from the spec never lands. *)
+
+type patch = {
+  patch_component : string;
+  patch_description : string;
+  replacement : unit -> Kvfs.Iface.instance;
+}
+
+type patch_outcome = {
+  patch : patch;
+  patch_result : (validation, failure) Stdlib.result;
+}
+
+let apply_patch ?(validation_ops = 200) registry patch =
+  match Registry.find registry patch.patch_component with
+  | None -> { patch; patch_result = Error Unknown_component }
+  | Some current -> (
+      let validation = validate ~ops:validation_ops patch.replacement in
+      match validation.divergence with
+      | Some d -> { patch; patch_result = Error (Validation_failed d) }
+      | None -> (
+          match
+            Registry.replace registry ~name:patch.patch_component
+              ~level:current.Registry.level ~iface:current.Registry.iface
+              ~description:patch.patch_description
+              ~instance:(patch.replacement ()) ()
+          with
+          | Ok _ -> { patch; patch_result = Ok validation }
+          | Error (`Incompatible_interface (a, b)) ->
+              { patch; patch_result = Error (Interface_rejected (Fmt.str "%s vs %s" a b)) }
+          | Error (`Would_lower_level (current_level, proposed)) ->
+              {
+                patch;
+                patch_result =
+                  Error (Not_an_upgrade { current = current_level; proposed });
+              }
+          | Error (`Interface_cannot_host level) ->
+              {
+                patch;
+                patch_result =
+                  Error (Interface_rejected (Fmt.str "cannot host %a" Level.pp level));
+              }))
+
+let patch_succeeded outcome = Result.is_ok outcome.patch_result
+
+(* The canonical migration: memfs from unsafe all the way to verified. *)
+let memfs_ladder () : step list =
+  let candidate (module F : Kvfs.Iface.FS_OPS) () = Kvfs.Iface.make (module F) () in
+  [
+    {
+      component = "memfs";
+      to_level = Level.Type_safe;
+      iface = Interface.fs_interface;
+      candidate = candidate (module Kfs.Memfs_typed);
+      loc = 210;
+      description = "rewritten without void pointers or errptr casts";
+    };
+    {
+      component = "memfs";
+      to_level = Level.Ownership_safe;
+      iface = Interface.fs_interface;
+      candidate = candidate (module Kfs.Memfs_owned);
+      loc = 240;
+      description = "content in checked ownership regions";
+    };
+    {
+      component = "memfs";
+      to_level = Level.Verified;
+      iface = Interface.fs_interface;
+      candidate = candidate (module Kfs.Memfs_verified);
+      loc = 230;
+      description = "refinement-checked against Fs_spec";
+    };
+  ]

@@ -1,0 +1,1 @@
+lib/kblock/blockdev.ml: Array Bytes Digest Hashtbl Ksim Kspec List String

@@ -1,0 +1,1 @@
+lib/kblock/blockdev.mli: Ksim Kspec

@@ -1,0 +1,1 @@
+lib/kblock/buffer_head.ml: Blockdev Bytes Fmt Hashtbl List

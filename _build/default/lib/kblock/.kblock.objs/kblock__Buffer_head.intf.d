@@ -1,0 +1,1 @@
+lib/kblock/buffer_head.mli: Blockdev Format Ksim

@@ -1,0 +1,1 @@
+lib/kblock/codec.ml: Bytes Char List String

@@ -1,0 +1,1 @@
+lib/kblock/journal.ml: Blockdev Bytes Codec Ksim List

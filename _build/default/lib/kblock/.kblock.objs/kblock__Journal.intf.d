@@ -1,0 +1,1 @@
+lib/kblock/journal.mli: Blockdev Ksim

@@ -1,0 +1,156 @@
+(* Simulated block device with a volatile write cache.
+
+   Writes land in a cache and reach the media only on [flush]; a crash
+   loses an arbitrary subset of the cached writes (disks reorder), which
+   is exactly the failure model journaling must defend against.
+   [crash_media_states] enumerates the distinct post-crash media images so
+   crash-safety checking can be exhaustive rather than sampled. *)
+
+type pending = {
+  seq : int;
+  blkno : int;
+  data : string;
+}
+
+type t = {
+  nblocks : int;
+  block_size : int;
+  media : bytes array;
+  mutable cache : pending list; (* newest first *)
+  mutable next_seq : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable flushes : int;
+}
+
+let create ~nblocks ~block_size =
+  {
+    nblocks;
+    block_size;
+    media = Array.init nblocks (fun _ -> Bytes.make block_size '\000');
+    cache = [];
+    next_seq = 0;
+    reads = 0;
+    writes = 0;
+    flushes = 0;
+  }
+
+let nblocks dev = dev.nblocks
+let block_size dev = dev.block_size
+let reads dev = dev.reads
+let writes dev = dev.writes
+let flushes dev = dev.flushes
+let pending_writes dev = List.length dev.cache
+
+let in_range dev blkno = blkno >= 0 && blkno < dev.nblocks
+
+let read dev blkno =
+  if not (in_range dev blkno) then Error Ksim.Errno.EIO
+  else begin
+    dev.reads <- dev.reads + 1;
+    (* The device serves reads from its cache: latest write wins. *)
+    match List.find_opt (fun p -> p.blkno = blkno) dev.cache with
+    | Some p -> Ok (Bytes.of_string p.data)
+    | None -> Ok (Bytes.copy dev.media.(blkno))
+  end
+
+let write dev blkno data =
+  if not (in_range dev blkno) then Error Ksim.Errno.EIO
+  else if Bytes.length data <> dev.block_size then Error Ksim.Errno.EINVAL
+  else begin
+    dev.writes <- dev.writes + 1;
+    dev.cache <- { seq = dev.next_seq; blkno; data = Bytes.to_string data } :: dev.cache;
+    dev.next_seq <- dev.next_seq + 1;
+    Ok ()
+  end
+
+let apply_to media pendings =
+  (* Oldest first so that last-write-wins per block. *)
+  List.iter (fun p -> Bytes.blit_string p.data 0 media.(p.blkno) 0 (String.length p.data))
+    (List.sort (fun a b -> compare a.seq b.seq) pendings)
+
+let flush dev =
+  dev.flushes <- dev.flushes + 1;
+  apply_to dev.media dev.cache;
+  dev.cache <- []
+
+let snapshot_media dev = Array.map Bytes.copy dev.media
+
+let of_media ~block_size media =
+  {
+    nblocks = Array.length media;
+    block_size;
+    media = Array.map Bytes.copy media;
+    cache = [];
+    next_seq = 0;
+    reads = 0;
+    writes = 0;
+    flushes = 0;
+  }
+
+(* Enumerate distinct post-crash media images: any subset of the cached
+   writes may have reached the media.  With [n] pending writes there are up
+   to [2^n] images; we enumerate them in a fixed order and stop at
+   [limit].  The no-surviving-writes image (bare media) always comes
+   first, the all-survived image is always included when within limit. *)
+let crash_media_states dev ~limit =
+  let pendings = Array.of_list (List.rev dev.cache) (* oldest first *) in
+  let n = Array.length pendings in
+  let total = if n >= 20 then max_int else 1 lsl n in
+  let count = min limit total in
+  let images = ref [] in
+  let seen = Hashtbl.create 16 in
+  let emit mask =
+    let media = Array.map Bytes.copy dev.media in
+    let subset = ref [] in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then subset := pendings.(i) :: !subset
+    done;
+    apply_to media !subset;
+    let fingerprint = String.concat "" (Array.to_list (Array.map Bytes.to_string media)) in
+    let digest = Digest.string fingerprint in
+    if not (Hashtbl.mem seen digest) then begin
+      Hashtbl.replace seen digest ();
+      images := media :: !images
+    end
+  in
+  if total <= count then
+    for mask = 0 to total - 1 do
+      emit mask
+    done
+  else begin
+    (* Too many subsets: take the empty set, all prefixes (in-order
+       partial flushes), the full set, then single-dropped-write subsets
+       until the limit. *)
+    emit 0;
+    for k = 1 to n do
+      emit ((1 lsl k) - 1)
+    done;
+    let full = (1 lsl n) - 1 in
+    let i = ref 0 in
+    while List.length !images < count && !i < n do
+      emit (full lxor (1 lsl !i));
+      incr i
+    done
+  end;
+  let images = List.rev !images in
+  List.filteri (fun i _ -> i < count) images
+
+let crash_states dev ~limit =
+  List.map (of_media ~block_size:dev.block_size) (crash_media_states dev ~limit)
+
+(* Lose all cached writes: the canonical single crash. *)
+let crash dev = dev.cache <- []
+
+let to_ops dev : Kspec.Axiom.block_ops =
+  let fail_to_exn = function
+    | Ok v -> v
+    | Error e -> failwith ("blockdev: " ^ Ksim.Errno.to_string e)
+  in
+  {
+    nblocks = dev.nblocks;
+    block_size = dev.block_size;
+    read = (fun blkno -> fail_to_exn (read dev blkno));
+    write = (fun blkno data -> fail_to_exn (write dev blkno data));
+    flush = (fun () -> flush dev);
+  }

@@ -1,0 +1,271 @@
+(* A jbd2-style write-ahead journal.
+
+   On-disk layout (within the owning device):
+
+     block 0                : journal superblock (magic, checkpointed seq)
+     blocks 1 .. jblocks-1  : journal records
+     blocks jblocks ..      : the client's home area
+
+   A transaction is recorded as
+
+     [D seq count home0..home_{n-1}] [data]*n [C seq checksum]
+
+   The commit protocol flushes the descriptor and data before the commit
+   record, and the commit record before any home-location write, so a
+   crash can only observe (a) no trace of the transaction or (b) a fully
+   replayable one — never a torn in-place update.  Checkpointing applies
+   committed transactions to their home locations and advances the
+   checkpointed sequence number in the superblock. *)
+
+let magic = 0x4a4c3231 (* "JL21" *)
+
+type record_kind = Descriptor | Commit
+
+type stats = {
+  mutable commits : int;
+  mutable checkpoints : int;
+  mutable recoveries : int;
+  mutable replayed_txs : int;
+  mutable journal_block_writes : int;
+}
+
+type t = {
+  dev : Blockdev.t;
+  jblocks : int;
+  mutable head : int; (* next free journal block; 1-based *)
+  mutable next_seq : int;
+  mutable checkpointed : int; (* highest seq applied to home locations *)
+  mutable pending : tx list; (* committed, not yet checkpointed; oldest first *)
+  stats : stats;
+}
+
+and tx = {
+  mutable seq : int; (* assigned at commit *)
+  mutable writes : (int * bytes) list; (* newest first; home blkno, data *)
+  mutable committed : bool;
+}
+
+exception Journal_full
+
+let data_start j = j.jblocks
+let stats j = j.stats
+
+let block_size j = Blockdev.block_size j.dev
+
+let fresh_stats () =
+  { commits = 0; checkpoints = 0; recoveries = 0; replayed_txs = 0; journal_block_writes = 0 }
+
+(* Superblock ------------------------------------------------------------ *)
+
+let write_jsb j =
+  let buf = Bytes.make (block_size j) '\000' in
+  Codec.put_u32 buf 0 magic;
+  Codec.put_u32 buf 4 j.checkpointed;
+  Codec.put_u32 buf 8 j.jblocks;
+  match Blockdev.write j.dev 0 buf with
+  | Ok () -> ()
+  | Error e -> failwith ("journal superblock write: " ^ Ksim.Errno.to_string e)
+
+let read_jsb dev =
+  match Blockdev.read dev 0 with
+  | Error _ -> None
+  | Ok buf ->
+      if Codec.get_u32 buf 0 = magic then Some (Codec.get_u32 buf 4, Codec.get_u32 buf 8)
+      else None
+
+(* Record encoding -------------------------------------------------------- *)
+
+let encode_descriptor j ~seq homes =
+  let buf = Bytes.make (block_size j) '\000' in
+  Bytes.set buf 0 'D';
+  Codec.put_u32 buf 1 seq;
+  Codec.put_u32 buf 5 (List.length homes);
+  List.iteri (fun i home -> Codec.put_u32 buf (9 + (4 * i)) home) homes;
+  buf
+
+let encode_commit j ~seq ~checksum =
+  let buf = Bytes.make (block_size j) '\000' in
+  Bytes.set buf 0 'C';
+  Codec.put_u32 buf 1 seq;
+  Codec.put_u32 buf 5 checksum;
+  buf
+
+let decode_record buf =
+  if Bytes.length buf < 9 then None
+  else
+    match Bytes.get buf 0 with
+    | 'D' ->
+        let seq = Codec.get_u32 buf 1 in
+        let count = Codec.get_u32 buf 5 in
+        if count < 0 || count > (Bytes.length buf - 9) / 4 then None
+        else
+          let homes = List.init count (fun i -> Codec.get_u32 buf (9 + (4 * i))) in
+          Some (Descriptor, seq, homes, 0)
+    | 'C' -> Some (Commit, Codec.get_u32 buf 1, [], Codec.get_u32 buf 5)
+    | _ -> None
+
+let max_tx_writes j = (block_size j - 9) / 4
+
+(* Formatting and opening ------------------------------------------------- *)
+
+let format dev ~jblocks =
+  if jblocks < 4 || jblocks >= Blockdev.nblocks dev then invalid_arg "Journal.format";
+  let j =
+    { dev; jblocks; head = 1; next_seq = 1; checkpointed = 0; pending = []; stats = fresh_stats () }
+  in
+  write_jsb j;
+  (* Zero the journal area so stale records cannot be mistaken for live. *)
+  let zero = Bytes.make (block_size j) '\000' in
+  for blkno = 1 to jblocks - 1 do
+    match Blockdev.write dev blkno zero with
+    | Ok () -> ()
+    | Error e -> failwith ("journal format: " ^ Ksim.Errno.to_string e)
+  done;
+  Blockdev.flush dev;
+  j
+
+(* Transactions ------------------------------------------------------------ *)
+
+let tx_begin (_ : t) = { seq = 0; writes = []; committed = false }
+
+let tx_write j tx ~blkno data =
+  if blkno < j.jblocks || blkno >= Blockdev.nblocks j.dev then
+    Error Ksim.Errno.EINVAL
+  else if Bytes.length data <> block_size j then Error Ksim.Errno.EINVAL
+  else begin
+    (* Coalesce rewrites of the same block within a transaction. *)
+    tx.writes <- (blkno, Bytes.copy data) :: List.remove_assoc blkno tx.writes;
+    Ok ()
+  end
+
+let journal_write j blkno data =
+  j.stats.journal_block_writes <- j.stats.journal_block_writes + 1;
+  match Blockdev.write j.dev blkno data with
+  | Ok () -> ()
+  | Error e -> failwith ("journal write: " ^ Ksim.Errno.to_string e)
+
+let space_needed tx = 2 + List.length tx.writes
+
+(* Apply committed-but-unapplied transactions to their home locations. *)
+let checkpoint j =
+  match j.pending with
+  | [] -> ()
+  | pending ->
+      List.iter
+        (fun tx ->
+          List.iter
+            (fun (blkno, data) ->
+              match Blockdev.write j.dev blkno data with
+              | Ok () -> ()
+              | Error e -> failwith ("checkpoint: " ^ Ksim.Errno.to_string e))
+            (List.rev tx.writes);
+          j.checkpointed <- max j.checkpointed tx.seq)
+        pending;
+      Blockdev.flush j.dev;
+      write_jsb j;
+      Blockdev.flush j.dev;
+      j.pending <- [];
+      j.head <- 1;
+      j.stats.checkpoints <- j.stats.checkpoints + 1
+
+let commit j tx =
+  if tx.committed then invalid_arg "Journal.commit: already committed";
+  if List.length tx.writes > max_tx_writes j then Error Ksim.Errno.EOVERFLOW
+  else begin
+    if j.head + space_needed tx > j.jblocks then checkpoint j;
+    if j.head + space_needed tx > j.jblocks then raise Journal_full;
+    let seq = j.next_seq in
+    j.next_seq <- j.next_seq + 1;
+    tx.seq <- seq;
+    let writes = List.rev tx.writes (* oldest first *) in
+    let homes = List.map fst writes in
+    let datas = List.map snd writes in
+    journal_write j j.head (encode_descriptor j ~seq homes);
+    j.head <- j.head + 1;
+    List.iter
+      (fun data ->
+        journal_write j j.head data;
+        j.head <- j.head + 1)
+      datas;
+    (* Descriptor and data durable before the commit record... *)
+    Blockdev.flush j.dev;
+    journal_write j j.head (encode_commit j ~seq ~checksum:(Codec.checksum_many datas));
+    j.head <- j.head + 1;
+    (* ...and the commit record durable before any home write. *)
+    Blockdev.flush j.dev;
+    tx.committed <- true;
+    j.pending <- j.pending @ [ tx ];
+    j.stats.commits <- j.stats.commits + 1;
+    Ok ()
+  end
+
+(* Recovery ---------------------------------------------------------------- *)
+
+let scan_committed dev ~jblocks ~checkpointed =
+  let read blkno =
+    match Blockdev.read dev blkno with
+    | Ok buf -> buf
+    | Error e -> failwith ("journal scan: " ^ Ksim.Errno.to_string e)
+  in
+  let rec scan blkno acc =
+    if blkno >= jblocks then List.rev acc
+    else
+      match decode_record (read blkno) with
+      | Some (Descriptor, seq, homes, _) ->
+          let count = List.length homes in
+          if blkno + count + 1 >= jblocks then List.rev acc
+          else
+            let datas = List.init count (fun i -> read (blkno + 1 + i)) in
+            let commit_blk = read (blkno + 1 + count) in
+            (match decode_record commit_blk with
+            | Some (Commit, cseq, _, checksum)
+              when cseq = seq && checksum = Codec.checksum_many datas ->
+                let tx_writes = List.combine homes datas in
+                let acc = if seq > checkpointed then (seq, tx_writes) :: acc else acc in
+                scan (blkno + count + 2) acc
+            | _ ->
+                (* Torn or missing commit: this and anything after is dead. *)
+                List.rev acc)
+      | Some (Commit, _, _, _) | None -> List.rev acc
+  in
+  scan 1 []
+
+let recover dev ~jblocks =
+  let checkpointed, jb =
+    match read_jsb dev with
+    | Some (cp, jb) -> (cp, jb)
+    | None -> failwith "Journal.recover: no journal superblock"
+  in
+  if jb <> jblocks then failwith "Journal.recover: journal size mismatch";
+  let committed = scan_committed dev ~jblocks ~checkpointed in
+  let j =
+    {
+      dev;
+      jblocks;
+      head = 1;
+      next_seq = 1 + List.fold_left (fun m (seq, _) -> max m seq) checkpointed committed;
+      checkpointed;
+      pending = [];
+      stats = fresh_stats ();
+    }
+  in
+  j.stats.recoveries <- 1;
+  List.iter
+    (fun (seq, writes) ->
+      j.stats.replayed_txs <- j.stats.replayed_txs + 1;
+      List.iter
+        (fun (blkno, data) ->
+          match Blockdev.write dev blkno data with
+          | Ok () -> ()
+          | Error e -> failwith ("journal replay: " ^ Ksim.Errno.to_string e))
+        writes;
+      j.checkpointed <- max j.checkpointed seq)
+    committed;
+  Blockdev.flush dev;
+  write_jsb j;
+  Blockdev.flush dev;
+  j
+
+let tx_size tx = List.length tx.writes
+let pending_txs j = List.length j.pending
+let checkpointed_seq j = j.checkpointed

@@ -1,0 +1,62 @@
+(** A jbd2-style write-ahead journal over {!Blockdev}.
+
+    Layout: block 0 is the journal superblock, blocks 1..[jblocks]-1 hold
+    journal records, everything from [jblocks] up is the client's home
+    area.  The commit protocol flushes descriptor+data before the commit
+    record and the commit record before any home write, so a crash
+    observes either nothing of a transaction or a fully replayable one —
+    never a torn in-place update. *)
+
+type t
+
+type tx
+(** An open transaction: a batch of whole-block home writes that commit
+    atomically. *)
+
+type stats = {
+  mutable commits : int;
+  mutable checkpoints : int;
+  mutable recoveries : int;
+  mutable replayed_txs : int;
+  mutable journal_block_writes : int;
+}
+
+exception Journal_full
+(** A single transaction larger than the journal area. *)
+
+val format : Blockdev.t -> jblocks:int -> t
+(** Initialize the journal area (blocks [0..jblocks-1]) on a fresh device. *)
+
+val recover : Blockdev.t -> jblocks:int -> t
+(** Mount after a crash or clean shutdown: scan the journal, replay every
+    committed-but-not-checkpointed transaction, and return a clean
+    journal.  Replayed transaction count is visible in {!stats}. *)
+
+val data_start : t -> int
+(** First home block (= [jblocks]). *)
+
+val tx_begin : t -> tx
+
+val tx_write : t -> tx -> blkno:int -> bytes -> unit Ksim.Errno.r
+(** Stage a whole-block write to home block [blkno] (must be in the home
+    area).  Rewrites of the same block within a transaction coalesce. *)
+
+val commit : t -> tx -> unit Ksim.Errno.r
+(** Make the transaction durable (two flushes).  Home locations are
+    updated lazily at the next {!checkpoint} (one is forced automatically
+    when the journal area fills).
+    @raise Journal_full if the transaction alone exceeds the area. *)
+
+val checkpoint : t -> unit
+(** Apply committed transactions to their home locations, flush, advance
+    the on-disk checkpointed sequence number, and reclaim journal space. *)
+
+val tx_size : tx -> int
+(** Distinct blocks staged in an open transaction so far. *)
+
+val max_tx_writes : t -> int
+(** Largest number of distinct blocks one transaction may touch. *)
+
+val pending_txs : t -> int
+val checkpointed_seq : t -> int
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/kbugs/analysis.ml: Corpus Cwe Fmt Inject List Safeos_core String

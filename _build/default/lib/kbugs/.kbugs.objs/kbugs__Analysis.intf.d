@@ -1,0 +1,1 @@
+lib/kbugs/analysis.mli: Corpus Format Inject Safeos_core

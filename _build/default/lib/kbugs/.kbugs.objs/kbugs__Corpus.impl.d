@@ -1,0 +1,1 @@
+lib/kbugs/corpus.ml: Array Cwe Ksim Lazy List Printf String

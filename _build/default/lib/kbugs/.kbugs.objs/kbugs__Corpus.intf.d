@@ -1,0 +1,1 @@
+lib/kbugs/corpus.mli: Cwe

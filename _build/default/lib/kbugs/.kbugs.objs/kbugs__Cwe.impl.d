@@ -1,0 +1,1 @@
+lib/kbugs/cwe.ml: Fmt List Safeos_core

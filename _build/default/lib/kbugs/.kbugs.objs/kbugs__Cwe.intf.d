@@ -1,0 +1,1 @@
+lib/kbugs/cwe.mli: Format Safeos_core

@@ -1,0 +1,1 @@
+lib/kbugs/inject.ml: Fmt Fs_spec Kfs Ksim Kspec Kvfs List Ownership Printf Refine Safeos_core Stdlib String

@@ -1,0 +1,1 @@
+lib/kbugs/inject.mli: Format Safeos_core

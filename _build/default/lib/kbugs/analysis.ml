@@ -1,0 +1,82 @@
+(* The §2 categorization: which share of the CVE corpus each roadmap
+   bucket would have prevented — the paper's 42% / 35% / 23% split. *)
+
+type tally = {
+  total : int;
+  type_ownership : int;
+  functional : int;
+  other : int;
+}
+
+let categorize records =
+  List.fold_left
+    (fun t (r : Corpus.record) ->
+      match Cwe.prevention r.cwe with
+      | Cwe.By_type_ownership -> { t with type_ownership = t.type_ownership + 1 }
+      | Cwe.By_functional -> { t with functional = t.functional + 1 }
+      | Cwe.Other_cause -> { t with other = t.other + 1 })
+    { total = List.length records; type_ownership = 0; functional = 0; other = 0 }
+    records
+
+let percent part total = 100.0 *. float_of_int part /. float_of_int total
+
+let render_tally ppf t =
+  Fmt.pf ppf "CWE categorization of %d Linux CVEs (2010-)@." t.total;
+  Fmt.pf ppf "%s@." (String.make 64 '-');
+  Fmt.pf ppf "  %-36s %5d  (%4.1f%%)@." "compile-time type + ownership safety" t.type_ownership
+    (percent t.type_ownership t.total);
+  Fmt.pf ppf "  %-36s %5d  (%4.1f%%)@." "functional correctness verification" t.functional
+    (percent t.functional t.total);
+  Fmt.pf ppf "  %-36s %5d  (%4.1f%%)@." "other causes" t.other (percent t.other t.total)
+
+(* Per-CWE breakdown, the supporting detail behind the headline split. *)
+let by_cwe records =
+  List.fold_left
+    (fun acc (r : Corpus.record) ->
+      let key = r.cwe.Cwe.cwe_id in
+      let n = try List.assoc key acc with Not_found -> 0 in
+      (key, n + 1) :: List.remove_assoc key acc)
+    [] records
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let render_by_cwe ppf records =
+  Fmt.pf ppf "per-CWE breakdown:@.";
+  List.iter
+    (fun (cwe_id, count) ->
+      match Cwe.find cwe_id with
+      | Some cwe ->
+          Fmt.pf ppf "  CWE-%-4d %-52s %5d  [%s]@." cwe_id cwe.Cwe.cwe_name count
+            (Cwe.prevention_to_string (Cwe.prevention cwe))
+      | None -> Fmt.pf ppf "  CWE-%-4d %-52s %5d@." cwe_id "?" count)
+    (by_cwe records)
+
+(* Cross-check the statistical claim against the executable evidence: for
+   every injectable fault whose class the roadmap claims to prevent, the
+   injection matrix must show prevented/detected at the claimed rung. *)
+type consistency = {
+  claims_checked : int;
+  claims_upheld : int;
+  broken : (Inject.fault * Safeos_core.Level.t) list;
+}
+
+let check_claims () =
+  let m = Inject.matrix () in
+  List.fold_left
+    (fun acc (fault, cells) ->
+      let bug = Inject.bug_class_of_fault fault in
+      match Safeos_core.Level.prevented_at bug with
+      | None -> acc
+      | Some required ->
+          List.fold_left
+            (fun acc (stage, detection) ->
+              if Safeos_core.Level.rank stage >= Safeos_core.Level.rank required then
+                let upheld = Inject.is_stopped detection in
+                {
+                  claims_checked = acc.claims_checked + 1;
+                  claims_upheld = (acc.claims_upheld + if upheld then 1 else 0);
+                  broken = (if upheld then acc.broken else (fault, stage) :: acc.broken);
+                }
+              else acc)
+            acc cells)
+    { claims_checked = 0; claims_upheld = 0; broken = [] }
+    m

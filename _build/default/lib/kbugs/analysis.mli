@@ -1,0 +1,29 @@
+(** The §2 categorization (TAB-CWE): the 42% / 35% / 23% split, plus the
+    cross-check that the statistical claims agree with the executable
+    fault-injection evidence. *)
+
+type tally = {
+  total : int;
+  type_ownership : int;
+  functional : int;
+  other : int;
+}
+
+val categorize : Corpus.record list -> tally
+val percent : int -> int -> float
+val render_tally : Format.formatter -> tally -> unit
+
+val by_cwe : Corpus.record list -> (int * int) list
+(** CVE counts per CWE id, most frequent first. *)
+
+val render_by_cwe : Format.formatter -> Corpus.record list -> unit
+
+type consistency = {
+  claims_checked : int;
+  claims_upheld : int;
+  broken : (Inject.fault * Safeos_core.Level.t) list;
+}
+
+val check_claims : unit -> consistency
+(** Every (fault, rung ≥ preventing rung) cell of the injection matrix
+    must be prevented/detected; [broken] lists the cells that are not. *)

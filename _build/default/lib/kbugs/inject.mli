@@ -1,0 +1,44 @@
+(** Fault injection across the roadmap (EXP-PREVENT): for every
+    executable fault class, switch the latent bug on in the step-0 module
+    and observe the failure; then show, rung by rung, whether the class
+    becomes structurally impossible, checker-detected, or remains
+    exhibited. *)
+
+type fault =
+  | F_use_after_free
+  | F_double_free
+  | F_memory_leak
+  | F_wrong_cast
+  | F_missing_errptr_check
+  | F_data_race
+  | F_off_by_one
+
+val all_faults : fault list
+val fault_to_string : fault -> string
+val bug_class_of_fault : fault -> Safeos_core.Level.bug_class
+
+type detection =
+  | Prevented of string  (** structurally impossible at this rung *)
+  | Detected of string  (** the rung's checker caught it *)
+  | Exhibited of string  (** the bug struck, as in production *)
+  | Not_triggered
+
+val detection_to_string : detection -> string
+val is_stopped : detection -> bool
+(** [Prevented] or [Detected]. *)
+
+val trigger_unsafe : fault -> detection
+(** Inject into {!Kfs.Memfs_unsafe} and run the trigger trace. *)
+
+val trigger_race : unit -> detection
+val trigger_verified_semantic : unit -> detection
+val trigger_unverified_semantic : unit -> detection
+val trigger_owned_violation : unit -> detection
+
+val stages : Safeos_core.Level.t list
+(** Unsafe, Type_safe, Ownership_safe, Verified. *)
+
+val at_stage : Safeos_core.Level.t -> fault -> detection
+val matrix : unit -> (fault * (Safeos_core.Level.t * detection) list) list
+val render_matrix :
+  Format.formatter -> (fault * (Safeos_core.Level.t * detection) list) list -> unit

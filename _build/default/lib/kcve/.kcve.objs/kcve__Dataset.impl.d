@@ -1,0 +1,1 @@
+lib/kcve/dataset.ml: Array Ksim Lazy List Printf String

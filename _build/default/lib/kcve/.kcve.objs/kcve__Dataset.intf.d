@@ -1,0 +1,1 @@
+lib/kcve/dataset.mli:

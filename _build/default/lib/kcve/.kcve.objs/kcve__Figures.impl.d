@@ -1,0 +1,1 @@
+lib/kcve/figures.ml: Dataset Fmt Kbugs List Safeos_core Stats String

@@ -1,0 +1,1 @@
+lib/kcve/figures.mli: Format Safeos_core

@@ -1,0 +1,1 @@
+lib/kcve/stats.ml: Dataset List

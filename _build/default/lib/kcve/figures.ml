@@ -1,0 +1,79 @@
+(* ASCII rendering of every figure and table in the paper.
+
+   Each [fig*] function prints the same rows/series the paper plots, from
+   the record-level data, so `safeos figures` (and the bench harness)
+   regenerate the evaluation artifacts end to end. *)
+
+let bar width value max_value =
+  let n =
+    if max_value <= 0 then 0
+    else int_of_float (float_of_int width *. float_of_int value /. float_of_int max_value)
+  in
+  String.make (max n 0) '#'
+
+let fig2a ppf () =
+  let series = Stats.cves_per_year (Dataset.all_linux_cves ()) in
+  let max_count = List.fold_left (fun m (_, c) -> max m c) 0 series in
+  Fmt.pf ppf "Figure 2a: new Linux CVEs reported each year@.";
+  List.iter
+    (fun (year, count) -> Fmt.pf ppf "  %d %4d %s@." year count (bar 46 count max_count))
+    series;
+  Fmt.pf ppf "  total: %d CVEs, %d since 2010@."
+    (List.length (Dataset.all_linux_cves ()))
+    (Stats.recent_total ~since:2010 (Dataset.all_linux_cves ()))
+
+let fig2b ppf () =
+  let records = Dataset.all_ext4_cves () in
+  let cdf = Stats.report_lag_cdf ~release_year:Dataset.ext4_release_year records in
+  Fmt.pf ppf "Figure 2b: CDF of ext4 CVE report lag after initial release (%d)@."
+    Dataset.ext4_release_year;
+  List.iter
+    (fun (p : Stats.cdf_point) ->
+      Fmt.pf ppf "  %2d yr  %5.1f%%  %s@." p.lag_years (100. *. p.cumulative_fraction)
+        (bar 40 (int_of_float (100. *. p.cumulative_fraction)) 100))
+    cdf;
+  Fmt.pf ppf "  median report lag: %.1f years; %.0f%% of CVEs 7+ years after release@."
+    (Stats.median_lag ~release_year:Dataset.ext4_release_year records)
+    (100. *. Stats.fraction_at_or_after ~release_year:Dataset.ext4_release_year ~lag:7 records)
+
+let fig2c ppf () =
+  Fmt.pf ppf "Figure 2c: new bugs per line of code per year (percent)@.";
+  List.iter
+    (fun fs ->
+      Fmt.pf ppf "  %s:@." fs;
+      List.iter
+        (fun (p : Stats.rate_point) ->
+          Fmt.pf ppf "    year %2d  %5.2f%%  %s@." p.age p.bugs_per_loc_pct
+            (bar 32 (int_of_float (p.bugs_per_loc_pct *. 10.)) 45))
+        (Stats.bug_rate_series fs);
+      Fmt.pf ppf "    -> latest rate %.2f%% per LoC-year@." (Stats.final_rate fs))
+    Dataset.fs_names
+
+let cwe_table ppf () =
+  let records = Kbugs.Corpus.records () in
+  let tally = Kbugs.Analysis.categorize records in
+  Kbugs.Analysis.render_tally ppf tally;
+  Fmt.pf ppf "@.";
+  Kbugs.Analysis.render_by_cwe ppf records
+
+let injection_matrix ppf () =
+  Fmt.pf ppf "Fault-injection matrix (EXP-PREVENT): roadmap stage vs. injected bug@.";
+  Kbugs.Inject.render_matrix ppf (Kbugs.Inject.matrix ())
+
+let fig1 ppf registry =
+  Safeos_core.Audit.render_figure1 ppf (Safeos_core.Audit.figure1 registry);
+  Fmt.pf ppf "@.";
+  Safeos_core.Audit.render_progress ppf (Safeos_core.Audit.progress registry)
+
+let all ppf registry =
+  fig1 ppf registry;
+  Fmt.pf ppf "@.";
+  fig2a ppf ();
+  Fmt.pf ppf "@.";
+  fig2b ppf ();
+  Fmt.pf ppf "@.";
+  fig2c ppf ();
+  Fmt.pf ppf "@.";
+  cwe_table ppf ();
+  Fmt.pf ppf "@.";
+  injection_matrix ppf ()

@@ -1,0 +1,14 @@
+(** ASCII rendering of every figure and table in the paper's evaluation:
+    Figure 1 (safety-vs-LoC landscape + this kernel's progress),
+    Figure 2a/2b/2c (CVE history, ext4 report-lag CDF, bugs-per-LoC
+    decay), the §2 CWE table, and the fault-injection matrix. *)
+
+val fig1 : Format.formatter -> Safeos_core.Registry.t -> unit
+val fig2a : Format.formatter -> unit -> unit
+val fig2b : Format.formatter -> unit -> unit
+val fig2c : Format.formatter -> unit -> unit
+val cwe_table : Format.formatter -> unit -> unit
+val injection_matrix : Format.formatter -> unit -> unit
+
+val all : Format.formatter -> Safeos_core.Registry.t -> unit
+(** Every figure and table, in paper order. *)

@@ -1,0 +1,1 @@
+lib/kebpf/attach.ml: Array Buffer Char Insn Kspec List Result String Vm

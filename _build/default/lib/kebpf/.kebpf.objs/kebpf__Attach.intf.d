@@ -1,0 +1,1 @@
+lib/kebpf/attach.mli: Insn Kspec Verifier

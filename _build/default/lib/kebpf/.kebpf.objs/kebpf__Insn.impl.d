@@ -1,0 +1,1 @@
+lib/kebpf/insn.ml: Array Fmt Printf

@@ -1,0 +1,1 @@
+lib/kebpf/insn.mli: Format

@@ -1,0 +1,1 @@
+lib/kebpf/verifier.ml: Array Fmt Insn Printf

@@ -1,0 +1,1 @@
+lib/kebpf/verifier.mli: Format Insn

@@ -1,0 +1,1 @@
+lib/kebpf/vm.ml: Array Char Insn Printf String Verifier

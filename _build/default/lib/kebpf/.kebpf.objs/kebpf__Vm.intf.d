@@ -1,0 +1,1 @@
+lib/kebpf/vm.mli: Insn Verifier

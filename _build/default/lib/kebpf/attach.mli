@@ -1,0 +1,50 @@
+(** Attachment points for verified extension programs: a packet filter and
+    an FS-operation tracer.  A trapping program cannot harm the kernel —
+    the hook applies the attachment's default instead. *)
+
+(** {1 Packet filter} *)
+
+type filter
+
+val attach_filter :
+  ?default_accept:bool -> Insn.program -> (filter, Verifier.rejection) result
+
+val filter_packet : filter -> string -> bool
+(** Run the program over the packet bytes; non-zero r0 accepts.  Traps
+    fall back to [default_accept]. *)
+
+val filter_stats : filter -> int * int * int
+(** (accepted, dropped, traps). *)
+
+(** {1 FS-operation tracer} *)
+
+type tracer
+
+val attach_tracer : ?buckets:int -> Insn.program -> (tracer, Verifier.rejection) result
+
+val encode_op : Kspec.Fs_spec.op -> string
+(** The fixed context layout: opcode, path depth, clamped size, first
+    path component. *)
+
+val opcode_of : Kspec.Fs_spec.op -> int
+
+val trace_op : tracer -> Kspec.Fs_spec.op -> unit
+(** Run the program on the encoded op; r0 selects the bucket to count. *)
+
+val bucket_counts : tracer -> int array
+val tracer_traps : tracer -> int
+
+(** {1 Canned programs} *)
+
+val packet_kind_filter : kind:int -> min_len:int -> Insn.program
+(** Accept packets of the given first-byte kind and minimum length. *)
+
+val opcode_tracer : Insn.program
+(** Count FS ops by opcode. *)
+
+val large_write_tracer : threshold:int -> Insn.program
+(** Bucket 1 for writes larger than [threshold] bytes, else 0. *)
+
+val looping_program : Insn.program
+(** The canonical rejected program (a backward jump) — the executable
+    statement of the mechanism's expressiveness limit. *)

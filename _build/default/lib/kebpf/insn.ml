@@ -1,0 +1,91 @@
+(* The instruction set of the in-kernel extension VM.
+
+   Related work: "Today, Linux already supports loading eBPF, but its
+   expressiveness is limited, and it does not support complex kernel
+   components."  This is a faithful miniature of that trade-off: a small
+   register machine whose programs are statically verified before loading
+   (see [Verifier]) — jumps go forward only, so every verified program
+   terminates, which is precisely why no file system or TCP stack can be
+   written in it. *)
+
+type reg =
+  | R0 (* return value *)
+  | R1 (* context length on entry *)
+  | R2
+  | R3
+  | R4
+  | R5
+  | R6
+  | R7
+
+let all_regs = [ R0; R1; R2; R3; R4; R5; R6; R7 ]
+let reg_index = function R0 -> 0 | R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5 | R6 -> 6 | R7 -> 7
+
+let reg_to_string r = Printf.sprintf "r%d" (reg_index r)
+
+type alu =
+  | Add
+  | Sub
+  | Mul
+  | Div (* traps on zero divisor at run time *)
+  | And
+  | Or
+  | Xor
+  | Lsh
+  | Rsh
+
+let alu_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Lsh -> "lsh"
+  | Rsh -> "rsh"
+
+type cond =
+  | Eq
+  | Ne
+  | Lt
+  | Gt
+  | Le
+  | Ge
+
+let cond_to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Gt -> "gt"
+  | Le -> "le"
+  | Ge -> "ge"
+
+type t =
+  | Mov_imm of reg * int  (** dst := imm *)
+  | Mov_reg of reg * reg  (** dst := src *)
+  | Alu_imm of alu * reg * int  (** dst := dst op imm *)
+  | Alu_reg of alu * reg * reg  (** dst := dst op src *)
+  | Ld_ctx of reg * reg * int
+      (** dst := ctx\[src + imm\]  (one byte; bounds-trapped at run time) *)
+  | Jmp of int  (** pc += 1 + offset; verifier requires offset >= 0 *)
+  | Jcond of cond * reg * int * int
+      (** if (reg cond imm) pc += 1 + offset; offset >= 0 *)
+  | Exit  (** return r0 *)
+
+let pp ppf = function
+  | Mov_imm (d, i) -> Fmt.pf ppf "mov %s, %d" (reg_to_string d) i
+  | Mov_reg (d, s) -> Fmt.pf ppf "mov %s, %s" (reg_to_string d) (reg_to_string s)
+  | Alu_imm (op, d, i) -> Fmt.pf ppf "%s %s, %d" (alu_to_string op) (reg_to_string d) i
+  | Alu_reg (op, d, s) ->
+      Fmt.pf ppf "%s %s, %s" (alu_to_string op) (reg_to_string d) (reg_to_string s)
+  | Ld_ctx (d, s, i) -> Fmt.pf ppf "ldb %s, ctx[%s+%d]" (reg_to_string d) (reg_to_string s) i
+  | Jmp off -> Fmt.pf ppf "jmp +%d" off
+  | Jcond (c, r, i, off) ->
+      Fmt.pf ppf "j%s %s, %d, +%d" (cond_to_string c) (reg_to_string r) i off
+  | Exit -> Fmt.string ppf "exit"
+
+type program = t array
+
+let pp_program ppf prog =
+  Array.iteri (fun i insn -> Fmt.pf ppf "%3d: %a@." i pp insn) prog

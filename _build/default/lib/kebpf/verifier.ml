@@ -1,0 +1,112 @@
+(* The static verifier: programs are checked before they may attach.
+
+   Guarantees established here, once, for every run:
+
+   - termination: all jumps are strictly forward, so execution visits each
+     instruction at most once (fuel in the VM is a belt-and-braces bound);
+   - no fallthrough off the end: every path ends in [Exit];
+   - no reads of uninitialized registers: a forward abstract
+     interpretation tracks definitely-initialized registers, intersecting
+     at join points (sound because the CFG of a forward-jump program is a
+     DAG processed in order);
+   - bounded context access: [Ld_ctx] offsets are bounds-trapped at run
+     time, and the verifier bounds the immediate so a trap, not a wild
+     read, is the worst case.
+
+   These are the checks that make the extension point safe, and the
+   forward-jump restriction is exactly the expressiveness ceiling the
+   paper contrasts with full module replacement. *)
+
+type rejection = {
+  at : int; (* instruction index; -1 for whole-program problems *)
+  reason : string;
+}
+
+let pp_rejection ppf r =
+  if r.at < 0 then Fmt.pf ppf "program rejected: %s" r.reason
+  else Fmt.pf ppf "instruction %d rejected: %s" r.at r.reason
+
+let max_insns = 4096
+let max_ctx_imm = 65536
+
+module Regset = struct
+  type t = int (* bitmask over the 8 registers *)
+
+  let empty = 0
+  let add r s = s lor (1 lsl Insn.reg_index r)
+  let mem r s = s land (1 lsl Insn.reg_index r) <> 0
+  let inter = ( land )
+end
+
+let check (prog : Insn.program) : (unit, rejection) result =
+  let n = Array.length prog in
+  if n = 0 then Error { at = -1; reason = "empty program" }
+  else if n > max_insns then Error { at = -1; reason = "program too long" }
+  else begin
+    (* init.(i) = Some s: instruction i is reachable with at least the
+       registers in s initialized (intersection over all paths). *)
+    let init : Regset.t option array = Array.make (n + 1) None in
+    (* On entry r1 holds the context length. *)
+    init.(0) <- Some (Regset.add Insn.R1 Regset.empty);
+    let merge idx s =
+      if idx <= n then
+        init.(idx) <-
+          (match init.(idx) with None -> Some s | Some old -> Some (Regset.inter old s))
+    in
+    let error = ref None in
+    let reject at reason = if !error = None then error := Some { at; reason } in
+    for i = 0 to n - 1 do
+      match init.(i) with
+      | None -> () (* unreachable: ignored, like dead code *)
+      | Some s -> (
+          let need r =
+            if not (Regset.mem r s) then
+              reject i (Printf.sprintf "read of uninitialized %s" (Insn.reg_to_string r))
+          in
+          let fall s' = merge (i + 1) s' in
+          match prog.(i) with
+          | Insn.Mov_imm (d, _) -> fall (Regset.add d s)
+          | Insn.Mov_reg (d, src) ->
+              need src;
+              fall (Regset.add d s)
+          | Insn.Alu_imm (op, d, imm) ->
+              need d;
+              if op = Insn.Div && imm = 0 then reject i "division by constant zero";
+              if (op = Insn.Lsh || op = Insn.Rsh) && (imm < 0 || imm > 62) then
+                reject i "shift amount out of range";
+              fall s
+          | Insn.Alu_reg (_, d, src) ->
+              need d;
+              need src;
+              fall s
+          | Insn.Ld_ctx (d, src, imm) ->
+              need src;
+              if imm < 0 || imm > max_ctx_imm then reject i "context offset immediate out of range";
+              fall (Regset.add d s)
+          | Insn.Jmp off ->
+              if off < 0 then reject i "backward jump"
+              else if i + 1 + off > n then reject i "jump out of bounds"
+              else merge (i + 1 + off) s
+          | Insn.Jcond (_, r, _, off) ->
+              need r;
+              if off < 0 then reject i "backward jump"
+              else if i + 1 + off > n then reject i "jump out of bounds"
+              else begin
+                merge (i + 1 + off) s;
+                fall s
+              end
+          | Insn.Exit -> need Insn.R0)
+    done;
+    (* No instruction may fall through past the end. *)
+    (match init.(n) with
+    | Some _ -> reject (n - 1) "control may fall off the end of the program"
+    | None -> ());
+    match !error with None -> Ok () | Some r -> Error r
+  end
+
+(* The headline expressiveness limit, as an executable statement: the
+   number of instructions a verified program can execute is bounded by its
+   length, so any computation needing an input-dependent number of steps
+   (a directory walk, a retransmit loop, a file system) cannot be
+   expressed.  [max_trip_count] returns that static bound. *)
+let max_trip_count prog = Array.length prog

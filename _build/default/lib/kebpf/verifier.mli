@@ -1,0 +1,22 @@
+(** The static verifier run before a program may attach.
+
+    Establishes termination (forward-only jumps), no fall-through off the
+    end, no uninitialized-register reads (forward abstract interpretation
+    with intersection at joins), and bounded context offsets.  The
+    forward-jump restriction is the expressiveness ceiling the paper
+    contrasts with full module replacement. *)
+
+type rejection = {
+  at : int;  (** instruction index; [-1] for whole-program problems *)
+  reason : string;
+}
+
+val pp_rejection : Format.formatter -> rejection -> unit
+
+val max_insns : int
+
+val check : Insn.program -> (unit, rejection) result
+
+val max_trip_count : Insn.program -> int
+(** Static bound on executed instructions — the executable form of "its
+    expressiveness is limited". *)

@@ -1,0 +1,102 @@
+(* The extension VM.
+
+   Runs only verifier-approved programs ([load] couples the two), over a
+   read-only context buffer.  Even then it is defensive: context loads are
+   bounds-trapped, division by zero traps, and a fuel counter (which a
+   verified program can never exhaust, since jumps only go forward) caps
+   execution — traps return an error to the kernel instead of becoming
+   kernel bugs, which is the whole point of the mechanism. *)
+
+type trap =
+  | Ctx_out_of_bounds of { pc : int; offset : int; len : int }
+  | Division_by_zero of { pc : int }
+  | Fuel_exhausted
+
+let trap_to_string = function
+  | Ctx_out_of_bounds { pc; offset; len } ->
+      Printf.sprintf "ctx access at pc=%d: offset %d beyond length %d" pc offset len
+  | Division_by_zero { pc } -> Printf.sprintf "division by zero at pc=%d" pc
+  | Fuel_exhausted -> "fuel exhausted"
+
+type loaded = {
+  prog : Insn.program;
+  mutable runs : int;
+  mutable insns_executed : int;
+}
+
+let load prog =
+  match Verifier.check prog with
+  | Ok () -> Ok { prog; runs = 0; insns_executed = 0 }
+  | Error r -> Error r
+
+let stats loaded = (loaded.runs, loaded.insns_executed)
+
+let exec loaded ~ctx : (int, trap) result =
+  let prog = loaded.prog in
+  let n = Array.length prog in
+  let len = String.length ctx in
+  let regs = Array.make 8 0 in
+  regs.(Insn.reg_index Insn.R1) <- len;
+  loaded.runs <- loaded.runs + 1;
+  let get r = regs.(Insn.reg_index r) in
+  let set r v = regs.(Insn.reg_index r) <- v in
+  let alu op a b ~pc =
+    match op with
+    | Insn.Add -> Ok (a + b)
+    | Insn.Sub -> Ok (a - b)
+    | Insn.Mul -> Ok (a * b)
+    | Insn.Div -> if b = 0 then Error (Division_by_zero { pc }) else Ok (a / b)
+    | Insn.And -> Ok (a land b)
+    | Insn.Or -> Ok (a lor b)
+    | Insn.Xor -> Ok (a lxor b)
+    | Insn.Lsh -> Ok (a lsl (b land 62))
+    | Insn.Rsh -> Ok (a lsr (b land 62))
+  in
+  let cond c a b =
+    match c with
+    | Insn.Eq -> a = b
+    | Insn.Ne -> a <> b
+    | Insn.Lt -> a < b
+    | Insn.Gt -> a > b
+    | Insn.Le -> a <= b
+    | Insn.Ge -> a >= b
+  in
+  let rec step pc fuel =
+    if fuel = 0 then Error Fuel_exhausted
+    else if pc >= n then Error Fuel_exhausted (* cannot happen post-verification *)
+    else begin
+      loaded.insns_executed <- loaded.insns_executed + 1;
+      match prog.(pc) with
+      | Insn.Mov_imm (d, imm) ->
+          set d imm;
+          step (pc + 1) (fuel - 1)
+      | Insn.Mov_reg (d, s) ->
+          set d (get s);
+          step (pc + 1) (fuel - 1)
+      | Insn.Alu_imm (op, d, imm) -> (
+          match alu op (get d) imm ~pc with
+          | Ok v ->
+              set d v;
+              step (pc + 1) (fuel - 1)
+          | Error trap -> Error trap)
+      | Insn.Alu_reg (op, d, s) -> (
+          match alu op (get d) (get s) ~pc with
+          | Ok v ->
+              set d v;
+              step (pc + 1) (fuel - 1)
+          | Error trap -> Error trap)
+      | Insn.Ld_ctx (d, s, imm) ->
+          let offset = get s + imm in
+          if offset < 0 || offset >= len then Error (Ctx_out_of_bounds { pc; offset; len })
+          else begin
+            set d (Char.code ctx.[offset]);
+            step (pc + 1) (fuel - 1)
+          end
+      | Insn.Jmp off -> step (pc + 1 + off) (fuel - 1)
+      | Insn.Jcond (c, r, imm, off) ->
+          if cond c (get r) imm then step (pc + 1 + off) (fuel - 1)
+          else step (pc + 1) (fuel - 1)
+      | Insn.Exit -> Ok (get Insn.R0)
+    end
+  in
+  step 0 (n + 1)

@@ -1,0 +1,1 @@
+lib/kfs/cowfs.ml: Fs_spec Ksim Kspec List Map Option Result String

@@ -1,0 +1,1 @@
+lib/kfs/cowfs.mli: Ksim Kspec Kvfs

@@ -1,0 +1,1 @@
+lib/kfs/journalfs.ml: Array Buffer Bytes Char Fs_spec Hashtbl Int32 Kblock Ksim Kspec List Option Result String

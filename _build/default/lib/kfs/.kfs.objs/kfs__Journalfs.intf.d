@@ -1,0 +1,1 @@
+lib/kfs/journalfs.mli: Kblock Kspec Kvfs

@@ -1,0 +1,1 @@
+lib/kfs/memfs_owned.ml: Bytes Fs_spec Hashtbl Ksim Kspec List Option Ownership String

@@ -1,0 +1,1 @@
+lib/kfs/memfs_typed.ml: Fs_spec Hashtbl Ksim Kspec List String

@@ -1,0 +1,1 @@
+lib/kfs/memfs_typed.mli: Kvfs

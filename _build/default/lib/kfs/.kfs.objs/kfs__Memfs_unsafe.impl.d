@@ -1,0 +1,1 @@
+lib/kfs/memfs_unsafe.ml: Fs_spec Hashtbl Ksim Kspec Kvfs List Option String

@@ -1,0 +1,1 @@
+lib/kfs/memfs_unsafe.mli: Ksim Kspec Kvfs

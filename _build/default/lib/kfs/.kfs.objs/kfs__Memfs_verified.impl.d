@@ -1,0 +1,1 @@
+lib/kfs/memfs_verified.ml: Fs_spec Ksim Kspec List Option Refine Result String

@@ -1,0 +1,1 @@
+lib/kfs/memfs_verified.mli: Kspec Kvfs

@@ -1,0 +1,1 @@
+lib/kfs/unionfs.ml: Fs_spec Ksim Kspec Kvfs List Memfs_typed Result String

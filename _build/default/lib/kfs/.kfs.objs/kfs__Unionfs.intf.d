@@ -1,0 +1,1 @@
+lib/kfs/unionfs.mli: Kspec Kvfs

@@ -1,0 +1,1 @@
+lib/kfs/workload.ml: Array Char Fs_spec Ksim Kspec Kvfs List String

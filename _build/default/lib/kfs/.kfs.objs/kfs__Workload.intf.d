@@ -1,0 +1,1 @@
+lib/kfs/workload.mli: Kspec Kvfs

@@ -1,0 +1,30 @@
+(** Btrfs-flavoured copy-on-write file system with O(1) snapshots.
+
+    The tree is a persistent value; snapshots are extra references to a
+    root, sharing unchanged subtrees with the live tree.  Conforms to
+    {!Kvfs.Iface.FS_OPS} and adds the snapshot API. *)
+
+include Kvfs.Iface.FS_OPS
+
+val snapshot : fs -> name:string -> unit Ksim.Errno.r
+(** O(1): records the current root under [name].  [EEXIST] on reuse. *)
+
+val snapshots : fs -> string list
+(** Snapshot names, oldest first. *)
+
+val rollback : fs -> name:string -> unit Ksim.Errno.r
+(** Swing the live root back to a snapshot. *)
+
+val delete_snapshot : fs -> name:string -> unit Ksim.Errno.r
+
+type change =
+  | Added of Kspec.Fs_spec.path
+  | Removed of Kspec.Fs_spec.path
+  | Modified of Kspec.Fs_spec.path
+
+val diff : fs -> since:string -> change list Ksim.Errno.r
+(** Paths that changed between a snapshot and the live tree. *)
+
+val shared_nodes : fs -> with_snapshot:string -> int Ksim.Errno.r
+(** Number of physically shared tree nodes between the live tree and a
+    snapshot — the structural-sharing evidence. *)

@@ -1,0 +1,61 @@
+(** Block-based file system with a write-ahead journal — the ext4-shaped
+    subject of the crash-safety experiment (EXP-CRASH, BENCH-JOURNAL).
+
+    Every operation stages its changed blocks (data, inode table, bitmap)
+    into one journal transaction, so a crash observes all of an operation
+    or none of it.  [Direct] mode is the ablation: identical block writes
+    issued in place with no journal — the classic non-journaled FS the
+    crash checker convicts. *)
+
+type mode =
+  | Journaled
+  | Direct
+
+type geometry = {
+  nblocks : int;
+  block_size : int;
+  jblocks : int;  (** journal-area blocks (header + records) *)
+  ninodes : int;
+}
+
+val default_geometry : geometry
+
+type t
+
+val mkfs_on : ?geometry:geometry -> ?group_commit:bool -> mode -> Kblock.Blockdev.t -> t
+(** Format a {e freshly created (zeroed)} device and mount it.  With
+    [group_commit] operations accumulate into one journal transaction
+    that commits at [Fsync] (or when full) — higher throughput, and a
+    crash legally loses the whole uncommitted batch. *)
+
+val mount : ?geometry:geometry -> ?group_commit:bool -> mode -> Kblock.Blockdev.t -> t
+(** Mount an existing device: journal recovery (in [Journaled] mode), then
+    parse.  A disk that cannot be parsed yields a {!is_corrupt} instance
+    whose operations all fail with [EIO]. *)
+
+val apply : t -> Kspec.Fs_spec.op -> Kspec.Fs_spec.result
+(** [Fsync] checkpoints the journal (or flushes the device in [Direct]
+    mode).  [ENOSPC] when data blocks, inodes, or transaction capacity
+    run out. *)
+
+val interpret : t -> Kspec.Fs_spec.state
+val crash_images : t -> limit:int -> t list
+val mode : t -> mode
+val device : t -> Kblock.Blockdev.t
+val journal_stats : t -> Kblock.Journal.stats option
+val is_corrupt : t -> bool
+val max_file_size : geometry -> int
+
+(** Mountable adapters (fresh default-geometry device per [mkfs]). *)
+module Journaled_fs : Kvfs.Iface.FS_OPS with type fs = t
+
+module Journaled_group_fs : Kvfs.Iface.FS_OPS with type fs = t
+
+module Direct_fs : Kvfs.Iface.FS_OPS with type fs = t
+
+(** Crash-checkable adapters for {!Kspec.Crash.check}. *)
+module Crashable_journaled : Kspec.Crash.CRASHABLE_FS with type t = t
+
+module Crashable_journaled_group : Kspec.Crash.CRASHABLE_FS with type t = t
+
+module Crashable_direct : Kspec.Crash.CRASHABLE_FS with type t = t

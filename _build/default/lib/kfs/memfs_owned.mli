@@ -1,0 +1,15 @@
+(** Ownership-safe in-memory file system — roadmap step 3.
+
+    File content lives in {!Ownership.Checker} regions; reads lend the
+    region shared (model 3), writes lend it exclusive (model 2), unlink
+    frees through the owner capability.  Use-after-free, double free,
+    leak, and write-while-shared are checker violations rather than
+    silent corruption.  Conforms to {!Kvfs.Iface.FS_OPS}. *)
+
+include Kvfs.Iface.FS_OPS
+
+val checker : fs -> Ownership.Checker.t
+(** The checker, for asserting on violations and leaks in tests. *)
+
+val destroy : fs -> bool
+(** Unmount: free every region; [true] when nothing leaked. *)

@@ -1,0 +1,8 @@
+(** Type-safe in-memory file system — roadmap step 2.
+
+    Inode-table design like {!Memfs_unsafe}, but with no [Dyn] private
+    data, no error-pointer returns, and no manual allocation: the type
+    confusion and errptr-misuse bug classes cannot be expressed.
+    Conforms to {!Kvfs.Iface.FS_OPS}. *)
+
+include Kvfs.Iface.FS_OPS

@@ -1,0 +1,17 @@
+(** "Verified" in-memory file system — roadmap step 4.
+
+    {!Impl} is a functional path-trie (a different structure from the
+    spec's flat map, so interpretation does real abstraction work);
+    the exported operations wrap it in {!Kspec.Refine.Monitor}, checking
+    every call against {!Kspec.Fs_spec} as it executes.
+    @raise Kspec.Refine.Refinement_failure if the implementation ever
+    diverges from the spec. *)
+
+(** The bare, unmonitored implementation (used by the verification-
+    overhead ablation bench and as a building block in tests). *)
+module Impl : Kspec.Refine.FS_IMPL
+
+include Kvfs.Iface.FS_OPS
+
+val checked_ops : fs -> int
+(** Operations refinement-checked so far on this instance. *)

@@ -1,0 +1,1 @@
+lib/kmm/addr_space.ml: Hashtbl Ksim Kspec Kvfs List Phys Result String

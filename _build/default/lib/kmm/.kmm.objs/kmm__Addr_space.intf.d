@@ -1,0 +1,1 @@
+lib/kmm/addr_space.mli: Ksim Kspec Kvfs Phys

@@ -1,0 +1,1 @@
+lib/kmm/phys.ml: Array Bytes List String

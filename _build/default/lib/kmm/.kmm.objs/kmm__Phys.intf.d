@@ -1,0 +1,1 @@
+lib/kmm/phys.mli:

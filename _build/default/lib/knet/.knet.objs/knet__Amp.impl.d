@@ -1,0 +1,1 @@
+lib/knet/amp.ml: Char Hashtbl Ksim List Printf String

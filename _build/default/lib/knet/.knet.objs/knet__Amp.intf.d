@@ -1,0 +1,1 @@
+lib/knet/amp.mli: Ksim

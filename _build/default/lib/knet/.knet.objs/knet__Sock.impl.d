@@ -1,0 +1,1 @@
+lib/knet/sock.ml: Hashtbl Ksim List Queue String Tcp

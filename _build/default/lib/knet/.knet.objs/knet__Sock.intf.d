@@ -1,0 +1,1 @@
+lib/knet/sock.mli: Ksim Queue Tcp

@@ -1,0 +1,1 @@
+lib/knet/tcp.ml: Buffer Ksim List String

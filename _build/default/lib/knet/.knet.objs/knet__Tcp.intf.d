@@ -1,0 +1,1 @@
+lib/knet/tcp.mli: Ksim

@@ -1,0 +1,138 @@
+(* The type-confusion case study: CVE-2020-12351's shape.
+
+   Bluetooth L2CAP/AMP packets arrive on numbered channels; the kernel
+   keeps per-channel private data and the bug was a packet whose header
+   claimed one channel type while the handler interpreted its private
+   data as another — "custom data gets wrongly casted and leads to denial
+   of service".
+
+   [Unsafe] reproduces the idiom: the parser stores the decoded struct as
+   a [Dyn] void pointer keyed by what the *header* claims, and the
+   handler casts according to the *channel registry* — an attacker who
+   lies in the header triggers [Dyn.Type_confusion] (the simulated crash).
+   [Typed] is the step-2 version: decoding returns a sum type, handlers
+   pattern-match, and a lying header is just an [EPROTO] error. *)
+
+type channel_kind =
+  | Control
+  | Data
+
+type control_block = {
+  op : int;
+  flags : int;
+}
+
+type data_payload = { body : string }
+
+(* Wire format: [kind_byte: 0 control | 1 data][channel u8][rest...]
+   Control rest: op u8, flags u8.  Data rest: body bytes. *)
+let encode_control ~channel { op; flags } =
+  Printf.sprintf "%c%c%c%c" '\000' (Char.chr channel) (Char.chr op) (Char.chr flags)
+
+let encode_data ~channel { body } = Printf.sprintf "%c%c%s" '\001' (Char.chr channel) body
+
+exception Malformed of string
+
+let claimed_kind packet =
+  if String.length packet < 2 then raise (Malformed "short packet")
+  else
+    match packet.[0] with
+    | '\000' -> Control
+    | '\001' -> Data
+    | _ -> raise (Malformed "unknown kind byte")
+
+let channel_of packet =
+  if String.length packet < 2 then raise (Malformed "short packet")
+  else Char.code packet.[1]
+
+module Unsafe = struct
+  (* One Dyn key per payload type: these are the C struct casts. *)
+  let control_key : control_block Ksim.Dyn.Key.t = Ksim.Dyn.Key.create ~name:"amp.control_block"
+  let data_key : data_payload Ksim.Dyn.Key.t = Ksim.Dyn.Key.create ~name:"amp.data_payload"
+
+  type t = {
+    (* channel number -> kind the stack registered it with *)
+    channels : (int, channel_kind) Hashtbl.t;
+    mutable control_ops : int list; (* ops executed, newest first *)
+    mutable data_bytes : int;
+  }
+
+  let create () = { channels = Hashtbl.create 8; control_ops = []; data_bytes = 0 }
+
+  let register t ~channel kind = Hashtbl.replace t.channels channel kind
+
+  (* Parse according to the header's claim and park the struct behind a
+     void pointer — faithfully, including the attacker-controlled bit. *)
+  let parse packet =
+    match claimed_kind packet with
+    | Control ->
+        if String.length packet < 4 then raise (Malformed "short control packet");
+        Ksim.Dyn.inject control_key
+          { op = Char.code packet.[2]; flags = Char.code packet.[3] }
+    | Data ->
+        Ksim.Dyn.inject data_key
+          { body = String.sub packet 2 (String.length packet - 2) }
+
+  (* Dispatch according to the channel registry, casting the private data
+     to whatever this channel is supposed to carry.  If the header lied,
+     the cast is wrong: Dyn.Type_confusion, our kernel oops. *)
+  let receive t packet =
+    let channel = channel_of packet in
+    let private_data = parse packet in
+    match Hashtbl.find_opt t.channels channel with
+    | None -> Error Ksim.Errno.EINVAL
+    | Some Control ->
+        let cb = Ksim.Dyn.cast_exn control_key private_data in
+        t.control_ops <- cb.op :: t.control_ops;
+        Ok ()
+    | Some Data ->
+        let dp = Ksim.Dyn.cast_exn data_key private_data in
+        t.data_bytes <- t.data_bytes + String.length dp.body;
+        Ok ()
+
+  let control_ops t = List.rev t.control_ops
+  let data_bytes t = t.data_bytes
+end
+
+module Typed = struct
+  type payload =
+    | Control_payload of control_block
+    | Data_payload of data_payload
+
+  type t = {
+    channels : (int, channel_kind) Hashtbl.t;
+    mutable control_ops : int list;
+    mutable data_bytes : int;
+  }
+
+  let create () = { channels = Hashtbl.create 8; control_ops = []; data_bytes = 0 }
+  let register t ~channel kind = Hashtbl.replace t.channels channel kind
+
+  let parse packet =
+    match claimed_kind packet with
+    | Control ->
+        if String.length packet < 4 then raise (Malformed "short control packet")
+        else Control_payload { op = Char.code packet.[2]; flags = Char.code packet.[3] }
+    | Data -> Data_payload { body = String.sub packet 2 (String.length packet - 2) }
+
+  (* The same dispatch, but the payload is a sum type: a mismatch between
+     header and registry is an ordinary error, not memory corruption. *)
+  let receive t packet =
+    let channel = channel_of packet in
+    match (Hashtbl.find_opt t.channels channel, parse packet) with
+    | None, _ -> Error Ksim.Errno.EINVAL
+    | Some Control, Control_payload cb ->
+        t.control_ops <- cb.op :: t.control_ops;
+        Ok ()
+    | Some Data, Data_payload dp ->
+        t.data_bytes <- t.data_bytes + String.length dp.body;
+        Ok ()
+    | Some Control, Data_payload _ | Some Data, Control_payload _ ->
+        Error Ksim.Errno.EPROTO
+
+  let control_ops t = List.rev t.control_ops
+  let data_bytes t = t.data_bytes
+end
+
+(* The attack packet: header claims Data, sent on a Control channel. *)
+let confusion_packet ~control_channel body = encode_data ~channel:control_channel { body }

@@ -1,0 +1,170 @@
+(* The generic socket layer, in the two shapes the paper contrasts.
+
+   Linux "supports multiple protocol families and multiple protocols
+   within those families", yet "references to TCP state can be found
+   throughout generic socket code".  [Typed] is the modular shape: a
+   protocol is a first-class module behind the PROTO interface, and the
+   generic layer cannot see its state.  [Dyn_style] is the C shape: the
+   per-socket state is a void pointer and every operation casts it back —
+   the representation the type-safety bench prices against [Typed]. *)
+
+module type PROTO = sig
+  type conn
+
+  val proto_name : string
+  val create : unit -> conn
+
+  val connect_pair : conn -> conn -> unit Ksim.Errno.r
+  (** Drive both endpoints to an established state over a loopback link. *)
+
+  val send : conn -> string -> int Ksim.Errno.r
+  val deliver : src:conn -> dst:conn -> unit
+  (** Move pending traffic from [src] to [dst] (and replies back). *)
+
+  val received : conn -> string
+  val is_connected : conn -> bool
+end
+
+module Tcp_proto : PROTO with type conn = Tcp.t = struct
+  type conn = Tcp.t
+
+  let proto_name = "tcp"
+  let create () = Tcp.create ()
+
+  let connect_pair a b =
+    let ( let* ) = Ksim.Errno.( let* ) in
+    let* () = Tcp.listen b in
+    let* () = Tcp.connect a in
+    let (_ : int) = Tcp.run_link a b in
+    if Tcp.state a = Tcp.Established && Tcp.state b = Tcp.Established then Ok ()
+    else Error Ksim.Errno.EPIPE
+
+  let send = Tcp.send
+  let deliver ~src ~dst = ignore (Tcp.run_link src dst)
+  let received = Tcp.received
+  let is_connected conn = Tcp.state conn = Tcp.Established
+end
+
+(* A connectionless datagram protocol: the second family member, proving
+   the generic layer really is generic. *)
+module Dgram_proto : PROTO with type conn = string Queue.t = struct
+  type conn = string Queue.t
+
+  let proto_name = "dgram"
+  let create () = Queue.create ()
+  let connect_pair _ _ = Ok ()
+
+  let send conn data =
+    Queue.push data conn;
+    Ok (String.length data)
+
+  let deliver ~src ~dst = Queue.transfer src dst
+  let received conn = String.concat "" (List.of_seq (Queue.to_seq conn))
+  let is_connected _ = true
+end
+
+(* The modular layer ------------------------------------------------------- *)
+
+module Typed = struct
+  (* A connected pair keeps both endpoints under the same existential, so
+     the generic layer can move traffic between them without ever learning
+     the protocol's state type. *)
+  type pair = Pair : (module PROTO with type conn = 'c) * 'c * 'c -> pair
+
+  type registry = (string, (module PROTO)) Hashtbl.t
+
+  let registry : registry = Hashtbl.create 8
+
+  let register (module P : PROTO) = Hashtbl.replace registry P.proto_name (module P : PROTO)
+
+  let () =
+    register (module Tcp_proto);
+    register (module Dgram_proto)
+
+  let protocols () =
+    Hashtbl.fold (fun name _ acc -> name :: acc) registry [] |> List.sort String.compare
+
+  let socket_pair proto_name =
+    match Hashtbl.find_opt registry proto_name with
+    | Some (module P : PROTO) -> Ok (Pair ((module P), P.create (), P.create ()))
+    | None -> Error Ksim.Errno.EINVAL
+
+  let connect (Pair ((module P), a, b)) = P.connect_pair a b
+  let send (Pair ((module P), a, _)) data = P.send a data
+  let deliver (Pair ((module P), a, b)) = P.deliver ~src:a ~dst:b
+  let received_at_peer (Pair ((module P), _, b)) = P.received b
+  let is_connected (Pair ((module P), a, b)) = P.is_connected a && P.is_connected b
+end
+
+(* The C-style layer: private data behind a void pointer ------------------- *)
+
+module Dyn_style = struct
+  type ops = {
+    o_send : Ksim.Dyn.t -> string -> int Ksim.Errno.r;
+    o_received : Ksim.Dyn.t -> string;
+    o_is_connected : Ksim.Dyn.t -> bool;
+  }
+
+  type socket = {
+    proto_name : string;
+    ops : ops;
+    private_data : Ksim.Dyn.t;
+  }
+
+  let tcp_key : Tcp.t Ksim.Dyn.Key.t = Ksim.Dyn.Key.create ~name:"sock.tcp_conn"
+  let dgram_key : string Queue.t Ksim.Dyn.Key.t = Ksim.Dyn.Key.create ~name:"sock.dgram_conn"
+
+  (* Every operation casts the void pointer back: correct as written, and
+     one wrong key away from a crash. *)
+  let tcp_ops =
+    {
+      o_send = (fun d data -> Tcp.send (Ksim.Dyn.cast_exn tcp_key d) data);
+      o_received = (fun d -> Tcp.received (Ksim.Dyn.cast_exn tcp_key d));
+      o_is_connected = (fun d -> Tcp.state (Ksim.Dyn.cast_exn tcp_key d) = Tcp.Established);
+    }
+
+  let dgram_ops =
+    {
+      o_send =
+        (fun d data ->
+          Queue.push data (Ksim.Dyn.cast_exn dgram_key d);
+          Ok (String.length data));
+      o_received =
+        (fun d -> String.concat "" (List.of_seq (Queue.to_seq (Ksim.Dyn.cast_exn dgram_key d))));
+      o_is_connected = (fun _ -> true);
+    }
+
+  let socket proto_name =
+    match proto_name with
+    | "tcp" ->
+        Ok { proto_name; ops = tcp_ops; private_data = Ksim.Dyn.inject tcp_key (Tcp.create ()) }
+    | "dgram" ->
+        Ok
+          {
+            proto_name;
+            ops = dgram_ops;
+            private_data = Ksim.Dyn.inject dgram_key (Queue.create ());
+          }
+    | _ -> Error Ksim.Errno.EINVAL
+
+  (* The bug generator: build a socket whose ops and private data
+     disagree, as happens when generic code copies fields around. *)
+  let mismatched_socket () =
+    { proto_name = "tcp"; ops = tcp_ops; private_data = Ksim.Dyn.inject dgram_key (Queue.create ()) }
+
+  let send sock data = sock.ops.o_send sock.private_data data
+  let received sock = sock.ops.o_received sock.private_data
+  let is_connected sock = sock.ops.o_is_connected sock.private_data
+
+  let connect_tcp_pair a b =
+    match (Ksim.Dyn.project tcp_key a.private_data, Ksim.Dyn.project tcp_key b.private_data) with
+    | Some ca, Some cb -> Tcp_proto.connect_pair ca cb
+    | _ -> Error Ksim.Errno.EINVAL
+
+  let deliver_tcp ~src ~dst =
+    match
+      (Ksim.Dyn.project tcp_key src.private_data, Ksim.Dyn.project tcp_key dst.private_data)
+    with
+    | Some ca, Some cb -> Tcp_proto.deliver ~src:ca ~dst:cb
+    | _ -> ()
+end

@@ -1,0 +1,209 @@
+(* A miniature TCP state machine.
+
+   The paper names the network stack as the subsystem where "references to
+   TCP state can be found throughout generic socket code"; to study that
+   coupling we need an actual TCP.  This is the RFC 793 connection state
+   machine with sequence-number tracking and in-order data delivery over a
+   lossless simulated link — enough to exercise handshake, teardown,
+   simultaneous open, and data transfer in tests and benches. *)
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+let state_to_string = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_received -> "SYN_RECEIVED"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Closing -> "CLOSING"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+
+type segment = {
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  seq : int;
+  ack_no : int;
+  payload : string;
+}
+
+let plain_seg ?(syn = false) ?(ack = false) ?(fin = false) ?(rst = false) ?(seq = 0)
+    ?(ack_no = 0) ?(payload = "") () =
+  { syn; ack; fin; rst; seq; ack_no; payload }
+
+type t = {
+  mutable state : state;
+  mutable snd_nxt : int; (* next sequence number to send *)
+  mutable rcv_nxt : int; (* next sequence number expected *)
+  mutable iss : int; (* initial send sequence *)
+  mutable received : Buffer.t; (* in-order application data *)
+  mutable outbox : segment list; (* segments to transmit, oldest first *)
+}
+
+let create ?(iss = 100) () =
+  {
+    state = Closed;
+    snd_nxt = iss;
+    rcv_nxt = 0;
+    iss;
+    received = Buffer.create 64;
+    outbox = [];
+  }
+
+let state t = t.state
+let received t = Buffer.contents t.received
+
+let emit t seg = t.outbox <- t.outbox @ [ seg ]
+
+let take_outbox t =
+  let segs = t.outbox in
+  t.outbox <- [];
+  segs
+
+(* User events ------------------------------------------------------------ *)
+
+let listen t =
+  match t.state with
+  | Closed -> Ok (t.state <- Listen)
+  | _ -> Error Ksim.Errno.EINVAL
+
+let connect t =
+  match t.state with
+  | Closed ->
+      emit t (plain_seg ~syn:true ~seq:t.snd_nxt ());
+      t.snd_nxt <- t.snd_nxt + 1;
+      t.state <- Syn_sent;
+      Ok ()
+  | _ -> Error Ksim.Errno.EINVAL
+
+let send t data =
+  match t.state with
+  | Established | Close_wait ->
+      emit t (plain_seg ~ack:true ~seq:t.snd_nxt ~ack_no:t.rcv_nxt ~payload:data ());
+      t.snd_nxt <- t.snd_nxt + String.length data;
+      Ok (String.length data)
+  | _ -> Error Ksim.Errno.EPIPE
+
+let close t =
+  match t.state with
+  | Established ->
+      emit t (plain_seg ~fin:true ~ack:true ~seq:t.snd_nxt ~ack_no:t.rcv_nxt ());
+      t.snd_nxt <- t.snd_nxt + 1;
+      t.state <- Fin_wait_1;
+      Ok ()
+  | Close_wait ->
+      emit t (plain_seg ~fin:true ~ack:true ~seq:t.snd_nxt ~ack_no:t.rcv_nxt ());
+      t.snd_nxt <- t.snd_nxt + 1;
+      t.state <- Last_ack;
+      Ok ()
+  | Syn_sent | Listen ->
+      t.state <- Closed;
+      Ok ()
+  | _ -> Error Ksim.Errno.EINVAL
+
+(* Segment arrival ---------------------------------------------------------- *)
+
+let ack_segment t = plain_seg ~ack:true ~seq:t.snd_nxt ~ack_no:t.rcv_nxt ()
+
+let deliver t seg =
+  if seg.seq = t.rcv_nxt && String.length seg.payload > 0 then begin
+    Buffer.add_string t.received seg.payload;
+    t.rcv_nxt <- t.rcv_nxt + String.length seg.payload;
+    emit t (ack_segment t)
+  end
+
+let handle t seg =
+  if seg.rst then t.state <- Closed
+  else
+    match t.state with
+    | Closed -> ()
+    | Listen ->
+        if seg.syn then begin
+          t.rcv_nxt <- seg.seq + 1;
+          emit t (plain_seg ~syn:true ~ack:true ~seq:t.snd_nxt ~ack_no:t.rcv_nxt ());
+          t.snd_nxt <- t.snd_nxt + 1;
+          t.state <- Syn_received
+        end
+    | Syn_sent ->
+        if seg.syn && seg.ack && seg.ack_no = t.snd_nxt then begin
+          t.rcv_nxt <- seg.seq + 1;
+          emit t (ack_segment t);
+          t.state <- Established
+        end
+        else if seg.syn && not seg.ack then begin
+          (* Simultaneous open. *)
+          t.rcv_nxt <- seg.seq + 1;
+          emit t (plain_seg ~syn:true ~ack:true ~seq:t.iss ~ack_no:t.rcv_nxt ());
+          t.state <- Syn_received
+        end
+    | Syn_received ->
+        if seg.ack && seg.ack_no = t.snd_nxt then begin
+          t.state <- Established;
+          deliver t seg
+        end
+    | Established ->
+        deliver t seg;
+        if seg.fin && seg.seq = t.rcv_nxt then begin
+          t.rcv_nxt <- t.rcv_nxt + 1;
+          emit t (ack_segment t);
+          t.state <- Close_wait
+        end
+    | Fin_wait_1 ->
+        deliver t seg;
+        if seg.fin && seg.ack && seg.ack_no = t.snd_nxt && seg.seq = t.rcv_nxt then begin
+          t.rcv_nxt <- t.rcv_nxt + 1;
+          emit t (ack_segment t);
+          t.state <- Time_wait
+        end
+        else if seg.fin && seg.seq = t.rcv_nxt then begin
+          t.rcv_nxt <- t.rcv_nxt + 1;
+          emit t (ack_segment t);
+          t.state <- Closing
+        end
+        else if seg.ack && seg.ack_no = t.snd_nxt then t.state <- Fin_wait_2
+    | Fin_wait_2 ->
+        deliver t seg;
+        if seg.fin && seg.seq = t.rcv_nxt then begin
+          t.rcv_nxt <- t.rcv_nxt + 1;
+          emit t (ack_segment t);
+          t.state <- Time_wait
+        end
+    | Close_wait -> ()
+    | Closing -> if seg.ack && seg.ack_no = t.snd_nxt then t.state <- Time_wait
+    | Last_ack -> if seg.ack && seg.ack_no = t.snd_nxt then t.state <- Closed
+    | Time_wait -> if seg.fin then emit t (ack_segment t)
+
+(* A lossless loopback link between two endpoints: repeatedly moves every
+   pending segment until both outboxes drain.  Returns the number of
+   segments exchanged. *)
+let run_link a b =
+  let exchanged = ref 0 in
+  let rec pump budget =
+    if budget = 0 then failwith "Tcp.run_link: no quiescence";
+    let a_out = take_outbox a and b_out = take_outbox b in
+    if a_out = [] && b_out = [] then ()
+    else begin
+      exchanged := !exchanged + List.length a_out + List.length b_out;
+      List.iter (handle b) a_out;
+      List.iter (handle a) b_out;
+      pump (budget - 1)
+    end
+  in
+  pump 64;
+  !exchanged

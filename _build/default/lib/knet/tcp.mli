@@ -1,0 +1,67 @@
+(** Miniature TCP: the RFC 793 connection state machine with sequence
+    tracking and in-order delivery over a lossless simulated link.
+    The substrate for the socket-layer modularity and type-safety
+    experiments. *)
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+val state_to_string : state -> string
+
+type segment = {
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  seq : int;
+  ack_no : int;
+  payload : string;
+}
+
+val plain_seg :
+  ?syn:bool ->
+  ?ack:bool ->
+  ?fin:bool ->
+  ?rst:bool ->
+  ?seq:int ->
+  ?ack_no:int ->
+  ?payload:string ->
+  unit ->
+  segment
+
+type t
+
+val create : ?iss:int -> unit -> t
+(** A closed endpoint with initial send sequence [iss] (default 100). *)
+
+val state : t -> state
+val received : t -> string
+(** Application data delivered in order so far. *)
+
+val listen : t -> unit Ksim.Errno.r
+val connect : t -> unit Ksim.Errno.r
+(** Send SYN, enter SYN_SENT. *)
+
+val send : t -> string -> int Ksim.Errno.r
+(** Queue data; [EPIPE] unless ESTABLISHED / CLOSE_WAIT. *)
+
+val close : t -> unit Ksim.Errno.r
+val handle : t -> segment -> unit
+(** Process one incoming segment (RST handled in every state). *)
+
+val take_outbox : t -> segment list
+(** Drain segments queued for transmission. *)
+
+val run_link : t -> t -> int
+(** Exchange segments between two endpoints until quiescent; returns the
+    segment count.  @raise Failure if the pair never quiesces. *)

@@ -1,0 +1,1 @@
+lib/kproc/kernel.ml: Buffer Hashtbl Kfs Kmm Ksim Kvfs List Option String

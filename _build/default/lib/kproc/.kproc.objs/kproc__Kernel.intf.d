@@ -1,0 +1,1 @@
+lib/kproc/kernel.mli: Kmm Ksim Kvfs

@@ -1,0 +1,242 @@
+(* The process layer: everything under one syscall surface.
+
+   A process owns an address space (from [Kmm]) and a file-descriptor
+   table (over the shared VFS); user programs are OCaml functions that
+   receive only the [syscalls] record — they cannot reach kernel
+   internals, so the syscall boundary really is the interface, exactly
+   the modularity discipline the roadmap asks of kernel-internal
+   components, applied at the top.
+
+   Scheduling is the deterministic cooperative scheduler: every syscall
+   is a scheduling point, so multi-process interactions are reproducible
+   from a seed.  [spawn_child] gives a child a copy-on-write clone of the
+   parent's address space (posix_spawn-with-COW rather than true fork:
+   OCaml closures cannot be snapshotted — noted in DESIGN.md). *)
+
+type pipe = {
+  pbuf : Buffer.t;
+  mutable readers : int;
+  mutable writers : int;
+}
+
+type pipe_end =
+  | Read_end of pipe
+  | Write_end of pipe
+
+type t = {
+  vfs : Kvfs.Vfs.t;
+  phys : Kmm.Phys.t;
+  sched : Ksim.Kthread.t;
+  procs : (int, proc) Hashtbl.t;
+  pipe_fds : (int, pipe_end) Hashtbl.t; (* pipe descriptors, shared kernel-wide *)
+  mutable next_pipe_fd : int;
+  mutable next_pid : int;
+}
+
+and proc = {
+  pid : int;
+  parent : int option;
+  name : string;
+  space : Kmm.Addr_space.t;
+  fds : Kvfs.File_ops.t;
+  mutable exit_code : int option;
+}
+
+exception Exited of int
+
+type sys = {
+  pid : int;
+  (* files *)
+  openf : ?flags:Kvfs.File_ops.flag list -> string -> int Ksim.Errno.r;
+  read : int -> len:int -> string Ksim.Errno.r;
+  write : int -> string -> int Ksim.Errno.r;
+  close : int -> unit Ksim.Errno.r;
+  lseek : int -> int -> Kvfs.File_ops.whence -> int Ksim.Errno.r;
+  mkdir : string -> unit Ksim.Errno.r;
+  unlink : string -> unit Ksim.Errno.r;
+  readdir : string -> string list Ksim.Errno.r;
+  fsync : unit -> unit Ksim.Errno.r;
+  (* memory *)
+  mmap : len:int -> prot:Kmm.Addr_space.prot -> int Ksim.Errno.r;
+  munmap : addr:int -> unit Ksim.Errno.r;
+  mread : addr:int -> len:int -> string Ksim.Errno.r;
+  mwrite : addr:int -> string -> unit Ksim.Errno.r;
+  (* processes *)
+  spawn_child : name:string -> (sys -> int) -> int;
+  wait : int -> int Ksim.Errno.r;
+  (* pipes *)
+  pipe : unit -> (int * int) Ksim.Errno.r;
+  pread : int -> len:int -> string Ksim.Errno.r;
+  pwrite : int -> string -> int Ksim.Errno.r;
+  pclose : int -> unit Ksim.Errno.r;
+  yield : unit -> unit;
+  exit : int -> unit; (* raises Exited *)
+}
+
+let boot ?(frames = 1024) ?(page_size = 256) () =
+  let vfs = Kvfs.Vfs.create () in
+  (match Kvfs.Vfs.mount vfs ~at:[] (Kvfs.Iface.make (module Kfs.Memfs_typed) ()) with
+  | Ok () -> ()
+  | Error e -> failwith ("Kernel.boot: " ^ Ksim.Errno.to_string e));
+  {
+    vfs;
+    phys = Kmm.Phys.create ~nframes:frames ~page_size;
+    sched = Ksim.Kthread.create ();
+    procs = Hashtbl.create 8;
+    pipe_fds = Hashtbl.create 8;
+    next_pipe_fd = 10_000;
+    next_pid = 1;
+  }
+
+let vfs t = t.vfs
+
+let find t pid = Hashtbl.find_opt t.procs pid
+
+let exit_code t pid =
+  match find t pid with Some p -> p.exit_code | None -> None
+
+let running t =
+  Hashtbl.fold (fun _ p acc -> if p.exit_code = None then acc + 1 else acc) t.procs 0
+
+(* Build the syscall surface for one process.  Every call yields first:
+   syscalls are the scheduling points. *)
+let rec make_sys t (proc : proc) : sys =
+  let gate f =
+    Ksim.Kthread.yield ();
+    f ()
+  in
+  {
+    pid = proc.pid;
+    openf = (fun ?flags path -> gate (fun () -> Kvfs.File_ops.openf proc.fds ?flags path));
+    read = (fun fd ~len -> gate (fun () -> Kvfs.File_ops.read proc.fds fd ~len));
+    write = (fun fd data -> gate (fun () -> Kvfs.File_ops.write proc.fds fd data));
+    close = (fun fd -> gate (fun () -> Kvfs.File_ops.close proc.fds fd));
+    lseek = (fun fd off whence -> gate (fun () -> Kvfs.File_ops.lseek proc.fds fd off whence));
+    mkdir = (fun path -> gate (fun () -> Kvfs.File_ops.mkdir proc.fds path));
+    unlink = (fun path -> gate (fun () -> Kvfs.File_ops.unlink proc.fds path));
+    readdir = (fun path -> gate (fun () -> Kvfs.File_ops.readdir proc.fds path));
+    fsync = (fun () -> gate (fun () -> Kvfs.File_ops.fsync proc.fds));
+    mmap =
+      (fun ~len ~prot ->
+        gate (fun () -> Kmm.Addr_space.mmap proc.space ~len ~prot Kmm.Addr_space.Anon));
+    munmap = (fun ~addr -> gate (fun () -> Kmm.Addr_space.munmap proc.space ~addr));
+    mread = (fun ~addr ~len -> gate (fun () -> Kmm.Addr_space.read proc.space ~addr ~len));
+    mwrite = (fun ~addr data -> gate (fun () -> Kmm.Addr_space.write proc.space ~addr data));
+    spawn_child = (fun ~name main -> spawn_proc t ~parent:(Some proc) ~name main);
+    wait =
+      (fun pid ->
+        match Hashtbl.find_opt t.procs pid with
+        | None -> Error Ksim.Errno.EINVAL
+        | Some child ->
+            let rec block () =
+              match child.exit_code with
+              | Some code -> Ok code
+              | None ->
+                  Ksim.Kthread.yield ();
+                  block ()
+            in
+            block ());
+    pipe =
+      (fun () ->
+        let p = { pbuf = Buffer.create 64; readers = 1; writers = 1 } in
+        let rfd = t.next_pipe_fd in
+        let wfd = t.next_pipe_fd + 1 in
+        t.next_pipe_fd <- t.next_pipe_fd + 2;
+        Hashtbl.replace t.pipe_fds rfd (Read_end p);
+        Hashtbl.replace t.pipe_fds wfd (Write_end p);
+        Ok (rfd, wfd));
+    pread =
+      (fun fd ~len ->
+        match Hashtbl.find_opt t.pipe_fds fd with
+        | Some (Read_end p) ->
+            (* Block while the pipe is empty and writers remain; "" is the
+               EOF once every write end has closed. *)
+            let rec block () =
+              if Buffer.length p.pbuf > 0 then begin
+                let n = min len (Buffer.length p.pbuf) in
+                let data = Buffer.sub p.pbuf 0 n in
+                let rest = Buffer.sub p.pbuf n (Buffer.length p.pbuf - n) in
+                Buffer.clear p.pbuf;
+                Buffer.add_string p.pbuf rest;
+                Ok data
+              end
+              else if p.writers = 0 then Ok ""
+              else begin
+                Ksim.Kthread.yield ();
+                block ()
+              end
+            in
+            block ()
+        | Some (Write_end _) | None -> Error Ksim.Errno.EBADF);
+    pwrite =
+      (fun fd data ->
+        match Hashtbl.find_opt t.pipe_fds fd with
+        | Some (Write_end p) ->
+            if p.readers = 0 then Error Ksim.Errno.EPIPE
+            else begin
+              Buffer.add_string p.pbuf data;
+              Ksim.Kthread.yield ();
+              Ok (String.length data)
+            end
+        | Some (Read_end _) | None -> Error Ksim.Errno.EBADF);
+    pclose =
+      (fun fd ->
+        match Hashtbl.find_opt t.pipe_fds fd with
+        | Some (Read_end p) ->
+            p.readers <- p.readers - 1;
+            Hashtbl.remove t.pipe_fds fd;
+            Ok ()
+        | Some (Write_end p) ->
+            p.writers <- p.writers - 1;
+            Hashtbl.remove t.pipe_fds fd;
+            Ok ()
+        | None -> Error Ksim.Errno.EBADF);
+    yield = (fun () -> Ksim.Kthread.yield ());
+    exit = (fun code -> raise (Exited code));
+  }
+
+and spawn_proc t ~parent ~name main =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let space =
+    match parent with
+    | Some (p : proc) -> Kmm.Addr_space.fork p.space (* COW clone of the parent *)
+    | None -> Kmm.Addr_space.create t.phys
+  in
+  let proc =
+    {
+      pid;
+      parent = Option.map (fun (p : proc) -> p.pid) parent;
+      name;
+      space;
+      fds = Kvfs.File_ops.create t.vfs; (* fresh table; the VFS is shared *)
+      exit_code = None;
+    }
+  in
+  Hashtbl.replace t.procs pid proc;
+  ignore
+    (Ksim.Kthread.spawn t.sched ~name (fun () ->
+         let code = try main (make_sys t proc) with Exited code -> code in
+         proc.exit_code <- Some code;
+         Kmm.Addr_space.destroy proc.space));
+  pid
+
+let spawn t ~name main = spawn_proc t ~parent:None ~name main
+
+let run t =
+  Ksim.Kthread.run t.sched;
+  (* Any thread that died on an uncaught exception becomes exit code 139,
+     the simulated segfault. *)
+  List.iter
+    (fun (f : Ksim.Kthread.failure) ->
+      Hashtbl.iter
+        (fun _ p -> if p.name = f.Ksim.Kthread.failed_name && p.exit_code = None then begin
+             p.exit_code <- Some 139;
+             Kmm.Addr_space.destroy p.space
+           end)
+        t.procs)
+    (Ksim.Kthread.failures t.sched)
+
+let crashed t =
+  Hashtbl.fold (fun pid p acc -> if p.exit_code = Some 139 then pid :: acc else acc) t.procs []
+  |> List.sort compare

@@ -1,0 +1,1 @@
+lib/ksim/dyn.mli: Errno Format

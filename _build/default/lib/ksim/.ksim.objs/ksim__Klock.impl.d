@@ -1,0 +1,1 @@
+lib/ksim/klock.ml: Kthread Ktrace Lockdep Option

@@ -1,0 +1,1 @@
+lib/ksim/klock.mli: Ktrace Lockdep

@@ -1,0 +1,1 @@
+lib/ksim/kmem.ml: Fmt Hashtbl List

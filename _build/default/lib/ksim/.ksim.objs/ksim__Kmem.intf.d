@@ -1,0 +1,1 @@
+lib/ksim/kmem.mli: Format

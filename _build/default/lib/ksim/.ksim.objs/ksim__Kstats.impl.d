@@ -1,0 +1,1 @@
+lib/ksim/kstats.ml: Fmt Hashtbl List String

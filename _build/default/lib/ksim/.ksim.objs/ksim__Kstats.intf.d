@@ -1,0 +1,1 @@
+lib/ksim/kstats.mli: Format

@@ -1,0 +1,1 @@
+lib/ksim/kthread.ml: Effect Hashtbl List Option Rng

@@ -1,0 +1,1 @@
+lib/ksim/kthread.mli:

@@ -1,0 +1,1 @@
+lib/ksim/ktrace.ml: Fmt List Queue String

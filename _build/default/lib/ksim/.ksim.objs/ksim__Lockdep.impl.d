@@ -1,0 +1,1 @@
+lib/ksim/lockdep.ml: Fmt Hashtbl Kthread Ktrace List String

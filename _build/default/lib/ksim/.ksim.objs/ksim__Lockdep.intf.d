@@ -1,0 +1,1 @@
+lib/ksim/lockdep.mli: Format Ktrace

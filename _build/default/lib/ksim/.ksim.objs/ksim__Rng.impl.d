@@ -1,0 +1,1 @@
+lib/ksim/rng.ml: Array Bytes Char Int64 List

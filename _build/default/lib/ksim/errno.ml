@@ -1,0 +1,98 @@
+(* Linux-style error codes used across the simulated kernel.  The numeric
+   values match the classic x86 errno assignments so that the error-pointer
+   encoding in [Dyn.Errptr] behaves like the kernel's ERR_PTR/PTR_ERR. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | EIO
+  | EBADF
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EBUSY
+  | EEXIST
+  | EXDEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENOSPC
+  | EROFS
+  | EPIPE
+  | ENAMETOOLONG
+  | ENOTEMPTY
+  | EOVERFLOW
+  | EPROTO
+  | ENOSYS
+  | ESTALE
+
+let to_code = function
+  | EPERM -> 1
+  | ENOENT -> 2
+  | EIO -> 5
+  | EBADF -> 9
+  | EAGAIN -> 11
+  | ENOMEM -> 12
+  | EACCES -> 13
+  | EFAULT -> 14
+  | EBUSY -> 16
+  | EEXIST -> 17
+  | EXDEV -> 18
+  | ENOTDIR -> 20
+  | EISDIR -> 21
+  | EINVAL -> 22
+  | ENOSPC -> 28
+  | EROFS -> 30
+  | EPIPE -> 32
+  | ENAMETOOLONG -> 36
+  | ENOTEMPTY -> 39
+  | EOVERFLOW -> 75
+  | EPROTO -> 71
+  | ENOSYS -> 38
+  | ESTALE -> 116
+
+let all =
+  [ EPERM; ENOENT; EIO; EBADF; EAGAIN; ENOMEM; EACCES; EFAULT; EBUSY; EEXIST; EXDEV;
+    ENOTDIR; EISDIR; EINVAL; ENOSPC; EROFS; EPIPE; ENAMETOOLONG; ENOTEMPTY;
+    EOVERFLOW; EPROTO; ENOSYS; ESTALE ]
+
+let of_code code = List.find_opt (fun e -> to_code e = code) all
+
+let to_string = function
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | EIO -> "EIO"
+  | EBADF -> "EBADF"
+  | EAGAIN -> "EAGAIN"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | EFAULT -> "EFAULT"
+  | EBUSY -> "EBUSY"
+  | EEXIST -> "EEXIST"
+  | EXDEV -> "EXDEV"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | EINVAL -> "EINVAL"
+  | ENOSPC -> "ENOSPC"
+  | EROFS -> "EROFS"
+  | EPIPE -> "EPIPE"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EOVERFLOW -> "EOVERFLOW"
+  | EPROTO -> "EPROTO"
+  | ENOSYS -> "ENOSYS"
+  | ESTALE -> "ESTALE"
+
+let pp ppf e = Fmt.string ppf (to_string e)
+let equal a b = a = b
+
+type 'a r = ('a, t) result
+
+let ( let* ) = Result.bind
+let ok x = Ok x
+let error e = Error e
+
+let pp_result pp_ok ppf = function
+  | Ok v -> Fmt.pf ppf "Ok %a" pp_ok v
+  | Error e -> Fmt.pf ppf "Error %a" pp e

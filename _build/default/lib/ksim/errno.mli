@@ -1,0 +1,56 @@
+(** Linux-style error codes for the simulated kernel.
+
+    Numeric values follow the classic x86 [errno] assignments, so the
+    error-pointer encoding in {!Dyn.Errptr} round-trips exactly like the
+    kernel's [ERR_PTR]/[PTR_ERR] macros. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | EIO
+  | EBADF
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EBUSY
+  | EEXIST
+  | EXDEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENOSPC
+  | EROFS
+  | EPIPE
+  | ENAMETOOLONG
+  | ENOTEMPTY
+  | EOVERFLOW
+  | EPROTO
+  | ENOSYS
+  | ESTALE
+
+val to_code : t -> int
+(** [to_code e] is the positive errno number of [e] (e.g. [ENOENT] is 2). *)
+
+val of_code : int -> t option
+(** [of_code n] is the error with errno number [n], if any. *)
+
+val all : t list
+(** Every error code, in errno order. *)
+
+val to_string : t -> string
+(** Symbolic name, e.g. ["ENOENT"]. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+type 'a r = ('a, t) result
+(** The pervasive result type of simulated kernel operations. *)
+
+val ( let* ) : 'a r -> ('a -> 'b r) -> 'b r
+(** Monadic bind for chaining fallible kernel calls. *)
+
+val ok : 'a -> 'a r
+val error : t -> 'a r
+
+val pp_result : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a r -> unit

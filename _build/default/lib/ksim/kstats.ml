@@ -1,0 +1,28 @@
+(* Named counters, used by benches and the audit tooling. *)
+
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let counter t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t name r;
+      r
+
+let incr ?(by = 1) t name =
+  let r = counter t name in
+  r := !r + by
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let to_list t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t = Hashtbl.reset t
+
+let pp ppf t =
+  List.iter (fun (name, v) -> Fmt.pf ppf "%-32s %d@." name v) (to_list t)

@@ -1,0 +1,14 @@
+(** Named monotonic counters for instrumentation and audits. *)
+
+type t
+
+val create : unit -> t
+val incr : ?by:int -> t -> string -> unit
+val get : t -> string -> int
+(** 0 for counters never incremented. *)
+
+val to_list : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

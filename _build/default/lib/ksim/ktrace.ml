@@ -1,0 +1,39 @@
+(* Bounded in-memory event trace, the simulator's dmesg.  Checkers record
+   violations here so tests can assert on them without exceptions. *)
+
+type event = {
+  seq : int;
+  category : string;
+  message : string;
+}
+
+type t = {
+  capacity : int;
+  buf : event Queue.t;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 4096) () = { capacity; buf = Queue.create (); next_seq = 0 }
+
+let emit t ~category message =
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  Queue.push { seq; category; message } t.buf;
+  if Queue.length t.buf > t.capacity then ignore (Queue.pop t.buf)
+
+let emitf t ~category fmt = Fmt.kstr (fun msg -> emit t ~category msg) fmt
+
+let events t = List.of_seq (Queue.to_seq t.buf)
+
+let count t ~category =
+  Queue.fold (fun n e -> if String.equal e.category category then n + 1 else n) 0 t.buf
+
+let total t = t.next_seq
+
+let clear t =
+  Queue.clear t.buf;
+  t.next_seq <- 0
+
+let pp_event ppf e = Fmt.pf ppf "[%6d] %-12s %s" e.seq e.category e.message
+
+let global = create ~capacity:16384 ()

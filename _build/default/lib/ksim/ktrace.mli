@@ -1,0 +1,33 @@
+(** Bounded in-memory event trace — the simulator's [dmesg].
+
+    Safety checkers record violations here so that tests and the analysis
+    harness can observe them without relying on exceptions. *)
+
+type event = {
+  seq : int;  (** monotonically increasing sequence number *)
+  category : string;  (** e.g. ["race"], ["uaf"], ["journal"] *)
+  message : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring of at most [capacity] (default 4096) most recent events. *)
+
+val emit : t -> category:string -> string -> unit
+val emitf : t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val count : t -> category:string -> int
+(** Number of retained events in [category]. *)
+
+val total : t -> int
+(** Number of events ever emitted (including evicted ones). *)
+
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit
+
+val global : t
+(** Shared default trace used when a component is not given its own. *)

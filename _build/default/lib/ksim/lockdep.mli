@@ -1,0 +1,31 @@
+(** Lock-order validation in the spirit of the kernel's lockdep.
+
+    Records the acquired-while-holding graph across all threads and
+    reports a potential deadlock the moment an acquisition would close a
+    cycle — on the first run of any interleaving, not only the unlucky
+    one that actually deadlocks. *)
+
+type warning = {
+  tid : int;
+  acquiring : string;
+  cycle : string list;  (** the inverted order, ending back at [acquiring] *)
+}
+
+val pp_warning : Format.formatter -> warning -> unit
+
+type t
+
+val create : ?trace:Ktrace.t -> unit -> t
+
+val lock_acquired : t -> name:string -> unit
+(** Called by {!Klock.acquire} after taking the lock: records edges from
+    every lock the current thread holds and checks for order inversions. *)
+
+val lock_released : t -> name:string -> unit
+
+val warnings : t -> warning list
+val warning_count : t -> int
+val edge_count : t -> int
+
+val global : t
+(** The process-wide instance, mirroring the kernel's single lockdep. *)

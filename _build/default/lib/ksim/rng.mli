@@ -1,0 +1,28 @@
+(** SplitMix64 deterministic PRNG.
+
+    Every randomized component of the simulator takes an explicit [Rng.t]
+    so runs are exactly reproducible from a seed ([Date.now]-free). *)
+
+type t
+
+val create : int64 -> t
+val of_int : int -> t
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val split : t -> t
+(** An independent generator derived from [t]'s stream. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice.  @raise Invalid_argument on the empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+val bytes : t -> int -> bytes

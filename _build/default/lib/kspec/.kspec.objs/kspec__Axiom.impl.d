@@ -1,0 +1,1 @@
+lib/kspec/axiom.ml: Array Bytes Fmt Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/kspec/axiom.mli: Format

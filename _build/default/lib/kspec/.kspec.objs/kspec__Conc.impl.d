@@ -1,0 +1,1 @@
+lib/kspec/conc.ml: Array Fs_spec Hashtbl Ksim List Option Printf String

@@ -1,0 +1,1 @@
+lib/kspec/conc.mli: Fs_spec

@@ -1,0 +1,1 @@
+lib/kspec/crash.ml: Fmt Fs_spec List

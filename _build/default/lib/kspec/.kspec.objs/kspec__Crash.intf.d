@@ -1,0 +1,1 @@
+lib/kspec/crash.mli: Format Fs_spec

@@ -1,0 +1,1 @@
+lib/kspec/fs_spec.ml: Fmt Ksim List Map Model Stdlib String

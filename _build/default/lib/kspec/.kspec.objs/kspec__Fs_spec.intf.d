@@ -1,0 +1,1 @@
+lib/kspec/fs_spec.mli: Format Ksim Map Stdlib

@@ -1,0 +1,1 @@
+lib/kspec/model.mli: Format

@@ -1,0 +1,1 @@
+lib/kspec/refine.ml: Fmt Fs_spec

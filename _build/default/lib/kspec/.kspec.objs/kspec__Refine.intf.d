@@ -1,0 +1,1 @@
+lib/kspec/refine.mli: Format Fs_spec Stdlib

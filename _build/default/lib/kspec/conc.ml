@@ -1,0 +1,76 @@
+(* Concurrent extension of sequential verification (§4.4).
+
+   "There are simple ways to safely layer concurrent reasoning on top of a
+   single-threaded verification.  For example, outsourcing a side-effect-
+   free computation by passing a reference to an immutable data structure
+   is a meta-logically safe extension of a sequential verification
+   result."
+
+   [outsource] is that extension, executable: a set of jobs runs
+   concurrently over one immutable abstract state, under every seeded
+   interleaving the scheduler can produce; because the state is immutable
+   and the jobs are pure, the result vector is provably (here: checked to
+   be) identical across schedules.  [is_deterministic] runs the check; a
+   job that sneaks in shared mutation is caught as schedule-sensitivity. *)
+
+type 'a report = {
+  distinct_outcomes : int;
+  schedules : int;
+  canonical : 'a list option; (* the per-job results, when deterministic *)
+}
+
+let run_once ~seed ~state jobs =
+  let n = List.length jobs in
+  let results = Array.make n None in
+  let sched = Ksim.Kthread.create ~seed () in
+  List.iteri
+    (fun i job ->
+      ignore
+        (Ksim.Kthread.spawn sched ~name:(Printf.sprintf "job%d" i) (fun () ->
+             (* A scheduling point before and after: the job really does
+                interleave with its peers. *)
+             Ksim.Kthread.yield ();
+             let r = job state in
+             Ksim.Kthread.yield ();
+             results.(i) <- Some r)))
+    jobs;
+  Ksim.Kthread.run sched;
+  Array.to_list results
+
+let outsource ?(seeds = 32) ~state jobs =
+  let outcomes = Hashtbl.create 4 in
+  for seed = 1 to seeds do
+    let outcome = run_once ~seed ~state jobs in
+    let count = Option.value (Hashtbl.find_opt outcomes outcome) ~default:0 in
+    Hashtbl.replace outcomes outcome (count + 1)
+  done;
+  let distinct = Hashtbl.length outcomes in
+  let canonical =
+    if distinct = 1 then
+      Hashtbl.fold (fun outcome _ _ -> Some outcome) outcomes None
+      |> Option.map (List.map (function Some r -> r | None -> assert false))
+    else None
+  in
+  { distinct_outcomes = distinct; schedules = seeds; canonical }
+
+let is_deterministic report = report.distinct_outcomes = 1
+
+(* Common pure queries over the abstract FS state, for outsourcing. *)
+let count_files st =
+  Fs_spec.Pathmap.fold
+    (fun _ node acc -> match node with Fs_spec.File _ -> acc + 1 | Fs_spec.Dir -> acc)
+    st 0
+
+let count_dirs st =
+  Fs_spec.Pathmap.fold
+    (fun _ node acc -> match node with Fs_spec.Dir -> acc + 1 | Fs_spec.File _ -> acc)
+    st 0
+
+let total_bytes st =
+  Fs_spec.Pathmap.fold
+    (fun _ node acc ->
+      match node with Fs_spec.File c -> acc + String.length c | Fs_spec.Dir -> acc)
+    st 0
+
+let max_depth st =
+  Fs_spec.Pathmap.fold (fun path _ acc -> max acc (List.length path)) st 0

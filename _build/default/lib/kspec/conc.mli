@@ -1,0 +1,28 @@
+(** Concurrent extension of sequential verification (§4.4).
+
+    "Outsourcing a side-effect-free computation by passing a reference to
+    an immutable data structure is a meta-logically safe extension of a
+    sequential verification result."  {!outsource} executes that idea:
+    pure jobs over one immutable abstract state, run under many seeded
+    interleavings; determinism across schedules is checked, not assumed. *)
+
+type 'a report = {
+  distinct_outcomes : int;  (** 1 = schedule-insensitive *)
+  schedules : int;
+  canonical : 'a list option;  (** per-job results when deterministic *)
+}
+
+val outsource :
+  ?seeds:int -> state:Fs_spec.state -> (Fs_spec.state -> 'a) list -> 'a report
+(** Run every job concurrently over [state] under [seeds] (default 32)
+    different schedules and tally distinct result vectors.  A job with a
+    hidden side channel shows up as [distinct_outcomes > 1]. *)
+
+val is_deterministic : 'a report -> bool
+
+(** {1 Pure queries worth outsourcing} *)
+
+val count_files : Fs_spec.state -> int
+val count_dirs : Fs_spec.state -> int
+val total_bytes : Fs_spec.state -> int
+val max_depth : Fs_spec.state -> int

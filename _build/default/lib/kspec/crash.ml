@@ -1,0 +1,71 @@
+(* Crash-safety exploration.
+
+   A crash-safe file system must recover, after a crash at any point, to a
+   state the crash-safe spec allows: at least everything synced, at most
+   the latest volatile state some prefix of the history produced, and
+   nothing else.  [check] drives an implementation through a trace,
+   crashes it after every operation (enumerating every distinct
+   post-crash image the substrate can produce), recovers, interprets the
+   recovered state, and compares against [Fs_spec.Crash_safe]. *)
+
+module type CRASHABLE_FS = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+  val apply : t -> Fs_spec.op -> Fs_spec.result
+
+  val crash_images : t -> limit:int -> t list
+  (** Recovered instances reachable if the machine crashed right now: one
+      per distinct surviving-write subset the device admits (up to
+      [limit]), each already passed through recovery. *)
+
+  val interpret : t -> Fs_spec.state
+end
+
+type verdict = {
+  ops_executed : int;
+  crash_points : int;
+  images_checked : int;
+  failures : failure list;
+}
+
+and failure = {
+  after_op : int;
+  image_index : int;
+  recovered : Fs_spec.state;
+  allowed : Fs_spec.state list;
+}
+
+let pp_failure ppf f =
+  Fmt.pf ppf
+    "crash after op %d, image %d: recovered to a state not allowed by the crash-safe spec \
+     (%d allowed states)"
+    f.after_op f.image_index (List.length f.allowed)
+
+let is_safe verdict = verdict.failures = []
+
+let check (type a) (module F : CRASHABLE_FS with type t = a) ?(images_per_point = 16) ops =
+  let impl = F.create () in
+  let crash_points = ref 0 and images_checked = ref 0 and failures = ref [] in
+  List.iteri
+    (fun i op ->
+      ignore (F.apply impl op);
+      incr crash_points;
+      let executed = List.filteri (fun j _ -> j <= i) ops in
+      let allowed = Fs_spec.Crash_safe.allowed_recoveries executed in
+      let images = F.crash_images impl ~limit:images_per_point in
+      List.iteri
+        (fun image_index image ->
+          incr images_checked;
+          let recovered = F.interpret image in
+          if not (List.exists (fun s -> Fs_spec.equal s recovered) allowed) then
+            failures := { after_op = i; image_index; recovered; allowed } :: !failures)
+        images)
+    ops;
+  {
+    ops_executed = List.length ops;
+    crash_points = !crash_points;
+    images_checked = !images_checked;
+    failures = List.rev !failures;
+  }

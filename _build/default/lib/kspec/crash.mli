@@ -1,0 +1,45 @@
+(** Crash-safety exploration against the crash-safe spec.
+
+    Drives an implementation through a trace, crashes it after every
+    operation (enumerating the distinct post-crash images its device
+    admits), recovers each image, and checks the recovered abstract state
+    against {!Fs_spec.Crash_safe.allowed_recoveries}. *)
+
+module type CRASHABLE_FS = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+  val apply : t -> Fs_spec.op -> Fs_spec.result
+
+  val crash_images : t -> limit:int -> t list
+  (** Recovered instances reachable if the machine crashed right now —
+      one per distinct surviving-write subset, already recovered. *)
+
+  val interpret : t -> Fs_spec.state
+end
+
+type verdict = {
+  ops_executed : int;
+  crash_points : int;
+  images_checked : int;
+  failures : failure list;
+}
+
+and failure = {
+  after_op : int;
+  image_index : int;
+  recovered : Fs_spec.state;
+  allowed : Fs_spec.state list;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+val is_safe : verdict -> bool
+
+val check :
+  (module CRASHABLE_FS with type t = 'a) ->
+  ?images_per_point:int ->
+  Fs_spec.op list ->
+  verdict
+(** [check (module F) ops] crashes after every op; [images_per_point]
+    (default 16) bounds the crash images enumerated per crash point. *)

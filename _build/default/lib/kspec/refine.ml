@@ -1,0 +1,91 @@
+(* Refinement checking: the runtime analogue of functional verification.
+
+   An implementation refines the spec when every operation, viewed through
+   its interpretation function, is a valid transition of the abstract
+   model.  [check_trace] validates a whole trace post-hoc; [Monitor] wraps
+   a live implementation so that every single call is checked as it
+   happens — this is what "the verified module" means at roadmap step 4 in
+   our simulator. *)
+
+module type FS_IMPL = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+  val apply : t -> Fs_spec.op -> Fs_spec.result
+  val interpret : t -> Fs_spec.state
+end
+
+type divergence = {
+  step_index : int;
+  op : Fs_spec.op;
+  mismatch : mismatch;
+}
+
+and mismatch =
+  | Result_mismatch of { expected : Fs_spec.result; got : Fs_spec.result }
+  | State_mismatch of { expected : Fs_spec.state; got : Fs_spec.state }
+
+let pp_divergence ppf d =
+  match d.mismatch with
+  | Result_mismatch { expected; got } ->
+      Fmt.pf ppf "step %d (%a): result mismatch: spec %a, impl %a" d.step_index
+        Fs_spec.pp_op d.op Fs_spec.pp_result expected Fs_spec.pp_result got
+  | State_mismatch _ ->
+      Fmt.pf ppf "step %d (%a): interpreted state diverges from spec state" d.step_index
+        Fs_spec.pp_op d.op
+
+exception Refinement_failure of divergence
+
+let check_step ~step_index ~spec_state op ~impl_result ~impl_state =
+  let spec_state', spec_result = Fs_spec.step spec_state op in
+  if not (Fs_spec.equal_result spec_result impl_result) then
+    Error { step_index; op; mismatch = Result_mismatch { expected = spec_result; got = impl_result } }
+  else if not (Fs_spec.equal spec_state' impl_state) then
+    Error { step_index; op; mismatch = State_mismatch { expected = spec_state'; got = impl_state } }
+  else Ok spec_state'
+
+let check_trace (type a) (module I : FS_IMPL with type t = a) ops =
+  let impl = I.create () in
+  let rec go i spec_state = function
+    | [] -> Ok i
+    | op :: rest -> (
+        let impl_result = I.apply impl op in
+        let impl_state = I.interpret impl in
+        match check_step ~step_index:i ~spec_state op ~impl_result ~impl_state with
+        | Ok spec_state' -> go (i + 1) spec_state' rest
+        | Error d -> Error d)
+  in
+  go 0 Fs_spec.empty ops
+
+(* A live refinement monitor: wraps an implementation so every call is
+   checked against the spec as it happens. *)
+module Monitor (I : FS_IMPL) : sig
+  include FS_IMPL
+
+  val checked_ops : t -> int
+end = struct
+  type t = {
+    impl : I.t;
+    mutable spec : Fs_spec.state;
+    mutable steps : int;
+  }
+
+  let name = I.name ^ "+monitor"
+  let create () = { impl = I.create (); spec = Fs_spec.empty; steps = 0 }
+
+  let apply t op =
+    let impl_result = I.apply t.impl op in
+    let impl_state = I.interpret t.impl in
+    (match
+       check_step ~step_index:t.steps ~spec_state:t.spec op ~impl_result ~impl_state
+     with
+    | Ok spec' ->
+        t.spec <- spec';
+        t.steps <- t.steps + 1
+    | Error d -> raise (Refinement_failure d));
+    impl_result
+
+  let interpret t = I.interpret t.impl
+  let checked_ops t = t.steps
+end

@@ -1,0 +1,58 @@
+(** Refinement checking — the runtime analogue of functional verification.
+
+    An implementation refines {!Fs_spec} when every operation, viewed
+    through its interpretation (abstraction) function, is a valid
+    transition of the abstract model.  {!check_trace} validates a trace
+    post-hoc; {!Monitor} wraps a live implementation so each call is
+    checked as it happens — this is what "verified module" means at
+    roadmap step 4 inside the simulator. *)
+
+module type FS_IMPL = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+
+  val apply : t -> Fs_spec.op -> Fs_spec.result
+  (** Execute one operation against the implementation. *)
+
+  val interpret : t -> Fs_spec.state
+  (** The abstraction function: "interpret its efficient, complex, mutable
+      data structure as an instance of the model". *)
+end
+
+type divergence = {
+  step_index : int;
+  op : Fs_spec.op;
+  mismatch : mismatch;
+}
+
+and mismatch =
+  | Result_mismatch of { expected : Fs_spec.result; got : Fs_spec.result }
+  | State_mismatch of { expected : Fs_spec.state; got : Fs_spec.state }
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+exception Refinement_failure of divergence
+
+val check_step :
+  step_index:int ->
+  spec_state:Fs_spec.state ->
+  Fs_spec.op ->
+  impl_result:Fs_spec.result ->
+  impl_state:Fs_spec.state ->
+  (Fs_spec.state, divergence) Stdlib.result
+(** Check one commuting square; returns the next spec state. *)
+
+val check_trace :
+  (module FS_IMPL with type t = 'a) -> Fs_spec.op list -> (int, divergence) Stdlib.result
+(** Run the trace on a fresh instance, checking every step.  [Ok n] means
+    [n] steps all refined the spec. *)
+
+(** Wrap an implementation so every call is refinement-checked live.
+    @raise Refinement_failure the moment the implementation diverges. *)
+module Monitor (_ : FS_IMPL) : sig
+  include FS_IMPL
+
+  val checked_ops : t -> int
+end

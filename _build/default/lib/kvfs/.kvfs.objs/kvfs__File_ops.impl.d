@@ -1,0 +1,1 @@
+lib/kvfs/file_ops.ml: Hashtbl Ksim Kspec List String Vfs

@@ -1,0 +1,1 @@
+lib/kvfs/file_ops.mli: Ksim Vfs

@@ -1,0 +1,1 @@
+lib/kvfs/iface.ml: Ksim Kspec Stdlib Vtypes

@@ -1,0 +1,1 @@
+lib/kvfs/iface.mli: Ksim Kspec Stdlib Vtypes

@@ -1,0 +1,1 @@
+lib/kvfs/vfs.ml: Iface Ksim Kspec List

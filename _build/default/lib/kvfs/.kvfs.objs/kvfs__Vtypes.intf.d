@@ -1,0 +1,1 @@
+lib/kvfs/vtypes.mli: Format Ksim

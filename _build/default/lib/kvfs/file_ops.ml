@@ -1,0 +1,137 @@
+(* A POSIX-ish file-descriptor layer on top of the VFS, so examples and
+   workloads read like user programs: open/read/write/lseek/close. *)
+
+type flag =
+  | O_RDONLY
+  | O_WRONLY
+  | O_RDWR
+  | O_CREAT
+  | O_TRUNC
+  | O_APPEND
+
+type open_file = {
+  path : Kspec.Fs_spec.path;
+  mutable pos : int;
+  writable : bool;
+  readable : bool;
+  append : bool;
+}
+
+type t = {
+  vfs : Vfs.t;
+  fds : (int, open_file) Hashtbl.t;
+  mutable next_fd : int;
+}
+
+let create vfs = { vfs; fds = Hashtbl.create 16; next_fd = 3 (* 0-2 taken, as ever *) }
+let vfs t = t.vfs
+
+let ( let* ) = Ksim.Errno.( let* )
+
+let file_size t path =
+  match Vfs.apply t.vfs (Stat path) with
+  | Ok (Attr { kind = `File; size }) -> Ok size
+  | Ok (Attr { kind = `Dir; _ }) -> Error Ksim.Errno.EISDIR
+  | Ok _ -> Error Ksim.Errno.EIO
+  | Error e -> Error e
+
+let openf t ?(flags = [ O_RDONLY ]) path_str =
+  let path = Kspec.Fs_spec.path_of_string path_str in
+  let has f = List.mem f flags in
+  let writable = has O_WRONLY || has O_RDWR in
+  let readable = (not (has O_WRONLY)) || has O_RDWR in
+  let* () =
+    match Vfs.apply t.vfs (Stat path) with
+    | Ok (Attr { kind = `Dir; _ }) when writable -> Error Ksim.Errno.EISDIR
+    | Ok _ -> Ok ()
+    | Error ENOENT when has O_CREAT -> (
+        match Vfs.apply t.vfs (Create path) with Ok _ -> Ok () | Error e -> Error e)
+    | Error e -> Error e
+  in
+  let* () =
+    if has O_TRUNC && writable then
+      match Vfs.apply t.vfs (Truncate (path, 0)) with Ok _ -> Ok () | Error e -> Error e
+    else Ok ()
+  in
+  let fd = t.next_fd in
+  t.next_fd <- t.next_fd + 1;
+  Hashtbl.replace t.fds fd { path; pos = 0; writable; readable; append = has O_APPEND };
+  Ok fd
+
+let lookup_fd t fd =
+  match Hashtbl.find_opt t.fds fd with Some f -> Ok f | None -> Error Ksim.Errno.EBADF
+
+let close t fd =
+  let* _ = lookup_fd t fd in
+  Hashtbl.remove t.fds fd;
+  Ok ()
+
+let write t fd data =
+  let* f = lookup_fd t fd in
+  if not f.writable then Error Ksim.Errno.EBADF
+  else
+    let* off = if f.append then file_size t f.path else Ok f.pos in
+    match Vfs.apply t.vfs (Write { file = f.path; off; data }) with
+    | Ok _ ->
+        f.pos <- off + String.length data;
+        Ok (String.length data)
+    | Error e -> Error e
+
+let read t fd ~len =
+  let* f = lookup_fd t fd in
+  if not f.readable then Error Ksim.Errno.EBADF
+  else
+    match Vfs.apply t.vfs (Read { file = f.path; off = f.pos; len }) with
+    | Ok (Data data) ->
+        f.pos <- f.pos + String.length data;
+        Ok data
+    | Ok _ -> Error Ksim.Errno.EIO
+    | Error e -> Error e
+
+type whence =
+  | SEEK_SET
+  | SEEK_CUR
+  | SEEK_END
+
+let lseek t fd offset whence =
+  let* f = lookup_fd t fd in
+  let* base =
+    match whence with
+    | SEEK_SET -> Ok 0
+    | SEEK_CUR -> Ok f.pos
+    | SEEK_END -> file_size t f.path
+  in
+  let pos = base + offset in
+  if pos < 0 then Error Ksim.Errno.EINVAL
+  else begin
+    f.pos <- pos;
+    Ok pos
+  end
+
+let wrap_unit t op =
+  match Vfs.apply t.vfs op with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let mkdir t path = wrap_unit t (Mkdir (Kspec.Fs_spec.path_of_string path))
+let unlink t path = wrap_unit t (Unlink (Kspec.Fs_spec.path_of_string path))
+let rmdir t path = wrap_unit t (Rmdir (Kspec.Fs_spec.path_of_string path))
+
+let rename t src dst =
+  wrap_unit t
+    (Rename (Kspec.Fs_spec.path_of_string src, Kspec.Fs_spec.path_of_string dst))
+
+let readdir t path =
+  match Vfs.apply t.vfs (Readdir (Kspec.Fs_spec.path_of_string path)) with
+  | Ok (Names names) -> Ok names
+  | Ok _ -> Error Ksim.Errno.EIO
+  | Error e -> Error e
+
+let stat t path =
+  match Vfs.apply t.vfs (Stat (Kspec.Fs_spec.path_of_string path)) with
+  | Ok (Attr { kind; size }) -> Ok (kind, size)
+  | Ok _ -> Error Ksim.Errno.EIO
+  | Error e -> Error e
+
+let fsync t = wrap_unit t Fsync
+let open_fds t = Hashtbl.length t.fds

@@ -1,0 +1,24 @@
+(** The VFS: a mount table dispatching operations to mounted file systems
+    strictly through the modular {!Iface.FS_OPS} interface (roadmap
+    step 1).  The dispatch cost relative to a direct call is measured by
+    bench [modularity/*]. *)
+
+type t
+
+val create : unit -> t
+
+val mount : t -> at:Kspec.Fs_spec.path -> Iface.instance -> unit Ksim.Errno.r
+(** [EBUSY] when something is already mounted at [at]. *)
+
+val umount : t -> at:Kspec.Fs_spec.path -> unit Ksim.Errno.r
+
+val mounts : t -> (Kspec.Fs_spec.path * string) list
+(** Mount points and the names of the file systems on them. *)
+
+val apply : t -> Kspec.Fs_spec.op -> Kspec.Fs_spec.result
+(** Resolve the op's path to the longest-prefix mount, rebase, dispatch.
+    Cross-mount rename is [EXDEV]; [Fsync] fans out to all mounts. *)
+
+val interpret : t -> Kspec.Fs_spec.state
+(** The whole namespace as one abstract state: each mounted file system's
+    state re-rooted under its mount point. *)

@@ -1,0 +1,62 @@
+(* Linux-shaped VFS data structures.
+
+   The inode reproduces the sharing hazards the paper calls out in §4.3:
+   [i_size] is a [Klock.Guarded] cell nominally protected by [i_lock] but
+   "only maybe protected, according to the relevant comment" — unsafe file
+   systems poke it through the unchecked accessors; [i_private] is the
+   void-pointer payload file systems stash custom data in. *)
+
+type file_kind =
+  | Regular
+  | Directory
+
+let file_kind_to_string = function Regular -> "regular" | Directory -> "directory"
+
+type inode = {
+  ino : int;
+  mutable kind : file_kind;
+  i_lock : Ksim.Klock.t;
+  i_size : int Ksim.Klock.Guarded.cell;
+  mutable i_nlink : int;
+  mutable i_version : int;
+  mutable i_private : Ksim.Dyn.t;
+}
+
+let next_ino = ref 1
+
+let make_inode ?(ino = -1) kind =
+  let ino =
+    if ino >= 0 then ino
+    else begin
+      incr next_ino;
+      !next_ino
+    end
+  in
+  let i_lock = Ksim.Klock.create ~name:(Printf.sprintf "i_lock:%d" ino) () in
+  {
+    ino;
+    kind;
+    i_lock;
+    i_size = Ksim.Klock.Guarded.create ~lock:i_lock ~name:(Printf.sprintf "i_size:%d" ino) 0;
+    i_nlink = 1;
+    i_version = 0;
+    i_private = Ksim.Dyn.null;
+  }
+
+let pp_inode ppf i =
+  Fmt.pf ppf "inode %d (%s, size %d, nlink %d)" i.ino (file_kind_to_string i.kind)
+    (Ksim.Klock.Guarded.unsafe_get i.i_size)
+    i.i_nlink
+
+type dentry = {
+  d_name : string;
+  d_inode : inode;
+}
+
+type file = {
+  f_inode : inode;
+  mutable f_pos : int;
+  f_writable : bool;
+}
+
+let open_file ?(writable = true) inode = { f_inode = inode; f_pos = 0; f_writable = writable }

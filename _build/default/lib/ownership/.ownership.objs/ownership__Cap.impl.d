@@ -1,0 +1,1 @@
+lib/ownership/cap.ml: Fmt

@@ -1,0 +1,1 @@
+lib/ownership/checker.ml: Bytes Cap Fmt Hashtbl Ksim List Printf

@@ -1,0 +1,1 @@
+lib/ownership/checker.mli: Cap Format Ksim

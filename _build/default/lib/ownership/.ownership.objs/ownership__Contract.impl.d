@@ -1,0 +1,1 @@
+lib/ownership/contract.ml: Checker Fmt List String

@@ -1,0 +1,1 @@
+lib/ownership/contract.mli: Cap Checker Format

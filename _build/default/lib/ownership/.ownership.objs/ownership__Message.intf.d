@@ -1,0 +1,1 @@
+lib/ownership/message.mli:

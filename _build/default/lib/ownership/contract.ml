@@ -1,0 +1,84 @@
+(* Explicit ownership contracts on interfaces.
+
+   The paper requires ownership contracts to be "made explicit in some way
+   that the checker can understand and validate".  A [Contract.t] declares,
+   per operation and per parameter, which sharing model applies; [apply]
+   then mediates a call through the checker so the declared contract is the
+   enforced one. *)
+
+type param_mode =
+  | Move  (** model 1: ownership transfers to the callee *)
+  | Borrow_exclusive  (** model 2 *)
+  | Borrow_shared  (** model 3 *)
+
+let param_mode_to_string = function
+  | Move -> "move"
+  | Borrow_exclusive -> "&mut"
+  | Borrow_shared -> "&"
+
+type param = {
+  param_name : string;
+  mode : param_mode;
+}
+
+type op = {
+  op_name : string;
+  params : param list;
+}
+
+type t = {
+  interface : string;
+  ops : op list;
+}
+
+let v ~interface ops = { interface; ops }
+
+let op ~name params =
+  { op_name = name; params = List.map (fun (param_name, mode) -> { param_name; mode }) params }
+
+let find_op contract name = List.find_opt (fun o -> String.equal o.op_name name) contract.ops
+
+exception Unknown_op of { interface : string; op : string }
+exception Arity_mismatch of { op : string; expected : int; got : int }
+
+(* Mediate a call through the checker.  [args] pairs each capability with
+   the callee's view is built according to the declared mode; [f] receives
+   the callee-side capabilities in parameter order. *)
+let apply checker contract ~op:op_name ~callee ~args ~f =
+  let op =
+    match find_op contract op_name with
+    | Some o -> o
+    | None -> raise (Unknown_op { interface = contract.interface; op = op_name })
+  in
+  let expected = List.length op.params and got = List.length args in
+  if expected <> got then raise (Arity_mismatch { op = op_name; expected; got });
+  (* Thread the lends: wrap [f] in nested scopes, one per borrowed
+     parameter, so all borrows end when the call returns.  Moves happen
+     up-front and are permanent. *)
+  let rec go params args acc =
+    match (params, args) with
+    | [], [] -> f (List.rev acc)
+    | param :: params, cap :: args -> (
+        match param.mode with
+        | Move ->
+            let moved = Checker.transfer checker cap ~to_:callee in
+            go params args (moved :: acc)
+        | Borrow_exclusive ->
+            Checker.lend_exclusive checker cap ~to_:callee ~f:(fun borrowed ->
+                go params args (borrowed :: acc))
+        | Borrow_shared ->
+            Checker.lend_shared checker cap ~to_:[ callee ] ~f:(fun borrowed ->
+                match borrowed with
+                | [ b ] -> go params args (b :: acc)
+                | _ -> assert false))
+    | _ -> assert false (* arity checked above *)
+  in
+  go op.params args []
+
+let pp_op ppf o =
+  let pp_param ppf p = Fmt.pf ppf "%s: %s" p.param_name (param_mode_to_string p.mode) in
+  Fmt.pf ppf "%s(%a)" o.op_name (Fmt.list ~sep:(Fmt.any ", ") pp_param) o.params
+
+let pp ppf contract =
+  Fmt.pf ppf "@[<v2>interface %s:@ %a@]" contract.interface
+    (Fmt.list ~sep:Fmt.cut pp_op) contract.ops

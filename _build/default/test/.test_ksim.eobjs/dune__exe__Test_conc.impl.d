@@ -1,0 +1,1 @@
+test/test_conc.ml: Alcotest Bytes Conc Fs_spec Kfs Ksim Kspec List Ownership Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Audit Fmt Interface Kfs Kspec Kvfs Level List Printf Safeos_core

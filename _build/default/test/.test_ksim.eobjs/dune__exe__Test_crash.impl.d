@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Crash Fmt Fs_spec Kblock Kfs Ksim Kspec List Printf QCheck2 QCheck_alcotest String

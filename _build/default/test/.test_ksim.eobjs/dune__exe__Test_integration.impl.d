@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Fs_spec Kfs Ksim Kspec Kvfs List Safeos_core

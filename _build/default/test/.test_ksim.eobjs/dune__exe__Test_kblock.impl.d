@@ -1,0 +1,1 @@
+test/test_kblock.ml: Alcotest Array Bytes Flags Hashtbl Kblock Ksim Kspec List Printf QCheck2 QCheck_alcotest String

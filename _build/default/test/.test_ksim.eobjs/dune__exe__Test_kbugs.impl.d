@@ -1,0 +1,1 @@
+test/test_kbugs.ml: Alcotest Float Kbugs List Printf Safeos_core String

@@ -1,0 +1,1 @@
+test/test_kcve.ml: Alcotest Buffer Format Fun Kcve List Printf Safeos_core String

@@ -1,0 +1,1 @@
+test/test_kebpf.ml: Alcotest Array Char Fmt Kebpf Kfs Kspec List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_kfs.ml: Alcotest Char Fs_spec Kblock Kfs Ksim Kspec Kvfs List Ownership Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_kmm.ml: Alcotest Bytes Kfs Kmm Ksim Kspec Kvfs List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_knet.ml: Alcotest Fmt Knet Ksim List QCheck2 QCheck_alcotest

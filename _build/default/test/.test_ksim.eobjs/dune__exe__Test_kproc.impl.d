@@ -1,0 +1,1 @@
+test/test_kproc.ml: Alcotest Kmm Kproc Ksim Kspec Kvfs List Printf String

@@ -1,0 +1,1 @@
+test/test_ksim.ml: Alcotest Ksim List Printf QCheck2 QCheck_alcotest Result

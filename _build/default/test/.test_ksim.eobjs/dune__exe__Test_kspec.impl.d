@@ -1,0 +1,1 @@
+test/test_kspec.ml: Alcotest Axiom Bytes Fmt Fs_spec Kfs Ksim Kspec List Model QCheck2 QCheck_alcotest Refine String

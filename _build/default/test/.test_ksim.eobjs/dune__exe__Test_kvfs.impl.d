@@ -1,0 +1,1 @@
+test/test_kvfs.ml: Alcotest Fmt Fs_spec Kfs Ksim Kspec Kvfs List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ownership.ml: Alcotest Bytes List Option Ownership QCheck2 QCheck_alcotest

@@ -1,0 +1,412 @@
+(* Tests for the block layer: the crash-semantics device, the buffer_head
+   state machine, and the write-ahead journal. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let block dev n = Bytes.make (Kblock.Blockdev.block_size dev) n
+let write_ok dev i data =
+  match Kblock.Blockdev.write dev i data with
+  | Ok () -> ()
+  | Error e -> fail ("write: " ^ Ksim.Errno.to_string e)
+
+let read_ok dev i =
+  match Kblock.Blockdev.read dev i with
+  | Ok data -> data
+  | Error e -> fail ("read: " ^ Ksim.Errno.to_string e)
+
+(* Blockdev ------------------------------------------------------------------- *)
+
+let test_dev_read_write () =
+  let dev = Kblock.Blockdev.create ~nblocks:8 ~block_size:16 in
+  check Alcotest.string "zeroed" (String.make 16 '\000') (Bytes.to_string (read_ok dev 0));
+  write_ok dev 3 (block dev 'x');
+  check Alcotest.string "cached read sees write" (String.make 16 'x')
+    (Bytes.to_string (read_ok dev 3));
+  check Alcotest.int "pending" 1 (Kblock.Blockdev.pending_writes dev)
+
+let test_dev_errors () =
+  let dev = Kblock.Blockdev.create ~nblocks:4 ~block_size:8 in
+  check Alcotest.bool "read out of range" true (Kblock.Blockdev.read dev 4 = Error Ksim.Errno.EIO);
+  check Alcotest.bool "read negative" true (Kblock.Blockdev.read dev (-1) = Error Ksim.Errno.EIO);
+  check Alcotest.bool "write wrong size" true
+    (Kblock.Blockdev.write dev 0 (Bytes.make 3 'a') = Error Ksim.Errno.EINVAL)
+
+let test_dev_crash_loses_cache () =
+  let dev = Kblock.Blockdev.create ~nblocks:4 ~block_size:8 in
+  write_ok dev 1 (block dev 'a');
+  Kblock.Blockdev.crash dev;
+  check Alcotest.string "lost" (String.make 8 '\000') (Bytes.to_string (read_ok dev 1))
+
+let test_dev_flush_is_durable () =
+  let dev = Kblock.Blockdev.create ~nblocks:4 ~block_size:8 in
+  write_ok dev 1 (block dev 'a');
+  Kblock.Blockdev.flush dev;
+  Kblock.Blockdev.crash dev;
+  check Alcotest.string "survives" (String.make 8 'a') (Bytes.to_string (read_ok dev 1));
+  check Alcotest.int "no pending" 0 (Kblock.Blockdev.pending_writes dev)
+
+let test_dev_last_write_wins () =
+  let dev = Kblock.Blockdev.create ~nblocks:4 ~block_size:8 in
+  write_ok dev 0 (block dev 'a');
+  write_ok dev 0 (block dev 'b');
+  check Alcotest.string "cache last" (String.make 8 'b') (Bytes.to_string (read_ok dev 0));
+  Kblock.Blockdev.flush dev;
+  Kblock.Blockdev.crash dev;
+  check Alcotest.string "media last" (String.make 8 'b') (Bytes.to_string (read_ok dev 0))
+
+let test_dev_crash_states_exhaustive () =
+  let dev = Kblock.Blockdev.create ~nblocks:4 ~block_size:8 in
+  write_ok dev 0 (block dev 'a');
+  write_ok dev 1 (block dev 'b');
+  let states = Kblock.Blockdev.crash_media_states dev ~limit:64 in
+  (* 2 pending writes to distinct blocks: 4 distinct media images. *)
+  check Alcotest.int "2^2 images" 4 (List.length states);
+  (* The bare-media image must be included. *)
+  check Alcotest.bool "empty image present" true
+    (List.exists
+       (fun media -> Array.for_all (fun b -> Bytes.to_string b = String.make 8 '\000') media)
+       states)
+
+let test_dev_crash_states_dedup () =
+  let dev = Kblock.Blockdev.create ~nblocks:4 ~block_size:8 in
+  write_ok dev 0 (block dev 'a');
+  write_ok dev 0 (block dev 'a') (* identical write: subsets collapse *);
+  let states = Kblock.Blockdev.crash_media_states dev ~limit:64 in
+  check Alcotest.int "deduplicated" 2 (List.length states)
+
+let test_dev_snapshot_of_media () =
+  let dev = Kblock.Blockdev.create ~nblocks:2 ~block_size:4 in
+  write_ok dev 0 (Bytes.of_string "abcd");
+  Kblock.Blockdev.flush dev;
+  let dev2 = Kblock.Blockdev.of_media ~block_size:4 (Kblock.Blockdev.snapshot_media dev) in
+  check Alcotest.string "copied" "abcd" (Bytes.to_string (read_ok dev2 0));
+  (* Deep copy: mutating the clone does not touch the original. *)
+  write_ok dev2 0 (Bytes.of_string "WXYZ");
+  Kblock.Blockdev.flush dev2;
+  check Alcotest.string "original intact" "abcd" (Bytes.to_string (read_ok dev 0))
+
+let prop_flush_then_crash_preserves_all =
+  QCheck2.Test.make ~name:"flush makes all writes durable" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 20) (pair (int_range 0 7) (char_range 'a' 'z')))
+    (fun writes ->
+      let dev = Kblock.Blockdev.create ~nblocks:8 ~block_size:4 in
+      List.iter (fun (i, c) -> write_ok dev i (Bytes.make 4 c)) writes;
+      let expected = Array.make 8 '\000' in
+      List.iter (fun (i, c) -> expected.(i) <- c) writes;
+      Kblock.Blockdev.flush dev;
+      Kblock.Blockdev.crash dev;
+      List.for_all
+        (fun i -> Bytes.to_string (read_ok dev i) = String.make 4 expected.(i))
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let prop_blockdev_satisfies_axioms =
+  (* The §4.4 boundary: the concrete device must satisfy the byte-level
+     axioms a verified client assumes of it. *)
+  QCheck2.Test.make ~name:"blockdev satisfies the block axioms" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 30)
+                   (triple (int_range 0 2) (int_range 0 7) (char_range 'a' 'z')))
+    (fun script ->
+      let dev = Kblock.Blockdev.create ~nblocks:8 ~block_size:4 in
+      let shim = Kspec.Axiom.shim ~strict:false (Kblock.Blockdev.to_ops dev) in
+      let ops = Kspec.Axiom.ops shim in
+      List.iter
+        (fun (kind, blkno, c) ->
+          match kind with
+          | 0 -> ops.Kspec.Axiom.write blkno (Bytes.make 4 c)
+          | 1 -> ignore (ops.Kspec.Axiom.read blkno)
+          | _ -> ops.Kspec.Axiom.flush ())
+        script;
+      Kspec.Axiom.violations shim = [])
+
+(* Buffer_head ------------------------------------------------------------------ *)
+
+let flags_of = Kblock.Buffer_head.Flags.of_list
+
+let test_bh_valid_combinations () =
+  let open Kblock.Buffer_head in
+  check Alcotest.bool "empty valid" true (is_valid Flags.empty);
+  check Alcotest.bool "clean mapped uptodate" true (is_valid (flags_of [ Mapped; Uptodate ]));
+  check Alcotest.bool "dirty triple" true (is_valid (flags_of [ Mapped; Uptodate; Dirty ]));
+  check Alcotest.bool "async write under lock" true
+    (is_valid (flags_of [ Mapped; Uptodate; Lock; Async_write ]))
+
+let test_bh_invalid_combinations () =
+  let open Kblock.Buffer_head in
+  check Alcotest.bool "dirty w/o uptodate" false (is_valid (flags_of [ Mapped; Dirty ]));
+  check Alcotest.bool "dirty w/o mapped" false (is_valid (flags_of [ Uptodate; Dirty ]));
+  check Alcotest.bool "async write w/o lock" false
+    (is_valid (flags_of [ Mapped; Uptodate; Async_write ]));
+  check Alcotest.bool "both async directions" false
+    (is_valid (flags_of [ Mapped; Uptodate; Lock; Async_read; Async_write ]));
+  check Alcotest.bool "delay+mapped" false (is_valid (flags_of [ Delay; Mapped ]));
+  check Alcotest.bool "prio w/o meta" false (is_valid (flags_of [ Mapped; Prio ]));
+  (match validate (flags_of [ Mapped; Dirty ]) with
+  | [ rule ] -> check Alcotest.string "names the rule" "dirty-implies-uptodate" rule
+  | l -> fail (Printf.sprintf "expected 1 broken rule, got %d" (List.length l)))
+
+let test_bh_sixteen_flags () =
+  check Alcotest.int "sixteen" 16 (List.length Kblock.Buffer_head.all_flags)
+
+let test_bh_flag_set_ops () =
+  let open Kblock.Buffer_head in
+  let f = Flags.add Dirty (Flags.add Mapped Flags.empty) in
+  check Alcotest.bool "mem" true (Flags.mem Dirty f);
+  let f = Flags.remove Dirty f in
+  check Alcotest.bool "removed" false (Flags.mem Dirty f);
+  check Alcotest.(list bool) "to_list/of_list roundtrip" [ true ]
+    [ Flags.to_list (flags_of [ Mapped; Meta ]) = [ Mapped; Meta ] ]
+
+let test_bh_cache_lifecycle () =
+  let open Kblock.Buffer_head in
+  let dev = Kblock.Blockdev.create ~nblocks:8 ~block_size:16 in
+  write_ok dev 2 (Bytes.make 16 'z');
+  Kblock.Blockdev.flush dev;
+  let cache = create dev in
+  let bh = bread cache 2 in
+  check Alcotest.bool "uptodate after read" true (Flags.mem Uptodate bh.flags);
+  check Alcotest.string "content" (String.make 16 'z') (Bytes.to_string bh.data);
+  set_data cache bh (Bytes.make 16 'w');
+  check Alcotest.bool "dirty after set" true (Flags.mem Dirty bh.flags);
+  check Alcotest.int "one dirty" 1 (dirty_count cache);
+  sync cache;
+  check Alcotest.int "clean after sync" 0 (dirty_count cache);
+  Kblock.Blockdev.crash dev;
+  check Alcotest.string "synced to media" (String.make 16 'w') (Bytes.to_string (read_ok dev 2))
+
+let test_bh_mark_dirty_on_stale_buffer_caught () =
+  let open Kblock.Buffer_head in
+  let dev = Kblock.Blockdev.create ~nblocks:4 ~block_size:8 in
+  let cache = create dev in
+  let bh = getblk cache 0 (* mapped, NOT uptodate *) in
+  match mark_dirty cache bh with
+  | _ -> fail "expected Invalid_state"
+  | exception Invalid_state { broken; _ } ->
+      check Alcotest.bool "dirty-implies-uptodate broken" true
+        (List.mem "dirty-implies-uptodate" broken)
+
+let test_bh_checks_can_be_disabled () =
+  let open Kblock.Buffer_head in
+  let dev = Kblock.Blockdev.create ~nblocks:4 ~block_size:8 in
+  let cache = create ~check_states:false dev in
+  let bh = getblk cache 0 in
+  mark_dirty cache bh (* the invalid transition sails through *);
+  check Alcotest.int "no checks ran" 0 (state_checks cache)
+
+let test_bh_refcount_and_drop () =
+  let open Kblock.Buffer_head in
+  let dev = Kblock.Blockdev.create ~nblocks:4 ~block_size:8 in
+  let cache = create dev in
+  let bh = bread cache 1 in
+  let bh' = getblk cache 1 in
+  check Alcotest.int "same buffer" bh.blkno bh'.blkno;
+  check Alcotest.int "refcount 2" 2 bh.refcount;
+  check Alcotest.int "nothing droppable" 0 (drop cache);
+  brelse bh;
+  brelse bh';
+  check Alcotest.int "dropped clean buffer" 1 (drop cache);
+  check Alcotest.int "cache empty" 0 (cached_count cache)
+
+let test_bh_submit_clean_is_noop () =
+  let open Kblock.Buffer_head in
+  let dev = Kblock.Blockdev.create ~nblocks:4 ~block_size:8 in
+  let cache = create dev in
+  let bh = bread cache 0 in
+  (match submit_write cache bh with Ok () -> () | Error _ -> fail "clean submit");
+  check Alcotest.int "no device write" 0 (Kblock.Blockdev.pending_writes dev)
+
+let prop_random_flagsets_validate_consistently =
+  QCheck2.Test.make ~name:"validate agrees with is_valid" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 8) (int_range 0 15))
+    (fun bits ->
+      let flags =
+        List.fold_left
+          (fun acc i -> Kblock.Buffer_head.Flags.add (List.nth Kblock.Buffer_head.all_flags i) acc)
+          Kblock.Buffer_head.Flags.empty bits
+      in
+      Kblock.Buffer_head.is_valid flags = (Kblock.Buffer_head.validate flags = []))
+
+(* Journal ------------------------------------------------------------------------ *)
+
+let mk_journal () =
+  let dev = Kblock.Blockdev.create ~nblocks:64 ~block_size:64 in
+  (dev, Kblock.Journal.format dev ~jblocks:16)
+
+let test_journal_commit_checkpoint_read () =
+  let dev, j = mk_journal () in
+  let home = Kblock.Journal.data_start j in
+  let tx = Kblock.Journal.tx_begin j in
+  (match Kblock.Journal.tx_write j tx ~blkno:home (Bytes.make 64 'a') with
+  | Ok () -> ()
+  | Error e -> fail (Ksim.Errno.to_string e));
+  (match Kblock.Journal.commit j tx with Ok () -> () | Error e -> fail (Ksim.Errno.to_string e));
+  check Alcotest.int "one pending tx" 1 (Kblock.Journal.pending_txs j);
+  Kblock.Journal.checkpoint j;
+  check Alcotest.int "checkpointed" 0 (Kblock.Journal.pending_txs j);
+  check Alcotest.string "home updated" (String.make 64 'a') (Bytes.to_string (read_ok dev home))
+
+let test_journal_tx_rejects_journal_area () =
+  let _, j = mk_journal () in
+  let tx = Kblock.Journal.tx_begin j in
+  check Alcotest.bool "journal-area write rejected" true
+    (Kblock.Journal.tx_write j tx ~blkno:3 (Bytes.make 64 'x') = Error Ksim.Errno.EINVAL);
+  check Alcotest.bool "wrong size rejected" true
+    (Kblock.Journal.tx_write j tx ~blkno:20 (Bytes.make 10 'x') = Error Ksim.Errno.EINVAL)
+
+let test_journal_recovery_replays_committed () =
+  let dev, j = mk_journal () in
+  let home = Kblock.Journal.data_start j in
+  let tx = Kblock.Journal.tx_begin j in
+  ignore (Kblock.Journal.tx_write j tx ~blkno:home (Bytes.make 64 'b'));
+  ignore (Kblock.Journal.tx_write j tx ~blkno:(home + 1) (Bytes.make 64 'c'));
+  (match Kblock.Journal.commit j tx with Ok () -> () | Error e -> fail (Ksim.Errno.to_string e));
+  (* Crash before checkpoint: home writes never issued, journal durable. *)
+  Kblock.Blockdev.crash dev;
+  let j2 = Kblock.Journal.recover dev ~jblocks:16 in
+  check Alcotest.int "one tx replayed" 1 (Kblock.Journal.stats j2).Kblock.Journal.replayed_txs;
+  check Alcotest.string "home 0" (String.make 64 'b') (Bytes.to_string (read_ok dev home));
+  check Alcotest.string "home 1" (String.make 64 'c') (Bytes.to_string (read_ok dev (home + 1)))
+
+let test_journal_recovery_ignores_uncommitted () =
+  let dev, j = mk_journal () in
+  let home = Kblock.Journal.data_start j in
+  (* Simulate a torn commit: write descriptor + data manually, no commit
+     record, then crash. *)
+  let tx = Kblock.Journal.tx_begin j in
+  ignore (Kblock.Journal.tx_write j tx ~blkno:home (Bytes.make 64 'z'));
+  (* Don't commit; instead crash with nothing journaled. *)
+  Kblock.Blockdev.crash dev;
+  let j2 = Kblock.Journal.recover dev ~jblocks:16 in
+  check Alcotest.int "nothing replayed" 0 (Kblock.Journal.stats j2).Kblock.Journal.replayed_txs;
+  check Alcotest.string "home untouched" (String.make 64 '\000')
+    (Bytes.to_string (read_ok dev home))
+
+let test_journal_recovery_idempotent () =
+  let dev, j = mk_journal () in
+  let home = Kblock.Journal.data_start j in
+  let tx = Kblock.Journal.tx_begin j in
+  ignore (Kblock.Journal.tx_write j tx ~blkno:home (Bytes.make 64 'q'));
+  ignore (Kblock.Journal.commit j tx);
+  Kblock.Blockdev.crash dev;
+  let _ = Kblock.Journal.recover dev ~jblocks:16 in
+  let j3 = Kblock.Journal.recover dev ~jblocks:16 in
+  (* Second recovery: the tx is already checkpointed, nothing replays. *)
+  check Alcotest.int "idempotent" 0 (Kblock.Journal.stats j3).Kblock.Journal.replayed_txs;
+  check Alcotest.string "content stable" (String.make 64 'q')
+    (Bytes.to_string (read_ok dev home))
+
+let test_journal_coalesces_same_block () =
+  let dev, j = mk_journal () in
+  let home = Kblock.Journal.data_start j in
+  let tx = Kblock.Journal.tx_begin j in
+  ignore (Kblock.Journal.tx_write j tx ~blkno:home (Bytes.make 64 'a'));
+  ignore (Kblock.Journal.tx_write j tx ~blkno:home (Bytes.make 64 'b'));
+  ignore (Kblock.Journal.commit j tx);
+  Kblock.Journal.checkpoint j;
+  check Alcotest.string "last write wins" (String.make 64 'b')
+    (Bytes.to_string (read_ok dev home))
+
+let test_journal_auto_checkpoint_on_full () =
+  let dev, j = mk_journal () in
+  let home = Kblock.Journal.data_start j in
+  (* Each tx costs 3 journal blocks (D, data, C); the 15-block record area
+     fits 5; the 6th must force a checkpoint rather than fail. *)
+  for i = 0 to 7 do
+    let tx = Kblock.Journal.tx_begin j in
+    ignore (Kblock.Journal.tx_write j tx ~blkno:(home + i) (Bytes.make 64 'k'));
+    match Kblock.Journal.commit j tx with
+    | Ok () -> ()
+    | Error e -> fail (Ksim.Errno.to_string e)
+  done;
+  check Alcotest.bool "auto checkpoint happened" true
+    ((Kblock.Journal.stats j).Kblock.Journal.checkpoints >= 1);
+  Kblock.Journal.checkpoint j;
+  for i = 0 to 7 do
+    check Alcotest.string "all landed" (String.make 64 'k')
+      (Bytes.to_string (read_ok dev (home + i)))
+  done
+
+let test_journal_oversized_tx_rejected () =
+  let dev = Kblock.Blockdev.create ~nblocks:256 ~block_size:64 in
+  let j = Kblock.Journal.format dev ~jblocks:8 in
+  let home = Kblock.Journal.data_start j in
+  let tx = Kblock.Journal.tx_begin j in
+  for i = 0 to 9 do
+    ignore (Kblock.Journal.tx_write j tx ~blkno:(home + i) (Bytes.make 64 'x'))
+  done;
+  match Kblock.Journal.commit j tx with
+  | Ok () -> fail "expected failure"
+  | Error _ -> ()
+  | exception Kblock.Journal.Journal_full -> ()
+
+(* QCheck: random committed transactions survive crash + recovery; the
+   final home state equals last-committed-write-wins. *)
+let prop_journal_crash_recovery_consistent =
+  QCheck2.Test.make ~name:"committed txs survive any crash point" ~count:60
+    QCheck2.Gen.(
+      list_size (int_range 1 6) (list_size (int_range 1 3) (pair (int_range 0 8) printable)))
+    (fun txs ->
+      let dev = Kblock.Blockdev.create ~nblocks:128 ~block_size:64 in
+      let j = Kblock.Journal.format dev ~jblocks:32 in
+      let home = Kblock.Journal.data_start j in
+      let expected = Hashtbl.create 8 in
+      List.iter
+        (fun writes ->
+          let tx = Kblock.Journal.tx_begin j in
+          List.iter
+            (fun (i, c) ->
+              ignore (Kblock.Journal.tx_write j tx ~blkno:(home + i) (Bytes.make 64 c)))
+            writes;
+          match Kblock.Journal.commit j tx with
+          | Ok () -> List.iter (fun (i, c) -> Hashtbl.replace expected i c) writes
+          | Error _ -> ())
+        txs;
+      Kblock.Blockdev.crash dev;
+      let _ = Kblock.Journal.recover dev ~jblocks:32 in
+      Hashtbl.fold
+        (fun i c acc ->
+          acc && Bytes.to_string (read_ok dev (home + i)) = String.make 64 c)
+        expected true)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "kblock"
+    [
+      ( "blockdev",
+        Alcotest.test_case "read/write" `Quick test_dev_read_write
+        :: Alcotest.test_case "errors" `Quick test_dev_errors
+        :: Alcotest.test_case "crash loses cache" `Quick test_dev_crash_loses_cache
+        :: Alcotest.test_case "flush durable" `Quick test_dev_flush_is_durable
+        :: Alcotest.test_case "last write wins" `Quick test_dev_last_write_wins
+        :: Alcotest.test_case "crash states exhaustive" `Quick test_dev_crash_states_exhaustive
+        :: Alcotest.test_case "crash states dedup" `Quick test_dev_crash_states_dedup
+        :: Alcotest.test_case "snapshot is deep" `Quick test_dev_snapshot_of_media
+        :: qcheck [ prop_flush_then_crash_preserves_all; prop_blockdev_satisfies_axioms ] );
+      ( "buffer_head",
+        Alcotest.test_case "valid combinations" `Quick test_bh_valid_combinations
+        :: Alcotest.test_case "invalid combinations" `Quick test_bh_invalid_combinations
+        :: Alcotest.test_case "sixteen flags" `Quick test_bh_sixteen_flags
+        :: Alcotest.test_case "flag set ops" `Quick test_bh_flag_set_ops
+        :: Alcotest.test_case "cache lifecycle" `Quick test_bh_cache_lifecycle
+        :: Alcotest.test_case "invalid transition caught" `Quick
+             test_bh_mark_dirty_on_stale_buffer_caught
+        :: Alcotest.test_case "checks can be disabled" `Quick test_bh_checks_can_be_disabled
+        :: Alcotest.test_case "refcount and drop" `Quick test_bh_refcount_and_drop
+        :: Alcotest.test_case "clean submit no-op" `Quick test_bh_submit_clean_is_noop
+        :: qcheck [ prop_random_flagsets_validate_consistently ] );
+      ( "journal",
+        Alcotest.test_case "commit/checkpoint/read" `Quick test_journal_commit_checkpoint_read
+        :: Alcotest.test_case "rejects journal-area writes" `Quick
+             test_journal_tx_rejects_journal_area
+        :: Alcotest.test_case "recovery replays committed" `Quick
+             test_journal_recovery_replays_committed
+        :: Alcotest.test_case "recovery ignores uncommitted" `Quick
+             test_journal_recovery_ignores_uncommitted
+        :: Alcotest.test_case "recovery idempotent" `Quick test_journal_recovery_idempotent
+        :: Alcotest.test_case "coalesces same block" `Quick test_journal_coalesces_same_block
+        :: Alcotest.test_case "auto checkpoint when full" `Quick
+             test_journal_auto_checkpoint_on_full
+        :: Alcotest.test_case "oversized tx rejected" `Quick test_journal_oversized_tx_rejected
+        :: qcheck [ prop_journal_crash_recovery_consistent ] );
+    ]

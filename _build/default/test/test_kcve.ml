@@ -1,0 +1,193 @@
+(* Tests for the Figure-2 datasets and statistics: the calibration claims
+   quoted in the paper must hold of the record-level data. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* Figure 2a ---------------------------------------------------------------- *)
+
+let test_records_match_per_year_totals () =
+  let derived = Kcve.Stats.cves_per_year (Kcve.Dataset.all_linux_cves ()) in
+  check Alcotest.(list (pair int int)) "derived = declared" Kcve.Dataset.linux_cves_per_year
+    derived
+
+let test_hundreds_every_recent_year () =
+  let per_year = Kcve.Stats.cves_per_year (Kcve.Dataset.all_linux_cves ()) in
+  List.iter
+    (fun (year, count) ->
+      if year >= 2013 then
+        check Alcotest.bool (Printf.sprintf "%d has 100+" year) true (count >= 75))
+    per_year
+
+let test_rising_trend () =
+  (* The decade average keeps climbing: 1999-2009 vs 2010-2020. *)
+  let per_year = Kcve.Stats.cves_per_year (Kcve.Dataset.all_linux_cves ()) in
+  let avg lo hi =
+    let xs = List.filter (fun (y, _) -> y >= lo && y <= hi) per_year in
+    float_of_int (List.fold_left (fun a (_, n) -> a + n) 0 xs) /. float_of_int (List.length xs)
+  in
+  check Alcotest.bool "second decade worse" true (avg 2010 2020 > avg 1999 2009)
+
+let test_spike_2017 () =
+  let per_year = Kcve.Stats.cves_per_year (Kcve.Dataset.all_linux_cves ()) in
+  let count y = try List.assoc y per_year with Not_found -> 0 in
+  check Alcotest.bool "2017 is the maximum" true
+    (List.for_all (fun (_, n) -> n <= count 2017) per_year)
+
+(* Figure 2b ---------------------------------------------------------------- *)
+
+let test_ext4_median_lag_is_seven () =
+  check (Alcotest.float 0.001) "median 7 years" 7.0
+    (Kcve.Stats.median_lag ~release_year:Kcve.Dataset.ext4_release_year
+       (Kcve.Dataset.all_ext4_cves ()))
+
+let test_ext4_half_after_seven_years () =
+  (* The paper: "50% of CVEs in ext4 were found after 7 years or more". *)
+  let frac =
+    Kcve.Stats.fraction_at_or_after ~release_year:Kcve.Dataset.ext4_release_year ~lag:7
+      (Kcve.Dataset.all_ext4_cves ())
+  in
+  check Alcotest.bool "at least half late" true (frac >= 0.5)
+
+let test_ext4_cdf_monotone_and_complete () =
+  let cdf =
+    Kcve.Stats.report_lag_cdf ~release_year:Kcve.Dataset.ext4_release_year
+      (Kcve.Dataset.all_ext4_cves ())
+  in
+  let fracs = List.map (fun (pt : Kcve.Stats.cdf_point) -> pt.Kcve.Stats.cumulative_fraction) cdf in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  check Alcotest.bool "monotone" true (monotone fracs);
+  (match List.rev fracs with
+  | last :: _ -> check (Alcotest.float 0.0001) "reaches 1" 1.0 last
+  | [] -> fail "empty cdf");
+  (match cdf with
+  | first :: _ -> check Alcotest.int "starts at lag 0" 0 first.Kcve.Stats.lag_years
+  | [] -> fail "empty cdf")
+
+(* Figure 2c ---------------------------------------------------------------- *)
+
+let test_all_three_file_systems_present () =
+  List.iter
+    (fun fs ->
+      check Alcotest.bool (fs ^ " has history") true (Kcve.Dataset.history_of fs <> []))
+    Kcve.Dataset.fs_names
+
+let test_rates_decay_to_half_percent () =
+  List.iter
+    (fun fs ->
+      let final = Kcve.Stats.final_rate fs in
+      check Alcotest.bool (Printf.sprintf "%s tail ~0.5%% (got %.2f)" fs final) true
+        (final >= 0.3 && final <= 0.7))
+    Kcve.Dataset.fs_names
+
+let test_rates_decline_from_release () =
+  List.iter
+    (fun fs ->
+      match Kcve.Stats.bug_rate_series fs with
+      | first :: _ as series ->
+          let last = List.nth series (List.length series - 1) in
+          check Alcotest.bool (fs ^ " declines") true
+            (first.Kcve.Stats.bugs_per_loc_pct > last.Kcve.Stats.bugs_per_loc_pct)
+      | [] -> fail "no series")
+    Kcve.Dataset.fs_names
+
+let test_bugs_keep_coming_after_ten_years () =
+  (* "Even after 10 years, there are still new bugs." *)
+  List.iter
+    (fun fs ->
+      let history = Kcve.Dataset.history_of fs in
+      let old_years = List.filter (fun (r : Kcve.Dataset.fs_year) -> r.Kcve.Dataset.age >= 10) history in
+      if old_years <> [] then
+        List.iter
+          (fun (r : Kcve.Dataset.fs_year) ->
+            check Alcotest.bool (fs ^ " still buggy") true (r.Kcve.Dataset.bug_patches > 0))
+          old_years)
+    Kcve.Dataset.fs_names
+
+let test_ages_consecutive () =
+  List.iter
+    (fun fs ->
+      let ages = List.map (fun (r : Kcve.Dataset.fs_year) -> r.Kcve.Dataset.age) (Kcve.Dataset.history_of fs) in
+      check Alcotest.(list int) (fs ^ " consecutive ages") (List.init (List.length ages) Fun.id) ages)
+    Kcve.Dataset.fs_names
+
+(* Figures render without error and contain the headline strings. ---------------- *)
+
+let render f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_fig2a_renders () =
+  let out = render (fun ppf -> Kcve.Figures.fig2a ppf ()) in
+  check Alcotest.bool "mentions 2017" true (contains out "2017");
+  check Alcotest.bool "has title" true (contains out "Figure 2a")
+
+let test_fig2b_renders () =
+  let out = render (fun ppf -> Kcve.Figures.fig2b ppf ()) in
+  check Alcotest.bool "median line" true (contains out "median report lag: 7.0 years")
+
+let test_fig2c_renders () =
+  let out = render (fun ppf -> Kcve.Figures.fig2c ppf ()) in
+  List.iter (fun fs -> check Alcotest.bool fs true (contains out fs)) Kcve.Dataset.fs_names
+
+let test_cwe_table_renders () =
+  let out = render (fun ppf -> Kcve.Figures.cwe_table ppf ()) in
+  check Alcotest.bool "42%" true (contains out "42.0%");
+  check Alcotest.bool "35%" true (contains out "35.0%");
+  check Alcotest.bool "23%" true (contains out "23.0%");
+  check Alcotest.bool "1475" true (contains out "1475")
+
+let test_fig1_renders () =
+  let r = Safeos_core.Registry.create () in
+  ignore
+    (Safeos_core.Registry.register r ~name:"memfs" ~kind:Safeos_core.Registry.File_system
+       ~level:Safeos_core.Level.Verified ~iface:Safeos_core.Interface.fs_interface ~loc:200 ());
+  let out = render (fun ppf -> Kcve.Figures.fig1 ppf r) in
+  check Alcotest.bool "literature present" true (contains out "seL4");
+  check Alcotest.bool "our kernel present" true (contains out "sim:memfs");
+  check Alcotest.bool "progress section" true (contains out "safety rung")
+
+let () =
+  Alcotest.run "kcve"
+    [
+      ( "fig2a",
+        [
+          Alcotest.test_case "records match totals" `Quick test_records_match_per_year_totals;
+          Alcotest.test_case "hundreds per year" `Quick test_hundreds_every_recent_year;
+          Alcotest.test_case "rising trend" `Quick test_rising_trend;
+          Alcotest.test_case "2017 spike" `Quick test_spike_2017;
+        ] );
+      ( "fig2b",
+        [
+          Alcotest.test_case "median lag 7y" `Quick test_ext4_median_lag_is_seven;
+          Alcotest.test_case "50% after 7y" `Quick test_ext4_half_after_seven_years;
+          Alcotest.test_case "cdf monotone" `Quick test_ext4_cdf_monotone_and_complete;
+        ] );
+      ( "fig2c",
+        [
+          Alcotest.test_case "three file systems" `Quick test_all_three_file_systems_present;
+          Alcotest.test_case "0.5% tails" `Quick test_rates_decay_to_half_percent;
+          Alcotest.test_case "rates decline" `Quick test_rates_decline_from_release;
+          Alcotest.test_case "bugs after 10 years" `Quick test_bugs_keep_coming_after_ten_years;
+          Alcotest.test_case "consecutive ages" `Quick test_ages_consecutive;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "fig2a" `Quick test_fig2a_renders;
+          Alcotest.test_case "fig2b" `Quick test_fig2b_renders;
+          Alcotest.test_case "fig2c" `Quick test_fig2c_renders;
+          Alcotest.test_case "cwe table" `Quick test_cwe_table_renders;
+          Alcotest.test_case "fig1" `Quick test_fig1_renders;
+        ] );
+    ]

@@ -1,0 +1,350 @@
+(* Tests for the virtual-memory stack: frame refcounting, demand paging,
+   file-backed mappings, protection, copy-on-write fork, and a model-based
+   property for the software MMU. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let errno_r pp_ok = Alcotest.result pp_ok (Alcotest.testable Ksim.Errno.pp Ksim.Errno.equal)
+
+let mk ?(nframes = 64) ?(page_size = 16) () =
+  let phys = Kmm.Phys.create ~nframes ~page_size in
+  (phys, Kmm.Addr_space.create phys)
+
+let mmap_ok space ~len ~prot backing =
+  match Kmm.Addr_space.mmap space ~len ~prot backing with
+  | Ok addr -> addr
+  | Error e -> fail ("mmap: " ^ Ksim.Errno.to_string e)
+
+(* Phys ------------------------------------------------------------------- *)
+
+let test_phys_alloc_free () =
+  let phys = Kmm.Phys.create ~nframes:4 ~page_size:8 in
+  check Alcotest.int "all free" 4 (Kmm.Phys.free_frames phys);
+  let f = match Kmm.Phys.alloc phys with Some f -> f | None -> fail "alloc" in
+  check Alcotest.int "one used" 3 (Kmm.Phys.free_frames phys);
+  check Alcotest.int "refcount 1" 1 (Kmm.Phys.refcount phys f);
+  check Alcotest.string "zeroed" (String.make 8 '\000') (Kmm.Phys.read phys f ~off:0 ~len:8);
+  Kmm.Phys.write phys f ~off:2 "hi";
+  check Alcotest.string "written" "hi" (Kmm.Phys.read phys f ~off:2 ~len:2);
+  Kmm.Phys.decref phys f;
+  check Alcotest.int "freed" 4 (Kmm.Phys.free_frames phys)
+
+let test_phys_refcount_sharing () =
+  let phys = Kmm.Phys.create ~nframes:2 ~page_size:8 in
+  let f = match Kmm.Phys.alloc phys with Some f -> f | None -> fail "alloc" in
+  Kmm.Phys.incref phys f;
+  Kmm.Phys.decref phys f;
+  check Alcotest.int "still live" 1 (Kmm.Phys.refcount phys f);
+  Kmm.Phys.decref phys f;
+  (* A recycled frame comes back zeroed. *)
+  let f2 = match Kmm.Phys.alloc phys with Some f -> f | None -> fail "realloc" in
+  check Alcotest.string "zeroed on reuse" (String.make 8 '\000')
+    (Kmm.Phys.read phys f2 ~off:0 ~len:8)
+
+let test_phys_exhaustion () =
+  let phys = Kmm.Phys.create ~nframes:2 ~page_size:8 in
+  ignore (Kmm.Phys.alloc phys);
+  ignore (Kmm.Phys.alloc phys);
+  check Alcotest.bool "exhausted" true (Kmm.Phys.alloc phys = None)
+
+(* Anonymous mappings -------------------------------------------------------- *)
+
+let test_anon_zero_fill () =
+  let _, space = mk () in
+  let addr = mmap_ok space ~len:40 ~prot:Kmm.Addr_space.prot_rw Kmm.Addr_space.Anon in
+  check (errno_r Alcotest.string) "zeros" (Ok (String.make 40 '\000'))
+    (Kmm.Addr_space.read space ~addr ~len:40);
+  (* 40 bytes at 16-byte pages = 3 pages resident after the read. *)
+  check Alcotest.int "3 pages faulted" 3 (Kmm.Addr_space.resident_pages space);
+  check Alcotest.int "minor faults" 3 (Kmm.Addr_space.stats space).Kmm.Addr_space.minor_faults
+
+let test_anon_write_read_roundtrip () =
+  let _, space = mk () in
+  let addr = mmap_ok space ~len:64 ~prot:Kmm.Addr_space.prot_rw Kmm.Addr_space.Anon in
+  (match Kmm.Addr_space.write space ~addr:(addr + 10) "hello across pages!" with
+  | Ok () -> ()
+  | Error e -> fail (Ksim.Errno.to_string e));
+  check (errno_r Alcotest.string) "read back" (Ok "hello across pages!")
+    (Kmm.Addr_space.read space ~addr:(addr + 10) ~len:19)
+
+let test_lazy_allocation () =
+  let phys, space = mk ~nframes:8 () in
+  let _addr = mmap_ok space ~len:128 ~prot:Kmm.Addr_space.prot_rw Kmm.Addr_space.Anon in
+  (* A huge mapping costs nothing until touched. *)
+  check Alcotest.int "no frames used yet" 8 (Kmm.Phys.free_frames phys);
+  check Alcotest.int "not resident" 0 (Kmm.Addr_space.resident_pages space)
+
+let test_efault_unmapped () =
+  let _, space = mk () in
+  check (errno_r Alcotest.string) "unmapped read" (Error Ksim.Errno.EFAULT)
+    (Kmm.Addr_space.read space ~addr:0x9999000 ~len:4);
+  check (errno_r Alcotest.unit) "unmapped write" (Error Ksim.Errno.EFAULT)
+    (Kmm.Addr_space.write space ~addr:0x9999000 "x")
+
+let test_efault_crossing_past_end () =
+  let _, space = mk () in
+  let addr = mmap_ok space ~len:16 ~prot:Kmm.Addr_space.prot_rw Kmm.Addr_space.Anon in
+  check (errno_r Alcotest.string) "runs off the vma" (Error Ksim.Errno.EFAULT)
+    (Kmm.Addr_space.read space ~addr ~len:32)
+
+let test_protection () =
+  let _, space = mk () in
+  let addr = mmap_ok space ~len:16 ~prot:Kmm.Addr_space.prot_ro Kmm.Addr_space.Anon in
+  check (errno_r Alcotest.string) "read ok" (Ok (String.make 4 '\000'))
+    (Kmm.Addr_space.read space ~addr ~len:4);
+  check (errno_r Alcotest.unit) "write blocked" (Error Ksim.Errno.EFAULT)
+    (Kmm.Addr_space.write space ~addr "x");
+  (match Kmm.Addr_space.mprotect space ~addr Kmm.Addr_space.prot_rw with
+  | Ok () -> ()
+  | Error e -> fail (Ksim.Errno.to_string e));
+  check (errno_r Alcotest.unit) "write after mprotect" (Ok ())
+    (Kmm.Addr_space.write space ~addr "x")
+
+let test_mmap_fixed_and_overlap () =
+  let _, space = mk () in
+  let psz = Kmm.Addr_space.page_size space in
+  (match Kmm.Addr_space.mmap space ~addr:(100 * psz) ~len:psz ~prot:Kmm.Addr_space.prot_rw
+           Kmm.Addr_space.Anon with
+  | Ok addr -> check Alcotest.int "fixed address honored" (100 * psz) addr
+  | Error e -> fail (Ksim.Errno.to_string e));
+  check (errno_r Alcotest.int) "overlap rejected" (Error Ksim.Errno.EEXIST)
+    (Kmm.Addr_space.mmap space ~addr:(100 * psz) ~len:psz ~prot:Kmm.Addr_space.prot_rw
+       Kmm.Addr_space.Anon);
+  check (errno_r Alcotest.int) "unaligned rejected" (Error Ksim.Errno.EINVAL)
+    (Kmm.Addr_space.mmap space ~addr:3 ~len:psz ~prot:Kmm.Addr_space.prot_rw
+       Kmm.Addr_space.Anon);
+  check (errno_r Alcotest.int) "zero length rejected" (Error Ksim.Errno.EINVAL)
+    (Kmm.Addr_space.mmap space ~len:0 ~prot:Kmm.Addr_space.prot_rw Kmm.Addr_space.Anon)
+
+let test_munmap_releases_frames () =
+  let phys, space = mk ~nframes:8 () in
+  let addr = mmap_ok space ~len:48 ~prot:Kmm.Addr_space.prot_rw Kmm.Addr_space.Anon in
+  ignore (Kmm.Addr_space.write space ~addr (String.make 48 'x'));
+  check Alcotest.int "frames in use" 5 (Kmm.Phys.free_frames phys);
+  (match Kmm.Addr_space.munmap space ~addr with
+  | Ok () -> ()
+  | Error e -> fail (Ksim.Errno.to_string e));
+  check Alcotest.int "frames returned" 8 (Kmm.Phys.free_frames phys);
+  check (errno_r Alcotest.string) "address gone" (Error Ksim.Errno.EFAULT)
+    (Kmm.Addr_space.read space ~addr ~len:1);
+  check (errno_r Alcotest.unit) "double munmap" (Error Ksim.Errno.EINVAL)
+    (Kmm.Addr_space.munmap space ~addr)
+
+let test_enomem () =
+  let _, space = mk ~nframes:2 () in
+  let addr = mmap_ok space ~len:64 ~prot:Kmm.Addr_space.prot_rw Kmm.Addr_space.Anon in
+  check (errno_r Alcotest.unit) "third page fails" (Error Ksim.Errno.ENOMEM)
+    (Kmm.Addr_space.write space ~addr (String.make 64 'x'))
+
+(* File-backed mappings --------------------------------------------------------- *)
+
+let file_instance contents =
+  let inst = Kvfs.Iface.make (module Kfs.Memfs_typed) () in
+  let p = Kspec.Fs_spec.path_of_string "/data" in
+  ignore (Kvfs.Iface.instance_apply inst (Kspec.Fs_spec.Create p));
+  ignore (Kvfs.Iface.instance_apply inst (Kspec.Fs_spec.Write { file = p; off = 0; data = contents }));
+  (inst, p)
+
+let test_file_mapping_reads_file () =
+  let _, space = mk () in
+  let inst, path = file_instance "The quick brown fox jumps over the lazy dog." in
+  let addr =
+    mmap_ok space ~len:44 ~prot:Kmm.Addr_space.prot_ro
+      (Kmm.Addr_space.File { inst; path; offset = 0 })
+  in
+  check (errno_r Alcotest.string) "mapped contents" (Ok "quick brown")
+    (Kmm.Addr_space.read space ~addr:(addr + 4) ~len:11);
+  check Alcotest.bool "file faults counted" true
+    ((Kmm.Addr_space.stats space).Kmm.Addr_space.file_faults > 0)
+
+let test_file_mapping_offset () =
+  let _, space = mk () in
+  let inst, path = file_instance "0123456789ABCDEFGHIJKLMNOPQRSTUV" in
+  let addr =
+    mmap_ok space ~len:16 ~prot:Kmm.Addr_space.prot_ro
+      (Kmm.Addr_space.File { inst; path; offset = 16 })
+  in
+  check (errno_r Alcotest.string) "second page of the file" (Ok "GHIJ")
+    (Kmm.Addr_space.read space ~addr ~len:4)
+
+let test_file_mapping_is_private () =
+  let _, space = mk () in
+  let inst, path = file_instance "original content" in
+  let addr =
+    mmap_ok space ~len:16 ~prot:Kmm.Addr_space.prot_rw
+      (Kmm.Addr_space.File { inst; path; offset = 0 })
+  in
+  ignore (Kmm.Addr_space.write space ~addr "MUTATED!");
+  check (errno_r Alcotest.string) "mapping sees the store" (Ok "MUTATED! content")
+    (Kmm.Addr_space.read space ~addr ~len:16);
+  (* The file itself is untouched: MAP_PRIVATE. *)
+  match Kvfs.Iface.instance_apply inst (Kspec.Fs_spec.Read { file = path; off = 0; len = 16 }) with
+  | Ok (Kspec.Fs_spec.Data data) -> check Alcotest.string "file untouched" "original content" data
+  | _ -> fail "file read failed"
+
+let test_file_mapping_past_eof_zeros () =
+  let _, space = mk () in
+  let inst, path = file_instance "short" in
+  let addr =
+    mmap_ok space ~len:32 ~prot:Kmm.Addr_space.prot_ro
+      (Kmm.Addr_space.File { inst; path; offset = 0 })
+  in
+  check (errno_r Alcotest.string) "tail is zeros" (Ok ("short" ^ String.make 11 '\000'))
+    (Kmm.Addr_space.read space ~addr ~len:16)
+
+(* fork + COW --------------------------------------------------------------------- *)
+
+let test_fork_shares_then_isolates () =
+  let phys, space = mk ~nframes:16 () in
+  let addr = mmap_ok space ~len:32 ~prot:Kmm.Addr_space.prot_rw Kmm.Addr_space.Anon in
+  ignore (Kmm.Addr_space.write space ~addr "parent data here earlier writes!");
+  let before_fork = Kmm.Phys.free_frames phys in
+  let child = Kmm.Addr_space.fork space in
+  (* fork itself allocates nothing. *)
+  check Alcotest.int "no frames at fork" before_fork (Kmm.Phys.free_frames phys);
+  check (errno_r Alcotest.string) "child reads parent data" (Ok "parent")
+    (Kmm.Addr_space.read child ~addr ~len:6);
+  (* Child writes: COW breaks for that page only. *)
+  (match Kmm.Addr_space.write child ~addr "CHILD!" with
+  | Ok () -> ()
+  | Error e -> fail (Ksim.Errno.to_string e));
+  check Alcotest.int "one cow break" 1 (Kmm.Addr_space.stats child).Kmm.Addr_space.cow_breaks;
+  check (errno_r Alcotest.string) "child sees its write" (Ok "CHILD!")
+    (Kmm.Addr_space.read child ~addr ~len:6);
+  check (errno_r Alcotest.string) "parent unchanged" (Ok "parent")
+    (Kmm.Addr_space.read space ~addr ~len:6);
+  (* And the second page is still shared. *)
+  check (errno_r Alcotest.string) "shared tail" (Ok "writes!")
+    (Kmm.Addr_space.read child ~addr:(addr + 25) ~len:7)
+
+let test_parent_write_also_cows () =
+  let _, space = mk () in
+  let addr = mmap_ok space ~len:16 ~prot:Kmm.Addr_space.prot_rw Kmm.Addr_space.Anon in
+  ignore (Kmm.Addr_space.write space ~addr "shared");
+  let child = Kmm.Addr_space.fork space in
+  ignore (Kmm.Addr_space.write space ~addr "PARENT");
+  check (errno_r Alcotest.string) "child keeps old value" (Ok "shared")
+    (Kmm.Addr_space.read child ~addr ~len:6);
+  check (errno_r Alcotest.string) "parent new value" (Ok "PARENT")
+    (Kmm.Addr_space.read space ~addr ~len:6)
+
+let test_destroy_releases_everything () =
+  let phys, space = mk ~nframes:8 () in
+  let addr = mmap_ok space ~len:64 ~prot:Kmm.Addr_space.prot_rw Kmm.Addr_space.Anon in
+  ignore (Kmm.Addr_space.write space ~addr (String.make 64 'z'));
+  let child = Kmm.Addr_space.fork space in
+  ignore (Kmm.Addr_space.write child ~addr "c");
+  Kmm.Addr_space.destroy child;
+  Kmm.Addr_space.destroy space;
+  check Alcotest.int "all frames back" 8 (Kmm.Phys.free_frames phys)
+
+let test_fork_chain () =
+  let _, space = mk ~nframes:32 () in
+  let addr = mmap_ok space ~len:16 ~prot:Kmm.Addr_space.prot_rw Kmm.Addr_space.Anon in
+  ignore (Kmm.Addr_space.write space ~addr "gen0");
+  let c1 = Kmm.Addr_space.fork space in
+  let c2 = Kmm.Addr_space.fork c1 in
+  ignore (Kmm.Addr_space.write c2 ~addr "gen2");
+  check (errno_r Alcotest.string) "gen0 intact" (Ok "gen0") (Kmm.Addr_space.read space ~addr ~len:4);
+  check (errno_r Alcotest.string) "gen1 intact" (Ok "gen0") (Kmm.Addr_space.read c1 ~addr ~len:4);
+  check (errno_r Alcotest.string) "gen2 updated" (Ok "gen2") (Kmm.Addr_space.read c2 ~addr ~len:4)
+
+(* Model-based property: the software MMU against a byte-array model. ------------- *)
+
+let prop_mmu_matches_model =
+  QCheck2.Test.make ~name:"software MMU matches a flat byte model" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 30)
+        (triple bool (int_range 0 120) (string_size ~gen:(char_range 'a' 'z') (int_range 1 10))))
+    (fun script ->
+      let phys = Kmm.Phys.create ~nframes:64 ~page_size:16 in
+      let space = Kmm.Addr_space.create phys in
+      let base =
+        match Kmm.Addr_space.mmap space ~len:128 ~prot:Kmm.Addr_space.prot_rw Kmm.Addr_space.Anon with
+        | Ok a -> a
+        | Error _ -> assert false
+      in
+      let model = Bytes.make 128 '\000' in
+      List.for_all
+        (fun (is_write, off, data) ->
+          if is_write then begin
+            let len = min (String.length data) (128 - off) in
+            if len <= 0 then true
+            else begin
+              let data = String.sub data 0 len in
+              match Kmm.Addr_space.write space ~addr:(base + off) data with
+              | Ok () ->
+                  Bytes.blit_string data 0 model off len;
+                  true
+              | Error _ -> false
+            end
+          end
+          else begin
+            let len = min 12 (128 - off) in
+            match Kmm.Addr_space.read space ~addr:(base + off) ~len with
+            | Ok got -> String.equal got (Bytes.sub_string model off len)
+            | Error _ -> false
+          end)
+        script)
+
+let prop_fork_isolation =
+  QCheck2.Test.make ~name:"fork isolates parent and child" ~count:100
+    QCheck2.Gen.(
+      pair
+        (string_size ~gen:(char_range 'a' 'z') (int_range 1 32))
+        (string_size ~gen:(char_range 'A' 'Z') (int_range 1 32)))
+    (fun (parent_data, child_data) ->
+      let phys = Kmm.Phys.create ~nframes:64 ~page_size:16 in
+      let space = Kmm.Addr_space.create phys in
+      let addr =
+        match Kmm.Addr_space.mmap space ~len:32 ~prot:Kmm.Addr_space.prot_rw Kmm.Addr_space.Anon with
+        | Ok a -> a
+        | Error _ -> assert false
+      in
+      (match Kmm.Addr_space.write space ~addr parent_data with Ok () -> () | Error _ -> assert false);
+      let child = Kmm.Addr_space.fork space in
+      (match Kmm.Addr_space.write child ~addr child_data with Ok () -> () | Error _ -> assert false);
+      let parent_view = Kmm.Addr_space.read space ~addr ~len:(String.length parent_data) in
+      let child_view = Kmm.Addr_space.read child ~addr ~len:(String.length child_data) in
+      parent_view = Ok parent_data && child_view = Ok child_data)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "kmm"
+    [
+      ( "phys",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_phys_alloc_free;
+          Alcotest.test_case "refcount sharing" `Quick test_phys_refcount_sharing;
+          Alcotest.test_case "exhaustion" `Quick test_phys_exhaustion;
+        ] );
+      ( "anon",
+        [
+          Alcotest.test_case "zero fill" `Quick test_anon_zero_fill;
+          Alcotest.test_case "write/read roundtrip" `Quick test_anon_write_read_roundtrip;
+          Alcotest.test_case "lazy allocation" `Quick test_lazy_allocation;
+          Alcotest.test_case "EFAULT unmapped" `Quick test_efault_unmapped;
+          Alcotest.test_case "EFAULT past end" `Quick test_efault_crossing_past_end;
+          Alcotest.test_case "protection" `Quick test_protection;
+          Alcotest.test_case "fixed mmap + overlap" `Quick test_mmap_fixed_and_overlap;
+          Alcotest.test_case "munmap releases frames" `Quick test_munmap_releases_frames;
+          Alcotest.test_case "ENOMEM" `Quick test_enomem;
+        ] );
+      ( "file",
+        [
+          Alcotest.test_case "reads file" `Quick test_file_mapping_reads_file;
+          Alcotest.test_case "offset" `Quick test_file_mapping_offset;
+          Alcotest.test_case "private" `Quick test_file_mapping_is_private;
+          Alcotest.test_case "past EOF zeros" `Quick test_file_mapping_past_eof_zeros;
+        ] );
+      ( "fork",
+        [
+          Alcotest.test_case "shares then isolates" `Quick test_fork_shares_then_isolates;
+          Alcotest.test_case "parent write cows" `Quick test_parent_write_also_cows;
+          Alcotest.test_case "destroy releases" `Quick test_destroy_releases_everything;
+          Alcotest.test_case "fork chain" `Quick test_fork_chain;
+        ] );
+      ("properties", qcheck [ prop_mmu_matches_model; prop_fork_isolation ]);
+    ]

@@ -1,0 +1,490 @@
+(* Tests for the kernel-simulation substrate: error codes, dynamic values,
+   the manual allocator, locks, the scheduler, tracing, and the RNG. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* Errno ------------------------------------------------------------------ *)
+
+let test_errno_roundtrip () =
+  List.iter
+    (fun e ->
+      match Ksim.Errno.of_code (Ksim.Errno.to_code e) with
+      | Some e' -> check Alcotest.string "roundtrip" (Ksim.Errno.to_string e) (Ksim.Errno.to_string e')
+      | None -> fail "of_code failed")
+    Ksim.Errno.all
+
+let test_errno_codes () =
+  check Alcotest.int "ENOENT" 2 (Ksim.Errno.to_code Ksim.Errno.ENOENT);
+  check Alcotest.int "EIO" 5 (Ksim.Errno.to_code Ksim.Errno.EIO);
+  check Alcotest.int "EEXIST" 17 (Ksim.Errno.to_code Ksim.Errno.EEXIST);
+  check Alcotest.int "EXDEV" 18 (Ksim.Errno.to_code Ksim.Errno.EXDEV);
+  check Alcotest.int "EINVAL" 22 (Ksim.Errno.to_code Ksim.Errno.EINVAL)
+
+let test_errno_unknown_code () =
+  check Alcotest.bool "code 9999" true (Ksim.Errno.of_code 9999 = None)
+
+let test_errno_bind () =
+  let open Ksim.Errno in
+  let r =
+    let* x = ok 1 in
+    let* y = ok 2 in
+    ok (x + y)
+  in
+  check Alcotest.(result int string) "bind ok" (Ok 3)
+    (Result.map_error to_string r);
+  let r2 : int r =
+    let* _ = error ENOENT in
+    ok 1
+  in
+  check Alcotest.(result int string) "bind error" (Error "ENOENT")
+    (Result.map_error to_string r2)
+
+(* Dyn --------------------------------------------------------------------- *)
+
+let int_key : int Ksim.Dyn.Key.t = Ksim.Dyn.Key.create ~name:"test.int"
+let str_key : string Ksim.Dyn.Key.t = Ksim.Dyn.Key.create ~name:"test.string"
+
+let test_dyn_roundtrip () =
+  let d = Ksim.Dyn.inject int_key 42 in
+  check Alcotest.(option int) "project" (Some 42) (Ksim.Dyn.project int_key d);
+  check Alcotest.int "cast_exn" 42 (Ksim.Dyn.cast_exn int_key d)
+
+let test_dyn_mismatch () =
+  let d = Ksim.Dyn.inject int_key 42 in
+  check Alcotest.(option string) "wrong key" None (Ksim.Dyn.project str_key d);
+  match Ksim.Dyn.cast_exn str_key d with
+  | _ -> fail "expected Type_confusion"
+  | exception Ksim.Dyn.Type_confusion { expected; actual } ->
+      check Alcotest.string "expected tag" "test.string" expected;
+      check Alcotest.string "actual tag" "test.int" actual
+
+let test_dyn_same_name_different_keys () =
+  (* Two keys created with the same name must not unify: name is a label,
+     identity is the witness. *)
+  let k1 : int Ksim.Dyn.Key.t = Ksim.Dyn.Key.create ~name:"dup" in
+  let k2 : int Ksim.Dyn.Key.t = Ksim.Dyn.Key.create ~name:"dup" in
+  let d = Ksim.Dyn.inject k1 7 in
+  check Alcotest.(option int) "other key misses" None (Ksim.Dyn.project k2 d)
+
+let test_dyn_null () =
+  check Alcotest.bool "is_null" true (Ksim.Dyn.is_null Ksim.Dyn.null);
+  check Alcotest.(option int) "project null" None (Ksim.Dyn.project int_key Ksim.Dyn.null);
+  match Ksim.Dyn.cast_exn int_key Ksim.Dyn.null with
+  | _ -> fail "expected Null_dereference"
+  | exception Ksim.Dyn.Null_dereference -> ()
+
+let test_errptr () =
+  let open Ksim.Dyn.Errptr in
+  let p = of_ptr (Ksim.Dyn.inject int_key 1) in
+  let e = of_err Ksim.Errno.ENOENT in
+  check Alcotest.bool "ptr not err" false (is_err p);
+  check Alcotest.bool "err is err" true (is_err e);
+  check Alcotest.int "ptr_err of err" 2 (ptr_err e);
+  check Alcotest.int "ptr_err of ptr" 0 (ptr_err p);
+  check Alcotest.int "deref ptr" 1 (Ksim.Dyn.cast_exn int_key (deref p));
+  (match deref e with
+  | _ -> fail "deref of ERR_PTR must oops"
+  | exception Ksim.Dyn.Null_dereference -> ());
+  check Alcotest.bool "to_result err" true (to_result e = Error Ksim.Errno.ENOENT)
+
+(* Kmem -------------------------------------------------------------------- *)
+
+let test_kmem_alloc_read_write () =
+  let heap = Ksim.Kmem.create ~name:"t" () in
+  let p = Ksim.Kmem.alloc heap ~site:"here" "hello" in
+  check Alcotest.string "read" "hello" (Ksim.Kmem.read p);
+  Ksim.Kmem.write p "world";
+  check Alcotest.string "after write" "world" (Ksim.Kmem.read p);
+  check Alcotest.int "live" 1 (Ksim.Kmem.live_count heap);
+  Ksim.Kmem.free p;
+  check Alcotest.int "live after free" 0 (Ksim.Kmem.live_count heap);
+  check Alcotest.int "allocated" 1 (Ksim.Kmem.allocated heap);
+  check Alcotest.int "freed" 1 (Ksim.Kmem.freed heap)
+
+let test_kmem_use_after_free () =
+  let heap = Ksim.Kmem.create ~name:"t" () in
+  let p = Ksim.Kmem.alloc heap ~site:"site1" 5 in
+  Ksim.Kmem.free p;
+  (match Ksim.Kmem.read p with
+  | _ -> fail "expected Use_after_free"
+  | exception Ksim.Kmem.Use_after_free { site; _ } ->
+      check Alcotest.string "site" "site1" site);
+  check Alcotest.int "uaf counted" 1 (Ksim.Kmem.uaf_events heap)
+
+let test_kmem_double_free () =
+  let heap = Ksim.Kmem.create ~name:"t" () in
+  let p = Ksim.Kmem.alloc heap ~site:"s" () in
+  Ksim.Kmem.free p;
+  (match Ksim.Kmem.free p with
+  | _ -> fail "expected Double_free"
+  | exception Ksim.Kmem.Double_free _ -> ());
+  check Alcotest.int "df counted" 1 (Ksim.Kmem.double_free_events heap)
+
+let test_kmem_nonstrict_write_after_free () =
+  let heap = Ksim.Kmem.create ~strict:false ~name:"t" () in
+  let p = Ksim.Kmem.alloc heap ~site:"s" 1 in
+  Ksim.Kmem.free p;
+  Ksim.Kmem.write p 2 (* silently counted, like real C *);
+  check Alcotest.int "uaf counted" 1 (Ksim.Kmem.uaf_events heap)
+
+let test_kmem_leaks () =
+  let heap = Ksim.Kmem.create ~name:"t" () in
+  let _p1 = Ksim.Kmem.alloc heap ~site:"a" 1 in
+  let p2 = Ksim.Kmem.alloc heap ~site:"b" 2 in
+  Ksim.Kmem.free p2;
+  match Ksim.Kmem.leaks heap with
+  | [ { Ksim.Kmem.leak_site; _ } ] -> check Alcotest.string "leak site" "a" leak_site
+  | l -> fail (Printf.sprintf "expected 1 leak, got %d" (List.length l))
+
+let test_kmem_is_live () =
+  let heap = Ksim.Kmem.create ~name:"t" () in
+  let p = Ksim.Kmem.alloc heap ~site:"s" 0 in
+  check Alcotest.bool "live" true (Ksim.Kmem.is_live p);
+  Ksim.Kmem.free p;
+  check Alcotest.bool "dead" false (Ksim.Kmem.is_live p)
+
+(* Klock ------------------------------------------------------------------- *)
+
+let test_lock_basic () =
+  let l = Ksim.Klock.create ~name:"l" () in
+  check Alcotest.bool "free" false (Ksim.Klock.held l);
+  Ksim.Klock.acquire l;
+  check Alcotest.bool "held" true (Ksim.Klock.held l);
+  check Alcotest.bool "by self" true (Ksim.Klock.held_by_self l);
+  Ksim.Klock.release l;
+  check Alcotest.bool "released" false (Ksim.Klock.held l)
+
+let test_lock_self_deadlock () =
+  let l = Ksim.Klock.create ~name:"l" () in
+  Ksim.Klock.acquire l;
+  (match Ksim.Klock.acquire l with
+  | _ -> fail "expected Self_deadlock"
+  | exception Ksim.Klock.Self_deadlock _ -> ());
+  Ksim.Klock.release l
+
+let test_lock_release_by_nonholder () =
+  let l = Ksim.Klock.create ~name:"l" () in
+  match Ksim.Klock.release l with
+  | _ -> fail "expected Not_holder"
+  | exception Ksim.Klock.Not_holder _ -> ()
+
+let test_with_lock_releases_on_exception () =
+  let l = Ksim.Klock.create ~name:"l" () in
+  (match Ksim.Klock.with_lock l (fun () -> failwith "boom") with
+  | _ -> fail "expected failure"
+  | exception Failure _ -> ());
+  check Alcotest.bool "released after exn" false (Ksim.Klock.held l)
+
+let test_guarded_race_detection () =
+  let l = Ksim.Klock.create ~name:"l" () in
+  let cell = Ksim.Klock.Guarded.create ~lock:l ~name:"c" 0 in
+  (* Unlocked access: counted. *)
+  Ksim.Klock.Guarded.set cell 1;
+  check Alcotest.int "race recorded" 1 (Ksim.Klock.Guarded.races cell);
+  (* Locked access: clean. *)
+  Ksim.Klock.with_lock l (fun () -> Ksim.Klock.Guarded.set cell 2);
+  check Alcotest.int "no extra race" 1 (Ksim.Klock.Guarded.races cell);
+  (* unsafe_ accessors never count. *)
+  check Alcotest.int "unsafe read" 2 (Ksim.Klock.Guarded.unsafe_get cell);
+  check Alcotest.int "still 1 race" 1 (Ksim.Klock.Guarded.races cell)
+
+let test_guarded_strict_raises () =
+  let l = Ksim.Klock.create ~name:"l" () in
+  let cell = Ksim.Klock.Guarded.create ~strict:true ~lock:l ~name:"c" 0 in
+  match Ksim.Klock.Guarded.get cell with
+  | _ -> fail "expected Data_race"
+  | exception Ksim.Klock.Data_race { cell = name; _ } ->
+      check Alcotest.string "cell name" "c" name
+
+(* Lockdep ------------------------------------------------------------------- *)
+
+let test_lockdep_consistent_order_clean () =
+  let dep = Ksim.Lockdep.create () in
+  let a = Ksim.Klock.create ~lockdep:dep ~name:"A" () in
+  let b = Ksim.Klock.create ~lockdep:dep ~name:"B" () in
+  for _ = 1 to 3 do
+    Ksim.Klock.with_lock a (fun () -> Ksim.Klock.with_lock b (fun () -> ()))
+  done;
+  check Alcotest.int "no warnings" 0 (Ksim.Lockdep.warning_count dep);
+  check Alcotest.bool "edge recorded" true (Ksim.Lockdep.edge_count dep >= 1)
+
+let test_lockdep_inversion_detected () =
+  let dep = Ksim.Lockdep.create () in
+  let a = Ksim.Klock.create ~lockdep:dep ~name:"A" () in
+  let b = Ksim.Klock.create ~lockdep:dep ~name:"B" () in
+  (* A -> B once... *)
+  Ksim.Klock.with_lock a (fun () -> Ksim.Klock.with_lock b (fun () -> ()));
+  (* ...then B -> A: no deadlock happens (single thread), but the order
+     inversion is reported immediately — lockdep's whole point. *)
+  Ksim.Klock.with_lock b (fun () -> Ksim.Klock.with_lock a (fun () -> ()));
+  check Alcotest.int "one warning" 1 (Ksim.Lockdep.warning_count dep);
+  match Ksim.Lockdep.warnings dep with
+  | [ w ] ->
+      check Alcotest.string "acquiring A" "A" w.Ksim.Lockdep.acquiring;
+      check Alcotest.bool "cycle mentions B" true (List.mem "B" w.Ksim.Lockdep.cycle)
+  | _ -> fail "expected exactly one warning"
+
+let test_lockdep_transitive_cycle () =
+  let dep = Ksim.Lockdep.create () in
+  let a = Ksim.Klock.create ~lockdep:dep ~name:"A" () in
+  let b = Ksim.Klock.create ~lockdep:dep ~name:"B" () in
+  let c = Ksim.Klock.create ~lockdep:dep ~name:"C" () in
+  Ksim.Klock.with_lock a (fun () -> Ksim.Klock.with_lock b (fun () -> ()));
+  Ksim.Klock.with_lock b (fun () -> Ksim.Klock.with_lock c (fun () -> ()));
+  (* C -> A closes A -> B -> C -> A. *)
+  Ksim.Klock.with_lock c (fun () -> Ksim.Klock.with_lock a (fun () -> ()));
+  check Alcotest.bool "cycle found" true (Ksim.Lockdep.warning_count dep >= 1)
+
+let test_lockdep_across_threads () =
+  (* The classic AB/BA deadlock pattern, staged so it does NOT deadlock in
+     this interleaving — lockdep still reports it. *)
+  let dep = Ksim.Lockdep.create () in
+  let a = Ksim.Klock.create ~lockdep:dep ~name:"A" () in
+  let b = Ksim.Klock.create ~lockdep:dep ~name:"B" () in
+  let sched = Ksim.Kthread.create () in
+  ignore
+    (Ksim.Kthread.spawn sched ~name:"t1" (fun () ->
+         Ksim.Klock.with_lock a (fun () -> Ksim.Klock.with_lock b (fun () -> ()))));
+  ignore
+    (Ksim.Kthread.spawn sched ~name:"t2" (fun () ->
+         Ksim.Klock.with_lock b (fun () -> Ksim.Klock.with_lock a (fun () -> ()))));
+  Ksim.Kthread.run sched;
+  check Alcotest.bool "reported" true (Ksim.Lockdep.warning_count dep >= 1)
+
+let test_lockdep_reentrant_stack () =
+  let dep = Ksim.Lockdep.create () in
+  let a = Ksim.Klock.create ~lockdep:dep ~name:"A" () in
+  let b = Ksim.Klock.create ~lockdep:dep ~name:"B" () in
+  (* Release out of acquisition order must still unwind the held stack. *)
+  Ksim.Klock.acquire a;
+  Ksim.Klock.acquire b;
+  Ksim.Klock.release a;
+  Ksim.Klock.release b;
+  Ksim.Klock.with_lock b (fun () -> ());
+  check Alcotest.int "no spurious warnings" 0 (Ksim.Lockdep.warning_count dep)
+
+(* Kthread ------------------------------------------------------------------ *)
+
+let test_scheduler_runs_all () =
+  let sched = Ksim.Kthread.create () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Ksim.Kthread.spawn sched ~name:(string_of_int i) (fun () ->
+           log := i :: !log;
+           Ksim.Kthread.yield ();
+           log := (10 * i) :: !log))
+  done;
+  Ksim.Kthread.run sched;
+  check Alcotest.(list int) "round robin order" [ 1; 2; 3; 10; 20; 30 ] (List.rev !log);
+  check Alcotest.int "no failures" 0 (List.length (Ksim.Kthread.failures sched))
+
+let test_scheduler_seeded_deterministic () =
+  let run seed =
+    let sched = Ksim.Kthread.create ~seed () in
+    let log = ref [] in
+    for i = 1 to 4 do
+      ignore
+        (Ksim.Kthread.spawn sched ~name:(string_of_int i) (fun () ->
+             log := i :: !log;
+             Ksim.Kthread.yield ();
+             log := i :: !log))
+    done;
+    Ksim.Kthread.run sched;
+    List.rev !log
+  in
+  check Alcotest.(list int) "same seed same schedule" (run 7) (run 7);
+  (* A different seed typically gives a different interleaving; at minimum
+     the multiset of events is preserved. *)
+  check Alcotest.int "all events" 8 (List.length (run 8))
+
+let test_scheduler_collects_failures () =
+  let sched = Ksim.Kthread.create () in
+  ignore (Ksim.Kthread.spawn sched ~name:"ok" (fun () -> ()));
+  ignore (Ksim.Kthread.spawn sched ~name:"bad" (fun () -> failwith "oops"));
+  Ksim.Kthread.run sched;
+  match Ksim.Kthread.failures sched with
+  | [ { Ksim.Kthread.failed_name; _ } ] -> check Alcotest.string "name" "bad" failed_name
+  | l -> fail (Printf.sprintf "expected 1 failure, got %d" (List.length l))
+
+let test_scheduler_lock_handoff () =
+  (* Two threads contend on a lock; the spin-by-yield must hand over. *)
+  let sched = Ksim.Kthread.create () in
+  let l = Ksim.Klock.create ~name:"shared" () in
+  let order = ref [] in
+  ignore
+    (Ksim.Kthread.spawn sched ~name:"a" (fun () ->
+         Ksim.Klock.with_lock l (fun () ->
+             order := "a-in" :: !order;
+             Ksim.Kthread.yield ();
+             order := "a-out" :: !order)));
+  ignore
+    (Ksim.Kthread.spawn sched ~name:"b" (fun () ->
+         Ksim.Klock.with_lock l (fun () -> order := "b" :: !order)));
+  Ksim.Kthread.run sched;
+  check Alcotest.(list string) "critical sections do not interleave"
+    [ "a-in"; "a-out"; "b" ] (List.rev !order);
+  check Alcotest.bool "contention seen" true (Ksim.Klock.contentions l >= 1)
+
+let test_scheduler_livelock_detected () =
+  let sched = Ksim.Kthread.create ~max_steps:100 () in
+  ignore
+    (Ksim.Kthread.spawn sched ~name:"spin" (fun () ->
+         while true do
+           Ksim.Kthread.yield ()
+         done));
+  match Ksim.Kthread.run sched with
+  | _ -> fail "expected Livelock"
+  | exception Ksim.Kthread.Livelock _ -> ()
+
+let test_lost_update_race () =
+  (* The classic unsynchronized increment: with yields between read and
+     write, updates are lost — the bug ownership safety rules out. *)
+  let sched = Ksim.Kthread.create () in
+  let counter = ref 0 in
+  for _ = 1 to 4 do
+    ignore
+      (Ksim.Kthread.spawn sched ~name:"inc" (fun () ->
+           let v = !counter in
+           Ksim.Kthread.yield ();
+           counter := v + 1))
+  done;
+  Ksim.Kthread.run sched;
+  check Alcotest.int "updates lost" 1 !counter
+
+(* Ktrace ------------------------------------------------------------------- *)
+
+let test_trace_basic () =
+  let tr = Ksim.Ktrace.create ~capacity:3 () in
+  Ksim.Ktrace.emit tr ~category:"a" "one";
+  Ksim.Ktrace.emitf tr ~category:"b" "two %d" 2;
+  check Alcotest.int "count a" 1 (Ksim.Ktrace.count tr ~category:"a");
+  check Alcotest.int "total" 2 (Ksim.Ktrace.total tr);
+  Ksim.Ktrace.emit tr ~category:"a" "three";
+  Ksim.Ktrace.emit tr ~category:"a" "four" (* evicts "one" *);
+  check Alcotest.int "ring keeps 3" 3 (List.length (Ksim.Ktrace.events tr));
+  check Alcotest.int "total still counts" 4 (Ksim.Ktrace.total tr);
+  Ksim.Ktrace.clear tr;
+  check Alcotest.int "cleared" 0 (Ksim.Ktrace.total tr)
+
+(* Rng ----------------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Ksim.Rng.of_int 1 and b = Ksim.Rng.of_int 1 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Ksim.Rng.int a 1000) (Ksim.Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Ksim.Rng.of_int 1 in
+  let c = Ksim.Rng.split a in
+  (* The split stream must differ from the parent's continuation. *)
+  let xs = List.init 10 (fun _ -> Ksim.Rng.int a 1_000_000) in
+  let ys = List.init 10 (fun _ -> Ksim.Rng.int c 1_000_000) in
+  check Alcotest.bool "streams differ" true (xs <> ys)
+
+let rng_int_in_bounds =
+  QCheck2.Test.make ~name:"rng.int always within bounds" ~count:500
+    QCheck2.Gen.(pair int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Ksim.Rng.of_int seed in
+      let v = Ksim.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let rng_float_in_unit =
+  QCheck2.Test.make ~name:"rng.float in [0,1)" ~count:500 QCheck2.Gen.int (fun seed ->
+      let rng = Ksim.Rng.of_int seed in
+      let f = Ksim.Rng.float rng in
+      f >= 0.0 && f < 1.0)
+
+let rng_shuffle_permutation =
+  QCheck2.Test.make ~name:"rng.shuffle is a permutation" ~count:200
+    QCheck2.Gen.(pair int (list_size (int_range 0 30) int))
+    (fun (seed, xs) ->
+      let rng = Ksim.Rng.of_int seed in
+      List.sort compare (Ksim.Rng.shuffle rng xs) = List.sort compare xs)
+
+let rng_pick_member =
+  QCheck2.Test.make ~name:"rng.pick returns a member" ~count:200
+    QCheck2.Gen.(pair int (list_size (int_range 1 20) int))
+    (fun (seed, xs) ->
+      let rng = Ksim.Rng.of_int seed in
+      List.mem (Ksim.Rng.pick rng xs) xs)
+
+(* Kstats --------------------------------------------------------------------- *)
+
+let test_kstats () =
+  let s = Ksim.Kstats.create () in
+  Ksim.Kstats.incr s "x";
+  Ksim.Kstats.incr ~by:4 s "x";
+  Ksim.Kstats.incr s "y";
+  check Alcotest.int "x" 5 (Ksim.Kstats.get s "x");
+  check Alcotest.int "missing" 0 (Ksim.Kstats.get s "z");
+  check Alcotest.(list (pair string int)) "sorted" [ ("x", 5); ("y", 1) ] (Ksim.Kstats.to_list s);
+  Ksim.Kstats.reset s;
+  check Alcotest.int "reset" 0 (Ksim.Kstats.get s "x")
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "ksim"
+    [
+      ( "errno",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_errno_roundtrip;
+          Alcotest.test_case "known codes" `Quick test_errno_codes;
+          Alcotest.test_case "unknown code" `Quick test_errno_unknown_code;
+          Alcotest.test_case "result bind" `Quick test_errno_bind;
+        ] );
+      ( "dyn",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dyn_roundtrip;
+          Alcotest.test_case "type confusion" `Quick test_dyn_mismatch;
+          Alcotest.test_case "same-name keys differ" `Quick test_dyn_same_name_different_keys;
+          Alcotest.test_case "null" `Quick test_dyn_null;
+          Alcotest.test_case "errptr convention" `Quick test_errptr;
+        ] );
+      ( "kmem",
+        [
+          Alcotest.test_case "alloc/read/write/free" `Quick test_kmem_alloc_read_write;
+          Alcotest.test_case "use-after-free" `Quick test_kmem_use_after_free;
+          Alcotest.test_case "double free" `Quick test_kmem_double_free;
+          Alcotest.test_case "non-strict write-after-free" `Quick test_kmem_nonstrict_write_after_free;
+          Alcotest.test_case "leak report" `Quick test_kmem_leaks;
+          Alcotest.test_case "is_live" `Quick test_kmem_is_live;
+        ] );
+      ( "klock",
+        [
+          Alcotest.test_case "basic" `Quick test_lock_basic;
+          Alcotest.test_case "self deadlock" `Quick test_lock_self_deadlock;
+          Alcotest.test_case "release by non-holder" `Quick test_lock_release_by_nonholder;
+          Alcotest.test_case "with_lock releases on exn" `Quick test_with_lock_releases_on_exception;
+          Alcotest.test_case "guarded race detection" `Quick test_guarded_race_detection;
+          Alcotest.test_case "guarded strict raises" `Quick test_guarded_strict_raises;
+        ] );
+      ( "lockdep",
+        [
+          Alcotest.test_case "consistent order clean" `Quick test_lockdep_consistent_order_clean;
+          Alcotest.test_case "inversion detected" `Quick test_lockdep_inversion_detected;
+          Alcotest.test_case "transitive cycle" `Quick test_lockdep_transitive_cycle;
+          Alcotest.test_case "across threads" `Quick test_lockdep_across_threads;
+          Alcotest.test_case "out-of-order release" `Quick test_lockdep_reentrant_stack;
+        ] );
+      ( "kthread",
+        [
+          Alcotest.test_case "runs all threads" `Quick test_scheduler_runs_all;
+          Alcotest.test_case "seeded determinism" `Quick test_scheduler_seeded_deterministic;
+          Alcotest.test_case "collects failures" `Quick test_scheduler_collects_failures;
+          Alcotest.test_case "lock handoff" `Quick test_scheduler_lock_handoff;
+          Alcotest.test_case "livelock detected" `Quick test_scheduler_livelock_detected;
+          Alcotest.test_case "lost update race" `Quick test_lost_update_race;
+        ] );
+      ("ktrace", [ Alcotest.test_case "ring and counts" `Quick test_trace_basic ]);
+      ( "rng",
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic
+        :: Alcotest.test_case "split independence" `Quick test_rng_split_independent
+        :: qcheck [ rng_int_in_bounds; rng_float_in_unit; rng_shuffle_permutation; rng_pick_member ]
+      );
+      ("kstats", [ Alcotest.test_case "counters" `Quick test_kstats ]);
+    ]

@@ -1,0 +1,366 @@
+(* Tests for the ownership checker: the three sharing models, violation
+   detection, contracts, and the copying message baseline. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let kind_of_violation (v : Ownership.Checker.violation) =
+  Ownership.Checker.violation_kind_to_string v.Ownership.Checker.kind
+
+let expect_violation name f =
+  match f () with
+  | _ -> fail ("expected Violation " ^ name)
+  | exception Ownership.Checker.Violation v -> check Alcotest.string name name (kind_of_violation v)
+
+(* Well-behaved clients ------------------------------------------------------ *)
+
+let test_alloc_write_read_free () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"m" ~size:8 in
+  Ownership.Checker.write ck cap ~off:0 (Bytes.of_string "abc");
+  check Alcotest.string "read back" "abc"
+    (Bytes.to_string (Ownership.Checker.read ck cap ~off:0 ~len:3));
+  check Alcotest.int "size" 8 (Ownership.Checker.size ck cap);
+  Ownership.Checker.free ck cap;
+  check Alcotest.int "no violations" 0 (Ownership.Checker.violation_count ck);
+  check Alcotest.bool "no leaks" true (Ownership.Checker.check_leaks ck)
+
+let test_fill () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"m" ~size:4 in
+  Ownership.Checker.fill ck cap 'x';
+  check Alcotest.string "filled" "xxxx"
+    (Bytes.to_string (Ownership.Checker.read ck cap ~off:0 ~len:4));
+  Ownership.Checker.free ck cap
+
+(* Model 1: transfer ---------------------------------------------------------- *)
+
+let test_transfer_moves_rights () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"caller" ~size:4 in
+  let callee_cap = Ownership.Checker.transfer ck cap ~to_:"callee" in
+  Ownership.Checker.write ck callee_cap ~off:0 (Bytes.of_string "ok");
+  expect_violation "read-with-revoked-cap" (fun () ->
+      Ownership.Checker.read ck cap ~off:0 ~len:1);
+  Ownership.Checker.free ck callee_cap;
+  check Alcotest.bool "callee freed fine" true (Ownership.Checker.live_regions ck = [])
+
+let test_transfer_then_caller_free_is_violation () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"caller" ~size:4 in
+  let _callee = Ownership.Checker.transfer ck cap ~to_:"callee" in
+  expect_violation "free-without-ownership" (fun () -> Ownership.Checker.free ck cap)
+
+let test_double_transfer_is_violation () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"a" ~size:4 in
+  let _b = Ownership.Checker.transfer ck cap ~to_:"b" in
+  expect_violation "free-without-ownership" (fun () ->
+      ignore (Ownership.Checker.transfer ck cap ~to_:"c"))
+
+(* Model 2: exclusive lend ------------------------------------------------------ *)
+
+let test_exclusive_lend_borrower_writes () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"fs" ~size:4 in
+  Ownership.Checker.lend_exclusive ck cap ~to_:"client" ~f:(fun b ->
+      Ownership.Checker.write ck b ~off:0 (Bytes.of_string "data"));
+  check Alcotest.string "owner sees the write" "data"
+    (Bytes.to_string (Ownership.Checker.read ck cap ~off:0 ~len:4));
+  Ownership.Checker.free ck cap;
+  check Alcotest.int "clean run" 0 (Ownership.Checker.violation_count ck)
+
+let test_exclusive_lend_caller_locked_out () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"fs" ~size:4 in
+  Ownership.Checker.lend_exclusive ck cap ~to_:"client" ~f:(fun _b ->
+      expect_violation "read-with-revoked-cap" (fun () ->
+          Ownership.Checker.read ck cap ~off:0 ~len:1));
+  Ownership.Checker.free ck cap
+
+let test_exclusive_borrower_cannot_free () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"fs" ~size:4 in
+  Ownership.Checker.lend_exclusive ck cap ~to_:"client" ~f:(fun b ->
+      expect_violation "free-while-lent" (fun () -> Ownership.Checker.free ck b));
+  Ownership.Checker.free ck cap
+
+let test_escaped_borrow_is_dead () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"fs" ~size:4 in
+  let escaped = Ownership.Checker.lend_exclusive ck cap ~to_:"client" ~f:(fun b -> b) in
+  expect_violation "read-with-revoked-cap" (fun () ->
+      Ownership.Checker.read ck escaped ~off:0 ~len:1);
+  Ownership.Checker.free ck cap
+
+let test_exclusive_lend_restores_on_exception () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"fs" ~size:4 in
+  (match
+     Ownership.Checker.lend_exclusive ck cap ~to_:"client" ~f:(fun _ -> failwith "boom")
+   with
+  | _ -> fail "expected exception"
+  | exception Failure _ -> ());
+  Ownership.Checker.write ck cap ~off:0 (Bytes.of_string "ok");
+  Ownership.Checker.free ck cap
+
+(* Model 3: shared lend ---------------------------------------------------------- *)
+
+let test_shared_lend_all_read () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"fs" ~size:4 in
+  Ownership.Checker.write ck cap ~off:0 (Bytes.of_string "abcd");
+  Ownership.Checker.lend_shared ck cap ~to_:[ "r1"; "r2" ] ~f:(fun readers ->
+      List.iter
+        (fun r ->
+          check Alcotest.string "reader sees data" "abcd"
+            (Bytes.to_string (Ownership.Checker.read ck r ~off:0 ~len:4)))
+        readers;
+      check Alcotest.string "owner reads too" "ab"
+        (Bytes.to_string (Ownership.Checker.read ck cap ~off:0 ~len:2)));
+  Ownership.Checker.free ck cap;
+  check Alcotest.int "clean" 0 (Ownership.Checker.violation_count ck)
+
+let test_shared_lend_nobody_writes () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"fs" ~size:4 in
+  Ownership.Checker.lend_shared ck cap ~to_:[ "r" ] ~f:(fun readers ->
+      let r = List.hd readers in
+      expect_violation "write-while-shared" (fun () ->
+          Ownership.Checker.write ck r ~off:0 (Bytes.of_string "x"));
+      expect_violation "write-while-shared" (fun () ->
+          Ownership.Checker.write ck cap ~off:0 (Bytes.of_string "y")));
+  Ownership.Checker.free ck cap
+
+let test_shared_lend_free_is_violation () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"fs" ~size:4 in
+  Ownership.Checker.lend_shared ck cap ~to_:[ "r" ] ~f:(fun _ ->
+      expect_violation "free-while-lent" (fun () -> Ownership.Checker.free ck cap));
+  Ownership.Checker.free ck cap
+
+(* Lifecycle violations ------------------------------------------------------------ *)
+
+let test_use_after_free () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"m" ~size:4 in
+  Ownership.Checker.free ck cap;
+  expect_violation "use-after-free" (fun () -> Ownership.Checker.read ck cap ~off:0 ~len:1)
+
+let test_double_free () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"m" ~size:4 in
+  Ownership.Checker.free ck cap;
+  expect_violation "double-free" (fun () -> Ownership.Checker.free ck cap)
+
+let test_out_of_bounds () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"m" ~size:4 in
+  expect_violation "out-of-bounds" (fun () ->
+      ignore (Ownership.Checker.read ck cap ~off:2 ~len:4));
+  Ownership.Checker.free ck cap
+
+let test_leak_detection () =
+  let ck = Ownership.Checker.create ~strict:false () in
+  let _cap = Ownership.Checker.alloc ck ~holder:"leaky" ~size:4 in
+  check Alcotest.bool "leak found" false (Ownership.Checker.check_leaks ck);
+  let leaks =
+    List.filter
+      (fun (v : Ownership.Checker.violation) -> v.Ownership.Checker.kind = Ownership.Checker.Leak)
+      (Ownership.Checker.violations ck)
+  in
+  check Alcotest.int "one leak" 1 (List.length leaks)
+
+let test_nonstrict_records () =
+  let ck = Ownership.Checker.create ~strict:false () in
+  let cap = Ownership.Checker.alloc ck ~holder:"m" ~size:4 in
+  Ownership.Checker.free ck cap;
+  ignore (Ownership.Checker.read ck cap ~off:0 ~len:1);
+  check Alcotest.int "recorded, not raised" 1 (Ownership.Checker.violation_count ck)
+
+(* QCheck: a random well-behaved client never triggers violations. *)
+let gen_script = QCheck2.Gen.(list_size (int_range 1 40) (int_range 0 4))
+
+let prop_well_behaved_client_clean =
+  QCheck2.Test.make ~name:"well-behaved clients never violate" ~count:200 gen_script
+    (fun script ->
+      let ck = Ownership.Checker.create ~strict:true () in
+      let live = ref [] in
+      let step op =
+        match (op, !live) with
+        | 0, _ ->
+            let cap = Ownership.Checker.alloc ck ~holder:"client" ~size:16 in
+            live := cap :: !live
+        | 1, cap :: _ -> Ownership.Checker.write ck cap ~off:0 (Bytes.of_string "abc")
+        | 2, cap :: _ -> ignore (Ownership.Checker.read ck cap ~off:0 ~len:8)
+        | 3, cap :: rest ->
+            Ownership.Checker.lend_exclusive ck cap ~to_:"callee" ~f:(fun b ->
+                Ownership.Checker.write ck b ~off:0 (Bytes.of_string "z"));
+            live := cap :: rest
+        | 4, cap :: rest ->
+            Ownership.Checker.free ck cap;
+            live := rest
+        | _, [] -> ()
+        | _ -> ()
+      in
+      List.iter step script;
+      List.iter (fun cap -> Ownership.Checker.free ck cap) !live;
+      Ownership.Checker.violation_count ck = 0 && Ownership.Checker.check_leaks ck)
+
+(* Message baseline ------------------------------------------------------------- *)
+
+let test_message_copies () =
+  let ch = Ownership.Message.create () in
+  let payload = Bytes.of_string "hello" in
+  Ownership.Message.send ch payload;
+  Bytes.set payload 0 'X';
+  (match Ownership.Message.recv ch with
+  | Some received -> check Alcotest.string "isolated" "hello" (Bytes.to_string received)
+  | None -> fail "expected a message");
+  check Alcotest.int "bytes copied" 5 (Ownership.Message.bytes_copied ch)
+
+let test_message_call_roundtrip () =
+  let ch = Ownership.Message.create () in
+  let reply =
+    Ownership.Message.call ch (Bytes.of_string "ping") ~f:(fun req ->
+        check Alcotest.string "request" "ping" (Bytes.to_string req);
+        Bytes.of_string "pong")
+  in
+  check Alcotest.string "reply" "pong" (Bytes.to_string reply);
+  check Alcotest.int "two copies" 8 (Ownership.Message.bytes_copied ch)
+
+let test_message_fifo () =
+  let ch = Ownership.Message.create () in
+  Ownership.Message.send ch (Bytes.of_string "1");
+  Ownership.Message.send ch (Bytes.of_string "2");
+  check Alcotest.int "pending" 2 (Ownership.Message.pending ch);
+  check Alcotest.(option string) "first" (Some "1")
+    (Option.map Bytes.to_string (Ownership.Message.recv ch));
+  check Alcotest.(option string) "second" (Some "2")
+    (Option.map Bytes.to_string (Ownership.Message.recv ch));
+  check Alcotest.(option string) "empty" None
+    (Option.map Bytes.to_string (Ownership.Message.recv ch))
+
+(* Contracts --------------------------------------------------------------------- *)
+
+let fs_like_contract =
+  Ownership.Contract.v ~interface:"test_iface"
+    [
+      Ownership.Contract.op ~name:"consume" [ ("buf", Ownership.Contract.Move) ];
+      Ownership.Contract.op ~name:"fill" [ ("buf", Ownership.Contract.Borrow_exclusive) ];
+      Ownership.Contract.op ~name:"scan"
+        [ ("a", Ownership.Contract.Borrow_shared); ("b", Ownership.Contract.Borrow_shared) ];
+    ]
+
+let test_contract_move () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"caller" ~size:4 in
+  let kept = ref None in
+  Ownership.Contract.apply ck fs_like_contract ~op:"consume" ~callee:"svc" ~args:[ cap ]
+    ~f:(fun caps -> kept := Some (List.hd caps));
+  (match Ownership.Checker.read ck cap ~off:0 ~len:1 with
+  | _ -> fail "caller should be locked out"
+  | exception Ownership.Checker.Violation _ -> ());
+  (match !kept with
+  | Some callee_cap -> Ownership.Checker.free ck callee_cap
+  | None -> fail "callee cap missing");
+  check Alcotest.bool "no leak" true (Ownership.Checker.check_leaks ck)
+
+let test_contract_borrow_ends () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"caller" ~size:4 in
+  Ownership.Contract.apply ck fs_like_contract ~op:"fill" ~callee:"svc" ~args:[ cap ]
+    ~f:(fun caps -> Ownership.Checker.write ck (List.hd caps) ~off:0 (Bytes.of_string "ab"));
+  check Alcotest.string "caller reads result" "ab"
+    (Bytes.to_string (Ownership.Checker.read ck cap ~off:0 ~len:2));
+  Ownership.Checker.free ck cap
+
+let test_contract_shared_multi_arg () =
+  let ck = Ownership.Checker.create () in
+  let a = Ownership.Checker.alloc ck ~holder:"caller" ~size:2 in
+  let b = Ownership.Checker.alloc ck ~holder:"caller" ~size:2 in
+  Ownership.Contract.apply ck fs_like_contract ~op:"scan" ~callee:"svc" ~args:[ a; b ]
+    ~f:(fun caps ->
+      List.iter (fun c -> ignore (Ownership.Checker.read ck c ~off:0 ~len:1)) caps);
+  Ownership.Checker.free ck a;
+  Ownership.Checker.free ck b;
+  check Alcotest.int "clean" 0 (Ownership.Checker.violation_count ck)
+
+let test_contract_unknown_op () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"c" ~size:1 in
+  (match
+     Ownership.Contract.apply ck fs_like_contract ~op:"nope" ~callee:"svc" ~args:[ cap ]
+       ~f:(fun _ -> ())
+   with
+  | _ -> fail "expected Unknown_op"
+  | exception Ownership.Contract.Unknown_op { op; _ } -> check Alcotest.string "op" "nope" op);
+  Ownership.Checker.free ck cap
+
+let test_contract_arity () =
+  let ck = Ownership.Checker.create () in
+  let cap = Ownership.Checker.alloc ck ~holder:"c" ~size:1 in
+  (match
+     Ownership.Contract.apply ck fs_like_contract ~op:"scan" ~callee:"svc" ~args:[ cap ]
+       ~f:(fun _ -> ())
+   with
+  | _ -> fail "expected Arity_mismatch"
+  | exception Ownership.Contract.Arity_mismatch { expected; got; _ } ->
+      check Alcotest.int "expected" 2 expected;
+      check Alcotest.int "got" 1 got);
+  Ownership.Checker.free ck cap
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "ownership"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "alloc/write/read/free" `Quick test_alloc_write_read_free;
+          Alcotest.test_case "fill" `Quick test_fill;
+        ] );
+      ( "model1-transfer",
+        [
+          Alcotest.test_case "moves rights" `Quick test_transfer_moves_rights;
+          Alcotest.test_case "caller free rejected" `Quick
+            test_transfer_then_caller_free_is_violation;
+          Alcotest.test_case "double transfer rejected" `Quick test_double_transfer_is_violation;
+        ] );
+      ( "model2-exclusive",
+        [
+          Alcotest.test_case "borrower writes" `Quick test_exclusive_lend_borrower_writes;
+          Alcotest.test_case "caller locked out" `Quick test_exclusive_lend_caller_locked_out;
+          Alcotest.test_case "borrower cannot free" `Quick test_exclusive_borrower_cannot_free;
+          Alcotest.test_case "escaped borrow dead" `Quick test_escaped_borrow_is_dead;
+          Alcotest.test_case "restore on exception" `Quick
+            test_exclusive_lend_restores_on_exception;
+        ] );
+      ( "model3-shared",
+        [
+          Alcotest.test_case "all parties read" `Quick test_shared_lend_all_read;
+          Alcotest.test_case "nobody writes" `Quick test_shared_lend_nobody_writes;
+          Alcotest.test_case "free rejected during lend" `Quick test_shared_lend_free_is_violation;
+        ] );
+      ( "lifecycle",
+        Alcotest.test_case "use-after-free" `Quick test_use_after_free
+        :: Alcotest.test_case "double free" `Quick test_double_free
+        :: Alcotest.test_case "out of bounds" `Quick test_out_of_bounds
+        :: Alcotest.test_case "leak detection" `Quick test_leak_detection
+        :: Alcotest.test_case "non-strict records" `Quick test_nonstrict_records
+        :: qcheck [ prop_well_behaved_client_clean ] );
+      ( "message",
+        [
+          Alcotest.test_case "copies isolate" `Quick test_message_copies;
+          Alcotest.test_case "call roundtrip" `Quick test_message_call_roundtrip;
+          Alcotest.test_case "fifo" `Quick test_message_fifo;
+        ] );
+      ( "contract",
+        [
+          Alcotest.test_case "move" `Quick test_contract_move;
+          Alcotest.test_case "borrow ends at return" `Quick test_contract_borrow_ends;
+          Alcotest.test_case "shared multi-arg" `Quick test_contract_shared_multi_arg;
+          Alcotest.test_case "unknown op" `Quick test_contract_unknown_op;
+          Alcotest.test_case "arity mismatch" `Quick test_contract_arity;
+        ] );
+    ]
