@@ -181,6 +181,40 @@ let bench_journal () =
       Test.make ~name:"direct-fsync-once" (staged (fs_cycle Kfs.Journalfs.Direct ~ops_per_fsync:20));
     ]
 
+(* BENCH-RESIL: the fault-injection plumbing must be free when disabled ----- *)
+
+let bench_resilience () =
+  let p = Kspec.Fs_spec.path_of_string in
+  let data = String.make 256 'r' in
+  let cycle mk () =
+    let dev = Kblock.Blockdev.create ~nblocks:1024 ~block_size:512 in
+    let io, arm = mk dev in
+    let fs = Kfs.Journalfs.mkfs_on ?io Kfs.Journalfs.Journaled dev in
+    arm ();
+    ignore (Kfs.Journalfs.apply fs (Kspec.Fs_spec.Create (p "/f")));
+    for _ = 1 to 20 do
+      ignore (Kfs.Journalfs.apply fs (Kspec.Fs_spec.Write { file = p "/f"; off = 0; data }))
+    done;
+    ignore (Kfs.Journalfs.apply fs Kspec.Fs_spec.Fsync)
+  in
+  let bare _dev = (None, fun () -> ()) in
+  let stack ?(faults = false) dev =
+    let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:1 () in
+    let flaky = Kblock.Flakydev.create ~fp (Kblock.Blockdev.io dev) in
+    let io = Kblock.Resilient.io (Kblock.Resilient.create ~max_attempts:6 (Kblock.Flakydev.io flaky)) in
+    let arm () =
+      if faults then
+        Ksim.Failpoint.configure fp "flaky.write-eio" ~enabled:true ~probability:0.1 ()
+    in
+    (Some io, arm)
+  in
+  run_group "resilience"
+    [
+      Test.make ~name:"journalfs-write-bare" (staged (cycle bare));
+      Test.make ~name:"journalfs-write-stack-disabled" (staged (cycle (stack ~faults:false)));
+      Test.make ~name:"journalfs-write-stack-10pct-faults" (staged (cycle (stack ~faults:true)));
+    ]
+
 (* The extension VM: interpreted-but-verified vs native hook ---------------- *)
 
 let bench_ebpf () =
@@ -297,7 +331,7 @@ let bench_ablation () =
 
 let find rows needle = List.assoc_opt needle rows |> Option.value ~default:nan
 
-let shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~ablation =
+let shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilience ~ablation =
   Fmt.pr "@.%s@.shape checks (paper claim -> measured):@." (String.make 64 '=');
   let ratio a b = if Float.is_nan a || Float.is_nan b || b = 0. then nan else a /. b in
   let claim name ok detail = Fmt.pr "  [%s] %-52s %s@." (if ok then "ok" else "??") name detail in
@@ -340,6 +374,13 @@ let shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~ablation
     (Fmt.str "journaled/direct %.2fx" rj);
   claim "group commit amortizes the journal" (rb > 1.2 || Float.is_nan rb)
     (Fmt.str "per-op-commit/group-commit %.2fx" rb);
+  let rr =
+    ratio
+      (find resilience "resilience/journalfs-write-stack-disabled")
+      (find resilience "resilience/journalfs-write-bare")
+  in
+  claim "disabled failpoints cost ~nothing on the write path" (rr < 1.5 || Float.is_nan rr)
+    (Fmt.str "stack-disabled/bare %.2fx" rr);
   let ra =
     ratio (find ablation "ablation/bufferhead-checked-20blocks")
       (find ablation "ablation/bufferhead-unchecked-20blocks")
@@ -374,8 +415,9 @@ let () =
   let ownership = bench_ownership () in
   let roadmap = bench_roadmap () in
   let journal = bench_journal () in
+  let resilience = bench_resilience () in
   let _ebpf = bench_ebpf () in
   let _mm = bench_mm () in
   let ablation = bench_ablation () in
-  shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~ablation;
+  shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilience ~ablation;
   Fmt.pr "@.done.@."

@@ -142,6 +142,18 @@ let crash_states dev ~limit =
 (* Lose all cached writes: the canonical single crash. *)
 let crash dev = dev.cache <- []
 
+let io dev : Io.t =
+  {
+    Io.nblocks = dev.nblocks;
+    block_size = dev.block_size;
+    read = read dev;
+    write = write dev;
+    flush =
+      (fun () ->
+        flush dev;
+        Ok ());
+  }
+
 let to_ops dev : Kspec.Axiom.block_ops =
   let fail_to_exn = function
     | Ok v -> v

@@ -43,5 +43,9 @@ val writes : t -> int
 val flushes : t -> int
 val pending_writes : t -> int
 
+val io : t -> Io.t
+(** The raw device as a layerable {!Io.t}: reads/writes as above, [flush]
+    never fails. *)
+
 val to_ops : t -> Kspec.Axiom.block_ops
 (** View as the byte-level interface the §4.4 axioms talk about. *)

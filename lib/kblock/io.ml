@@ -1,0 +1,15 @@
+(* The block I/O interface the rest of the kernel programs against.
+
+   A first-class record rather than a functor so that layers stack at
+   runtime: Blockdev.io gives the raw device, Flakydev.io wraps any io
+   with injected faults, Resilient.io wraps any io with retries.  All
+   three operations are fallible — unlike the bare device, a layered path
+   can fail a flush (e.g. while the device is down). *)
+
+type t = {
+  nblocks : int;
+  block_size : int;
+  read : int -> bytes Ksim.Errno.r;
+  write : int -> bytes -> unit Ksim.Errno.r;
+  flush : unit -> unit Ksim.Errno.r;
+}

@@ -1,0 +1,15 @@
+(** The block I/O interface the rest of the kernel programs against.
+
+    A first-class record so that layers stack at runtime:
+    [Blockdev.io dev] is the raw device, [Flakydev.io] wraps any [t] with
+    injected faults, [Resilient.io] wraps any [t] with retries.  All
+    three operations are fallible — a layered path can fail even a
+    [flush] (e.g. while the device is down). *)
+
+type t = {
+  nblocks : int;
+  block_size : int;
+  read : int -> bytes Ksim.Errno.r;
+  write : int -> bytes -> unit Ksim.Errno.r;
+  flush : unit -> unit Ksim.Errno.r;
+}

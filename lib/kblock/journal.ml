@@ -15,7 +15,18 @@
    crash can only observe (a) no trace of the transaction or (b) a fully
    replayable one — never a torn in-place update.  Checkpointing applies
    committed transactions to their home locations and advances the
-   checkpointed sequence number in the superblock. *)
+   checkpointed sequence number in the superblock.
+
+   The journal talks to the disk through an [Io.t], so the same code runs
+   over the raw device or over a flaky/resilient stack.  I/O failures
+   abort cleanly instead of corrupting state:
+
+   - a failed [commit] rolls the journal head back and leaves the
+     transaction uncommitted — recovery ignores the partial records
+     (no commit record, or a checksum mismatch, marks them dead);
+   - a failed [checkpoint] keeps every pending transaction pending and
+     does not advance the checkpointed sequence, so a later retry (or
+     crash recovery) replays them; home-area writes are idempotent. *)
 
 let magic = 0x4a4c3231 (* "JL21" *)
 
@@ -23,6 +34,7 @@ type record_kind = Descriptor | Commit
 
 type stats = {
   mutable commits : int;
+  mutable aborted_commits : int;
   mutable checkpoints : int;
   mutable recoveries : int;
   mutable replayed_txs : int;
@@ -30,7 +42,7 @@ type stats = {
 }
 
 type t = {
-  dev : Blockdev.t;
+  io : Io.t;
   jblocks : int;
   mutable head : int; (* next free journal block; 1-based *)
   mutable next_seq : int;
@@ -47,13 +59,23 @@ and tx = {
 
 exception Journal_full
 
+let ( let* ) = Result.bind
+
 let data_start j = j.jblocks
 let stats j = j.stats
 
-let block_size j = Blockdev.block_size j.dev
+let block_size j = j.io.Io.block_size
+let nblocks j = j.io.Io.nblocks
 
 let fresh_stats () =
-  { commits = 0; checkpoints = 0; recoveries = 0; replayed_txs = 0; journal_block_writes = 0 }
+  {
+    commits = 0;
+    aborted_commits = 0;
+    checkpoints = 0;
+    recoveries = 0;
+    replayed_txs = 0;
+    journal_block_writes = 0;
+  }
 
 (* Superblock ------------------------------------------------------------ *)
 
@@ -62,12 +84,10 @@ let write_jsb j =
   Codec.put_u32 buf 0 magic;
   Codec.put_u32 buf 4 j.checkpointed;
   Codec.put_u32 buf 8 j.jblocks;
-  match Blockdev.write j.dev 0 buf with
-  | Ok () -> ()
-  | Error e -> failwith ("journal superblock write: " ^ Ksim.Errno.to_string e)
+  j.io.Io.write 0 buf
 
-let read_jsb dev =
-  match Blockdev.read dev 0 with
+let read_jsb (io : Io.t) =
+  match io.Io.read 0 with
   | Error _ -> None
   | Ok buf ->
       if Codec.get_u32 buf 0 = magic then Some (Codec.get_u32 buf 4, Codec.get_u32 buf 8)
@@ -108,20 +128,24 @@ let max_tx_writes j = (block_size j - 9) / 4
 
 (* Formatting and opening ------------------------------------------------- *)
 
-let format dev ~jblocks =
-  if jblocks < 4 || jblocks >= Blockdev.nblocks dev then invalid_arg "Journal.format";
+let format (io : Io.t) ~jblocks =
+  if jblocks < 4 || jblocks >= io.Io.nblocks then invalid_arg "Journal.format";
   let j =
-    { dev; jblocks; head = 1; next_seq = 1; checkpointed = 0; pending = []; stats = fresh_stats () }
+    { io; jblocks; head = 1; next_seq = 1; checkpointed = 0; pending = []; stats = fresh_stats () }
   in
-  write_jsb j;
+  (match write_jsb j with
+  | Ok () -> ()
+  | Error e -> failwith ("journal format: " ^ Ksim.Errno.to_string e));
   (* Zero the journal area so stale records cannot be mistaken for live. *)
   let zero = Bytes.make (block_size j) '\000' in
   for blkno = 1 to jblocks - 1 do
-    match Blockdev.write dev blkno zero with
+    match io.Io.write blkno zero with
     | Ok () -> ()
     | Error e -> failwith ("journal format: " ^ Ksim.Errno.to_string e)
   done;
-  Blockdev.flush dev;
+  (match io.Io.flush () with
+  | Ok () -> ()
+  | Error e -> failwith ("journal format: " ^ Ksim.Errno.to_string e));
   j
 
 (* Transactions ------------------------------------------------------------ *)
@@ -129,8 +153,7 @@ let format dev ~jblocks =
 let tx_begin (_ : t) = { seq = 0; writes = []; committed = false }
 
 let tx_write j tx ~blkno data =
-  if blkno < j.jblocks || blkno >= Blockdev.nblocks j.dev then
-    Error Ksim.Errno.EINVAL
+  if blkno < j.jblocks || blkno >= nblocks j then Error Ksim.Errno.EINVAL
   else if Bytes.length data <> block_size j then Error Ksim.Errno.EINVAL
   else begin
     (* Coalesce rewrites of the same block within a transaction. *)
@@ -140,70 +163,103 @@ let tx_write j tx ~blkno data =
 
 let journal_write j blkno data =
   j.stats.journal_block_writes <- j.stats.journal_block_writes + 1;
-  match Blockdev.write j.dev blkno data with
-  | Ok () -> ()
-  | Error e -> failwith ("journal write: " ^ Ksim.Errno.to_string e)
+  j.io.Io.write blkno data
 
 let space_needed tx = 2 + List.length tx.writes
 
-(* Apply committed-but-unapplied transactions to their home locations. *)
+let rec write_all f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      write_all f rest
+
+(* Apply committed-but-unapplied transactions to their home locations.  On
+   failure nothing is forgotten: pending stays, the checkpointed sequence
+   does not advance, and a later retry (or recovery replay) redoes the
+   idempotent home writes. *)
 let checkpoint j =
   match j.pending with
-  | [] -> ()
+  | [] -> Ok ()
   | pending ->
-      List.iter
-        (fun tx ->
-          List.iter
-            (fun (blkno, data) ->
-              match Blockdev.write j.dev blkno data with
-              | Ok () -> ()
-              | Error e -> failwith ("checkpoint: " ^ Ksim.Errno.to_string e))
-            (List.rev tx.writes);
-          j.checkpointed <- max j.checkpointed tx.seq)
-        pending;
-      Blockdev.flush j.dev;
-      write_jsb j;
-      Blockdev.flush j.dev;
-      j.pending <- [];
-      j.head <- 1;
-      j.stats.checkpoints <- j.stats.checkpoints + 1
+      let* () =
+        write_all
+          (fun tx -> write_all (fun (blkno, data) -> j.io.Io.write blkno data) (List.rev tx.writes))
+          pending
+      in
+      let* () = j.io.Io.flush () in
+      let saved = j.checkpointed in
+      j.checkpointed <- List.fold_left (fun m tx -> max m tx.seq) saved pending;
+      let finish =
+        let* () = write_jsb j in
+        j.io.Io.flush ()
+      in
+      (match finish with
+      | Ok () ->
+          j.pending <- [];
+          j.head <- 1;
+          j.stats.checkpoints <- j.stats.checkpoints + 1;
+          Ok ()
+      | Error e ->
+          (* Home writes are durable but the superblock may not be; keep
+             everything pending so replay covers us either way. *)
+          j.checkpointed <- saved;
+          Error e)
 
 let commit j tx =
   if tx.committed then invalid_arg "Journal.commit: already committed";
   if List.length tx.writes > max_tx_writes j then Error Ksim.Errno.EOVERFLOW
-  else begin
-    if j.head + space_needed tx > j.jblocks then checkpoint j;
+  else
+    let* () = if j.head + space_needed tx > j.jblocks then checkpoint j else Ok () in
     if j.head + space_needed tx > j.jblocks then raise Journal_full;
+    let start_head = j.head in
     let seq = j.next_seq in
-    j.next_seq <- j.next_seq + 1;
-    tx.seq <- seq;
     let writes = List.rev tx.writes (* oldest first *) in
     let homes = List.map fst writes in
     let datas = List.map snd writes in
-    journal_write j j.head (encode_descriptor j ~seq homes);
-    j.head <- j.head + 1;
-    List.iter
-      (fun data ->
-        journal_write j j.head data;
-        j.head <- j.head + 1)
-      datas;
-    (* Descriptor and data durable before the commit record... *)
-    Blockdev.flush j.dev;
-    journal_write j j.head (encode_commit j ~seq ~checksum:(Codec.checksum_many datas));
-    j.head <- j.head + 1;
-    (* ...and the commit record durable before any home write. *)
-    Blockdev.flush j.dev;
-    tx.committed <- true;
-    j.pending <- j.pending @ [ tx ];
-    j.stats.commits <- j.stats.commits + 1;
-    Ok ()
-  end
+    let attempt =
+      let* () = journal_write j j.head (encode_descriptor j ~seq homes) in
+      j.head <- j.head + 1;
+      let* () =
+        write_all
+          (fun data ->
+            let* () = journal_write j j.head data in
+            j.head <- j.head + 1;
+            Ok ())
+          datas
+      in
+      (* Descriptor and data durable before the commit record... *)
+      let* () = j.io.Io.flush () in
+      let* () = journal_write j j.head (encode_commit j ~seq ~checksum:(Codec.checksum_many datas)) in
+      j.head <- j.head + 1;
+      (* ...and the commit record durable before any home write. *)
+      j.io.Io.flush ()
+    in
+    match attempt with
+    | Ok () ->
+        j.next_seq <- j.next_seq + 1;
+        tx.seq <- seq;
+        tx.committed <- true;
+        j.pending <- j.pending @ [ tx ];
+        j.stats.commits <- j.stats.commits + 1;
+        Ok ()
+    | Error e ->
+        (* Abort: roll the head back over the partial records.  With no
+           commit record (or a checksum mismatch) recovery treats them as
+           dead, and the next transaction overwrites them. *)
+        j.head <- start_head;
+        j.stats.aborted_commits <- j.stats.aborted_commits + 1;
+        Error e
 
-(* Recovery ---------------------------------------------------------------- *)
+(* Recovery ----------------------------------------------------------------
 
-let scan_committed dev ~jblocks ~checkpointed =
+   Recovery and format run over a *reliable* view of the device (mount
+   happens after the fault window; a flaky mount-path is a different
+   experiment), so I/O errors here are fatal rather than gracefully
+   degraded. *)
+
+let scan_committed (io : Io.t) ~jblocks ~checkpointed =
   let read blkno =
-    match Blockdev.read dev blkno with
+    match io.Io.read blkno with
     | Ok buf -> buf
     | Error e -> failwith ("journal scan: " ^ Ksim.Errno.to_string e)
   in
@@ -230,17 +286,17 @@ let scan_committed dev ~jblocks ~checkpointed =
   in
   scan 1 []
 
-let recover dev ~jblocks =
+let recover (io : Io.t) ~jblocks =
   let checkpointed, jb =
-    match read_jsb dev with
+    match read_jsb io with
     | Some (cp, jb) -> (cp, jb)
     | None -> failwith "Journal.recover: no journal superblock"
   in
   if jb <> jblocks then failwith "Journal.recover: journal size mismatch";
-  let committed = scan_committed dev ~jblocks ~checkpointed in
+  let committed = scan_committed io ~jblocks ~checkpointed in
   let j =
     {
-      dev;
+      io;
       jblocks;
       head = 1;
       next_seq = 1 + List.fold_left (fun m (seq, _) -> max m seq) checkpointed committed;
@@ -250,20 +306,19 @@ let recover dev ~jblocks =
     }
   in
   j.stats.recoveries <- 1;
+  let fatal = function
+    | Ok () -> ()
+    | Error e -> failwith ("journal replay: " ^ Ksim.Errno.to_string e)
+  in
   List.iter
     (fun (seq, writes) ->
       j.stats.replayed_txs <- j.stats.replayed_txs + 1;
-      List.iter
-        (fun (blkno, data) ->
-          match Blockdev.write dev blkno data with
-          | Ok () -> ()
-          | Error e -> failwith ("journal replay: " ^ Ksim.Errno.to_string e))
-        writes;
+      List.iter (fun (blkno, data) -> fatal (io.Io.write blkno data)) writes;
       j.checkpointed <- max j.checkpointed seq)
     committed;
-  Blockdev.flush dev;
-  write_jsb j;
-  Blockdev.flush dev;
+  fatal (io.Io.flush ());
+  fatal (write_jsb j);
+  fatal (io.Io.flush ());
   j
 
 let tx_size tx = List.length tx.writes

@@ -1,11 +1,17 @@
-(** A jbd2-style write-ahead journal over {!Blockdev}.
+(** A jbd2-style write-ahead journal over any {!Io.t}.
 
     Layout: block 0 is the journal superblock, blocks 1..[jblocks]-1 hold
     journal records, everything from [jblocks] up is the client's home
     area.  The commit protocol flushes descriptor+data before the commit
     record and the commit record before any home write, so a crash
     observes either nothing of a transaction or a fully replayable one —
-    never a torn in-place update. *)
+    never a torn in-place update.
+
+    Because the journal runs over an {!Io.t}, it can sit on a raw
+    {!Blockdev} ([Blockdev.io dev]) or on a flaky/resilient stack.  I/O
+    failures abort cleanly: a failed {!commit} rolls back and leaves the
+    transaction uncommitted; a failed {!checkpoint} leaves every pending
+    transaction pending, to be retried or replayed at recovery. *)
 
 type t
 
@@ -15,6 +21,7 @@ type tx
 
 type stats = {
   mutable commits : int;
+  mutable aborted_commits : int;
   mutable checkpoints : int;
   mutable recoveries : int;
   mutable replayed_txs : int;
@@ -24,13 +31,16 @@ type stats = {
 exception Journal_full
 (** A single transaction larger than the journal area. *)
 
-val format : Blockdev.t -> jblocks:int -> t
-(** Initialize the journal area (blocks [0..jblocks-1]) on a fresh device. *)
+val format : Io.t -> jblocks:int -> t
+(** Initialize the journal area (blocks [0..jblocks-1]) on a fresh device.
+    Runs over a reliable view of the device; I/O failure here is fatal. *)
 
-val recover : Blockdev.t -> jblocks:int -> t
+val recover : Io.t -> jblocks:int -> t
 (** Mount after a crash or clean shutdown: scan the journal, replay every
     committed-but-not-checkpointed transaction, and return a clean
-    journal.  Replayed transaction count is visible in {!stats}. *)
+    journal.  Torn records (missing commit, checksum mismatch) and
+    everything after them are ignored.  Replayed transaction count is
+    visible in {!stats}.  Like {!format}, expects reliable I/O. *)
 
 val data_start : t -> int
 (** First home block (= [jblocks]). *)
@@ -44,12 +54,17 @@ val tx_write : t -> tx -> blkno:int -> bytes -> unit Ksim.Errno.r
 val commit : t -> tx -> unit Ksim.Errno.r
 (** Make the transaction durable (two flushes).  Home locations are
     updated lazily at the next {!checkpoint} (one is forced automatically
-    when the journal area fills).
+    when the journal area fills).  On I/O failure the journal head rolls
+    back over the partial records and the transaction stays uncommitted —
+    the error propagates and [aborted_commits] increments.
     @raise Journal_full if the transaction alone exceeds the area. *)
 
-val checkpoint : t -> unit
+val checkpoint : t -> unit Ksim.Errno.r
 (** Apply committed transactions to their home locations, flush, advance
-    the on-disk checkpointed sequence number, and reclaim journal space. *)
+    the on-disk checkpointed sequence number, and reclaim journal space.
+    On I/O failure nothing is forgotten: pending transactions stay
+    pending and the checkpointed sequence does not advance, so a retry or
+    crash-recovery replay (idempotent home writes) completes the job. *)
 
 val tx_size : tx -> int
 (** Distinct blocks staged in an open transaction so far. *)

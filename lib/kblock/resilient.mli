@@ -1,0 +1,47 @@
+(** The retrying block layer: bounded attempts, deterministic exponential
+    backoff on a simulated clock, and a permanent-failure verdict once the
+    budget is exhausted.
+
+    Transient errors ([EIO], [EAGAIN], [ENOMEM]) retry up to
+    [max_attempts] total attempts, sleeping
+    [backoff_base * 2^(attempt-1)] simulated ns (capped at [backoff_cap])
+    between attempts.  Non-transient errors fail immediately.  Exhausting
+    the budget propagates the error, bumps {!permanent_failures}, and
+    emits a ["resilient"] trace event — the signal the file system uses to
+    remount read-only. *)
+
+type t
+
+val create :
+  ?max_attempts:int ->
+  ?backoff_base:int ->
+  ?backoff_cap:int ->
+  ?trace:Ksim.Ktrace.t ->
+  Io.t ->
+  t
+(** Defaults: 4 attempts, 100 ns base, 10_000 ns cap, {!Ksim.Ktrace.global}. *)
+
+val io : t -> Io.t
+
+val read : t -> int -> bytes Ksim.Errno.r
+val write : t -> int -> bytes -> unit Ksim.Errno.r
+val flush : t -> unit Ksim.Errno.r
+
+val ops : t -> int
+(** Logical operations attempted (not counting retries). *)
+
+val retries : t -> int
+(** Extra attempts beyond the first, across all ops. *)
+
+val recovered_ops : t -> int
+(** Ops that failed at least once and then succeeded. *)
+
+val permanent_failures : t -> int
+(** Ops whose retry budget was exhausted (the permanent verdict). *)
+
+val simulated_ns : t -> int
+(** Total simulated backoff time: deterministic for a given schedule. *)
+
+val publish : t -> Ksim.Kstats.t -> string -> unit
+(** Add retry accounting into a {!Ksim.Kstats} under [prefix ^ ".ops"],
+    [".retries"], [".recovered"], [".permanent"]. *)

@@ -18,10 +18,11 @@ type fault =
   | F_missing_errptr_check
   | F_data_race
   | F_off_by_one
+  | F_transient_io
 
 let all_faults =
   [ F_use_after_free; F_double_free; F_memory_leak; F_wrong_cast; F_missing_errptr_check;
-    F_data_race; F_off_by_one ]
+    F_data_race; F_off_by_one; F_transient_io ]
 
 let fault_to_string = function
   | F_use_after_free -> "use-after-free"
@@ -31,6 +32,7 @@ let fault_to_string = function
   | F_missing_errptr_check -> "missing-errptr-check"
   | F_data_race -> "data-race"
   | F_off_by_one -> "off-by-one"
+  | F_transient_io -> "transient-io"
 
 let bug_class_of_fault = function
   | F_use_after_free -> Safeos_core.Level.Use_after_free
@@ -40,6 +42,7 @@ let bug_class_of_fault = function
   | F_missing_errptr_check -> Safeos_core.Level.Null_dereference
   | F_data_race -> Safeos_core.Level.Data_race
   | F_off_by_one -> Safeos_core.Level.Semantic
+  | F_transient_io -> Safeos_core.Level.Crash_inconsistency
 
 type detection =
   | Prevented of string  (** structurally impossible at this rung *)
@@ -55,9 +58,50 @@ let detection_to_string = function
 
 let is_stopped = function Prevented _ | Detected _ -> true | Exhibited _ | Not_triggered -> false
 
+(* Transient I/O faults: the robustness story rather than a memory-safety
+   one.  Unprotected, the FS sits directly on the flaky device: the first
+   injected EIO surfaces, the op fails, and the FS gives up (remount-ro)
+   over what was only a hiccup.  Protected, a [Kblock.Resilient] layer
+   sits in between: bounded retries absorb every transient fault and the
+   workload completes untouched — the retry layer plays the role of the
+   rung's checker, so the verdict is [Detected]. *)
+let trigger_transient_io ~protected () =
+  let geo = Kfs.Journalfs.default_geometry in
+  let dev = Kblock.Blockdev.create ~nblocks:geo.nblocks ~block_size:geo.block_size in
+  let fp = Ksim.Failpoint.create ~seed:7 () in
+  let flaky = Kblock.Flakydev.create ~fp (Kblock.Blockdev.io dev) in
+  let io =
+    if protected then
+      Kblock.Resilient.io (Kblock.Resilient.create ~max_attempts:4 (Kblock.Flakydev.io flaky))
+    else Kblock.Flakydev.io flaky
+  in
+  let fs = Kfs.Journalfs.mkfs_on ~io Kfs.Journalfs.Journaled dev in
+  (* Every third media write draws an EIO, four times in total: fully
+     deterministic (probability 1), and spaced so a retry — which lands
+     on a hit count that is not a multiple of three — always recovers. *)
+  Ksim.Failpoint.configure fp "flaky.write-eio" ~enabled:true ~interval:3 ~times:4 ();
+  let p = Fs_spec.path_of_string in
+  let ops =
+    [
+      Fs_spec.Create (p "/a");
+      Fs_spec.Write { file = p "/a"; off = 0; data = "hello" };
+      Fs_spec.Create (p "/b");
+      Fs_spec.Write { file = p "/b"; off = 0; data = "world" };
+      Fs_spec.Fsync;
+    ]
+  in
+  let failed = List.exists (fun op -> Result.is_error (Kfs.Journalfs.apply fs op)) ops in
+  let injected = Kblock.Flakydev.injected flaky in
+  if failed || Kfs.Journalfs.is_readonly fs then
+    Exhibited
+      (Printf.sprintf "transient EIO surfaced: op failed, FS remounted read-only (%d faults)"
+         injected)
+  else if injected = 0 then Not_triggered
+  else Detected (Printf.sprintf "resilient retries absorbed %d transient faults" injected)
+
 (* The trigger trace: create, write, read, unlink, then read again (the
    dangling access), with enough churn to surface leaks and races. *)
-let trigger_unsafe fault =
+let trigger_memfs_unsafe fault =
   let faults = Kfs.Memfs_unsafe.no_faults () in
   (match fault with
   | F_use_after_free -> faults.use_after_free <- true
@@ -66,7 +110,8 @@ let trigger_unsafe fault =
   | F_wrong_cast -> faults.wrong_cast <- true
   | F_missing_errptr_check -> faults.missing_errptr_check <- true
   | F_data_race -> faults.skip_i_lock <- true
-  | F_off_by_one -> faults.off_by_one <- true);
+  | F_off_by_one -> faults.off_by_one <- true
+  | F_transient_io -> ());
   let fs = Kfs.Memfs_unsafe.mkfs_with_faults faults in
   let module L = Kfs.Memfs_unsafe.Legacy in
   let run () =
@@ -102,6 +147,10 @@ let trigger_unsafe fault =
   | exception Ksim.Kmem.Double_free _ -> Exhibited "kernel oops: double free"
   | exception Ksim.Dyn.Type_confusion _ -> Exhibited "kernel oops: type confusion"
   | exception Ksim.Dyn.Null_dereference -> Exhibited "kernel oops: ERR_PTR dereferenced"
+
+let trigger_unsafe = function
+  | F_transient_io -> trigger_transient_io ~protected:false ()
+  | fault -> trigger_memfs_unsafe fault
 
 (* Data races need the unlocked-access counter rather than an exception:
    the i_size cell records accesses made without i_lock. *)
@@ -182,6 +231,15 @@ let stages = Safeos_core.Level.[ Unsafe; Type_safe; Ownership_safe; Verified ]
 (* The matrix cell: what happens to [fault] at [stage]. *)
 let at_stage stage fault =
   let open Safeos_core.Level in
+  match fault with
+  | F_transient_io ->
+      (* The protection here is the resilient I/O stack plus journal
+         discipline — the crash-consistency machinery the roadmap reaches
+         at the Verified rung.  Below it the FS sits bare on the flaky
+         device and the hiccup becomes a failure. *)
+      if Stdlib.( >= ) (rank stage) (rank Verified) then trigger_transient_io ~protected:true ()
+      else trigger_transient_io ~protected:false ()
+  | _ -> (
   let bug = bug_class_of_fault fault in
   match prevented_at bug with
   | Some required when Stdlib.( >= ) (rank stage) (rank required) -> (
@@ -206,7 +264,7 @@ let at_stage stage fault =
           if stage = Unsafe then trigger_unsafe fault else trigger_unverified_semantic ()
       | _ ->
           if stage = Unsafe then trigger_unsafe fault
-          else Exhibited "latent (unsafe idiom still expressible)")
+          else Exhibited "latent (unsafe idiom still expressible)"))
 
 let matrix () =
   List.map (fun fault -> (fault, List.map (fun s -> (s, at_stage s fault)) stages)) all_faults

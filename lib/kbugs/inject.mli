@@ -12,6 +12,10 @@ type fault =
   | F_missing_errptr_check
   | F_data_race
   | F_off_by_one
+  | F_transient_io
+      (** A flaky block device under the file system: transient [EIO]s
+          that a resilient I/O stack absorbs and a bare one turns into a
+          spurious failure (see {!Kblock.Flakydev} / {!Kblock.Resilient}). *)
 
 val all_faults : fault list
 val fault_to_string : fault -> string
@@ -28,7 +32,15 @@ val is_stopped : detection -> bool
 (** [Prevented] or [Detected]. *)
 
 val trigger_unsafe : fault -> detection
-(** Inject into {!Kfs.Memfs_unsafe} and run the trigger trace. *)
+(** Inject into {!Kfs.Memfs_unsafe} and run the trigger trace
+    ([F_transient_io] instead runs the unprotected flaky-device trace). *)
+
+val trigger_transient_io : protected:bool -> unit -> detection
+(** Run a workload on {!Kfs.Journalfs} over a {!Kblock.Flakydev} with a
+    deterministic schedule of transient write EIOs.  With
+    [protected:true] a {!Kblock.Resilient} layer sits in between and the
+    faults are absorbed ([Detected]); without it the first EIO fails the
+    op and remounts the FS read-only ([Exhibited]). *)
 
 val trigger_race : unit -> detection
 val trigger_verified_semantic : unit -> detection

@@ -14,7 +14,16 @@
    crash either sees the whole operation or none of it.  [mode = Direct]
    is the ablation: the same block writes issued in place with no journal
    and no ordering, i.e. the classic non-journaled Unix FS that the crash
-   checker duly convicts. *)
+   checker duly convicts.
+
+   All media traffic goes through a [Kblock.Io.t] (by default the raw
+   device), so the FS can be mounted over a flaky/resilient stack.  When
+   an EIO survives to this layer — i.e. the retry budget below us is
+   exhausted, a *persistent* failure — the op aborts (the journal rolls
+   the partial transaction back) and the FS degrades ext4-style to
+   errors=remount-ro: every subsequent mutation fails EROFS, reads keep
+   working from the mirror, and the incident lands on the global trace
+   for [Safeos_core.Audit] to pick up. *)
 
 open Kspec
 
@@ -38,6 +47,7 @@ let default_geometry = { nblocks = 1024; block_size = 512; jblocks = 96; ninodes
 type t = {
   geo : geometry;
   dev : Kblock.Blockdev.t;
+  io : Kblock.Io.t; (* all media traffic; may be a flaky/resilient stack *)
   journal : Kblock.Journal.t option; (* None in Direct mode *)
   mode : mode;
   group_commit : bool; (* accumulate ops into one tx until fsync *)
@@ -46,6 +56,7 @@ type t = {
   bitmap : Bytes.t; (* one byte per data block: 0 free, 1 used *)
   blocks_of : int list array; (* data blocks backing each inode *)
   mutable corrupt : bool; (* set when mount could not parse the disk *)
+  mutable readonly : bool; (* errors=remount-ro tripped *)
 }
 
 let fs_magic = 0x46533231 (* "FS21" *)
@@ -61,6 +72,25 @@ let mode t = t.mode
 let device t = t.dev
 let journal_stats t = Option.map Kblock.Journal.stats t.journal
 let is_corrupt t = t.corrupt
+let is_readonly t = t.readonly
+
+(* Graceful degradation: an EIO that survives to this layer means the
+   retry budget below us (if any) is exhausted — a persistent media
+   failure.  The op already aborted cleanly (journal head rolled back),
+   so we pin the FS read-only rather than risk corrupting the disk with
+   further writes, and leave an incident on the global trace for
+   [Safeos_core.Audit]. *)
+let degrade t reason =
+  if not t.readonly then begin
+    t.readonly <- true;
+    Ksim.Ktrace.emitf Ksim.Ktrace.global ~category:"incident" "journalfs: remount-ro: %s" reason
+  end
+
+let absorb t what (r : 'a Ksim.Errno.r) : 'a Ksim.Errno.r =
+  (match r with
+  | Error Ksim.Errno.EIO -> degrade t (what ^ ": persistent EIO")
+  | Ok _ | Error _ -> ());
+  r
 
 (* Encoding ---------------------------------------------------------------- *)
 
@@ -185,7 +215,7 @@ let batch_apply t (b : batch) =
         (fun acc (blkno, data) ->
           match acc with
           | Error _ as e -> e
-          | Ok () -> Kblock.Blockdev.write t.dev blkno data)
+          | Ok () -> t.io.Kblock.Io.write blkno data)
         (Ok ()) blocks
 
 (* Allocation ---------------------------------------------------------------- *)
@@ -254,17 +284,19 @@ let write_sb t (b : batch) =
   Kblock.Codec.put_u32 buf 8 t.geo.jblocks;
   batch_put b (sb_block t.geo) buf
 
-let mkfs_on ?(geometry = default_geometry) ?(group_commit = false) mode dev =
+let mkfs_on ?(geometry = default_geometry) ?(group_commit = false) ?io mode dev =
   if data_blocks geometry < 8 then invalid_arg "Journalfs.mkfs_on: device too small";
+  let io = match io with Some io -> io | None -> Kblock.Blockdev.io dev in
   let journal =
     match mode with
-    | Journaled -> Some (Kblock.Journal.format dev ~jblocks:geometry.jblocks)
+    | Journaled -> Some (Kblock.Journal.format io ~jblocks:geometry.jblocks)
     | Direct -> None
   in
   let t =
     {
       geo = geometry;
       dev;
+      io;
       journal;
       mode;
       group_commit;
@@ -273,6 +305,7 @@ let mkfs_on ?(geometry = default_geometry) ?(group_commit = false) mode dev =
       bitmap = Bytes.make (data_blocks geometry) '\000';
       blocks_of = Array.make geometry.ninodes [];
       corrupt = false;
+      readonly = false;
     }
   in
   t.nodes.(root_ino) <- Some (MDir []);
@@ -281,14 +314,16 @@ let mkfs_on ?(geometry = default_geometry) ?(group_commit = false) mode dev =
   (* The device is freshly zeroed, so only the root inode (and the blocks
      it owns) needs to reach the disk. *)
   if not (stage_inode t b root_ino) then invalid_arg "Journalfs.mkfs_on: no space for root";
-  (match batch_apply t b with
-  | Ok () -> ()
-  | Error e -> invalid_arg ("Journalfs.mkfs_on: " ^ Ksim.Errno.to_string e));
-  (match commit_open_tx t with
-  | Ok () -> ()
-  | Error e -> invalid_arg ("Journalfs.mkfs_on: " ^ Ksim.Errno.to_string e));
-  (match mode with Journaled -> Kblock.Journal.checkpoint (Option.get journal) | Direct -> ());
-  Kblock.Blockdev.flush dev;
+  let fatal what = function
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Journalfs.mkfs_on: " ^ what ^ ": " ^ Ksim.Errno.to_string e)
+  in
+  fatal "apply" (batch_apply t b);
+  fatal "commit" (commit_open_tx t);
+  (match mode with
+  | Journaled -> fatal "checkpoint" (Kblock.Journal.checkpoint (Option.get journal))
+  | Direct -> ());
+  fatal "flush" (t.io.Kblock.Io.flush ());
   t
 
 let read_block dev blkno =
@@ -296,16 +331,18 @@ let read_block dev blkno =
   | Ok data -> data
   | Error e -> raise (Corrupt ("read: " ^ Ksim.Errno.to_string e))
 
-let mount ?(geometry = default_geometry) ?(group_commit = false) mode dev =
+let mount ?(geometry = default_geometry) ?(group_commit = false) ?io mode dev =
+  let io = match io with Some io -> io | None -> Kblock.Blockdev.io dev in
   let journal =
     match mode with
-    | Journaled -> Some (Kblock.Journal.recover dev ~jblocks:geometry.jblocks)
+    | Journaled -> Some (Kblock.Journal.recover io ~jblocks:geometry.jblocks)
     | Direct -> None
   in
   let t =
     {
       geo = geometry;
       dev;
+      io;
       journal;
       mode;
       group_commit;
@@ -314,6 +351,7 @@ let mount ?(geometry = default_geometry) ?(group_commit = false) mode dev =
       bitmap = Bytes.make (data_blocks geometry) '\000';
       blocks_of = Array.make geometry.ninodes [];
       corrupt = false;
+      readonly = false;
     }
   in
   (try
@@ -402,12 +440,18 @@ let free_ino t =
 
 (* Commit a set of mirror changes: stage every touched inode, then apply
    the batch atomically.  If any staging step hits ENOSPC the mirror is
-   *not* rolled back — callers must stage additions last and check. *)
+   *not* rolled back — callers must stage additions last and check.  A
+   persistent EIO aborts the transaction (journal head rolled back, home
+   area untouched) and degrades the FS to read-only; the mirror may now
+   be ahead of the disk, which is safe precisely because nothing further
+   will be written. *)
 let commit_inodes t inos =
   let b = batch_create () in
   let ok = List.for_all (fun ino -> stage_inode t b ino) inos in
   if ok then
-    match batch_apply t b with Ok () -> Ok Fs_spec.Unit | Error e -> Error e
+    match absorb t "commit" (batch_apply t b) with
+    | Ok () -> Ok Fs_spec.Unit
+    | Error e -> Error e
   else Error Ksim.Errno.ENOSPC
 
 (* Operations ------------------------------------------------------------------ *)
@@ -448,8 +492,13 @@ let rec collect_subtree t ino acc =
   | Some (MFile _) -> ino :: acc
   | None -> acc
 
+let mutating : Fs_spec.op -> bool = function
+  | Create _ | Mkdir _ | Write _ | Truncate _ | Unlink _ | Rmdir _ | Rename _ -> true
+  | Read _ | Readdir _ | Stat _ | Fsync -> false
+
 let apply t (op : Fs_spec.op) : Fs_spec.result =
   if t.corrupt then Error Ksim.Errno.EIO
+  else if t.readonly && mutating op then Error Ksim.Errno.EROFS
   else
     match op with
     | Create path -> add_node t path (fun () -> MFile "")
@@ -558,14 +607,18 @@ let apply t (op : Fs_spec.op) : Fs_spec.result =
         | Some (MFile content) -> Ok (Fs_spec.Attr { kind = `File; size = String.length content })
         | Some (MDir _) -> Ok (Fs_spec.Attr { kind = `Dir; size = 0 })
         | None -> Error Ksim.Errno.ENOENT)
-    | Fsync -> (
-        match commit_open_tx t with
-        | Error e -> Error e
-        | Ok () ->
-            (match t.journal with
-            | Some j -> Kblock.Journal.checkpoint j
-            | None -> Kblock.Blockdev.flush t.dev);
-            Ok Fs_spec.Unit)
+    | Fsync ->
+        if t.readonly then Ok Fs_spec.Unit (* nothing dirty will ever flush *)
+        else (
+          match absorb t "fsync commit" (commit_open_tx t) with
+          | Error e -> Error e
+          | Ok () -> (
+              let r =
+                match t.journal with
+                | Some j -> Kblock.Journal.checkpoint j
+                | None -> t.io.Kblock.Io.flush ()
+              in
+              match absorb t "fsync" r with Ok () -> Ok Fs_spec.Unit | Error e -> Error e))
 
 let interpret t : Fs_spec.state =
   let rec go ino rel acc =

@@ -5,7 +5,15 @@
     into one journal transaction, so a crash observes all of an operation
     or none of it.  [Direct] mode is the ablation: identical block writes
     issued in place with no journal — the classic non-journaled FS the
-    crash checker convicts. *)
+    crash checker convicts.
+
+    Media traffic goes through a {!Kblock.Io.t} (default: the raw
+    device), so the FS can run over a {!Kblock.Flakydev} /
+    {!Kblock.Resilient} stack.  A persistent [EIO] (one that survives the
+    retry layer) aborts the operation cleanly and degrades the FS
+    ext4-style to errors=remount-ro: {!is_readonly} flips, subsequent
+    mutations fail [EROFS], reads keep working, and an ["incident"] event
+    is emitted on {!Ksim.Ktrace.global} for [Safeos_core.Audit]. *)
 
 type mode =
   | Journaled
@@ -22,13 +30,18 @@ val default_geometry : geometry
 
 type t
 
-val mkfs_on : ?geometry:geometry -> ?group_commit:bool -> mode -> Kblock.Blockdev.t -> t
+val mkfs_on :
+  ?geometry:geometry -> ?group_commit:bool -> ?io:Kblock.Io.t -> mode -> Kblock.Blockdev.t -> t
 (** Format a {e freshly created (zeroed)} device and mount it.  With
     [group_commit] operations accumulate into one journal transaction
     that commits at [Fsync] (or when full) — higher throughput, and a
-    crash legally loses the whole uncommitted batch. *)
+    crash legally loses the whole uncommitted batch.  [io] (default
+    [Kblock.Blockdev.io dev]) carries all media traffic; pass a
+    flaky/resilient stack over [dev] to run under fault injection.
+    Formatting itself expects reliable I/O. *)
 
-val mount : ?geometry:geometry -> ?group_commit:bool -> mode -> Kblock.Blockdev.t -> t
+val mount :
+  ?geometry:geometry -> ?group_commit:bool -> ?io:Kblock.Io.t -> mode -> Kblock.Blockdev.t -> t
 (** Mount an existing device: journal recovery (in [Journaled] mode), then
     parse.  A disk that cannot be parsed yields a {!is_corrupt} instance
     whose operations all fail with [EIO]. *)
@@ -36,7 +49,8 @@ val mount : ?geometry:geometry -> ?group_commit:bool -> mode -> Kblock.Blockdev.
 val apply : t -> Kspec.Fs_spec.op -> Kspec.Fs_spec.result
 (** [Fsync] checkpoints the journal (or flushes the device in [Direct]
     mode).  [ENOSPC] when data blocks, inodes, or transaction capacity
-    run out. *)
+    run out.  [EIO] aborts the op and remounts read-only (see above);
+    once read-only, mutations fail [EROFS] and [Fsync] is a no-op. *)
 
 val interpret : t -> Kspec.Fs_spec.state
 val crash_images : t -> limit:int -> t list
@@ -44,6 +58,11 @@ val mode : t -> mode
 val device : t -> Kblock.Blockdev.t
 val journal_stats : t -> Kblock.Journal.stats option
 val is_corrupt : t -> bool
+
+val is_readonly : t -> bool
+(** The errors=remount-ro latch: set by the first persistent I/O failure,
+    never cleared for the lifetime of this mount. *)
+
 val max_file_size : geometry -> int
 
 (** Mountable adapters (fresh default-geometry device per [mkfs]). *)

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 gate: build, full test suite, then a seeded fault-injection
+# torture smoke run. The torture suite drives the journalfs stack
+# through Flakydev faults under fixed seeds and checks that every
+# crash/recovery lands in a spec-allowed state — it must stay green
+# before any merge.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== ci: dune build =="
+dune build
+
+echo "== ci: dune runtest =="
+dune runtest
+
+echo "== ci: torture smoke (seeded fault schedules) =="
+dune exec test/test_torture.exe
+
+echo "== ci: ok =="

@@ -30,7 +30,13 @@ let test_dev_errors () =
   check Alcotest.bool "read out of range" true (Kblock.Blockdev.read dev 4 = Error Ksim.Errno.EIO);
   check Alcotest.bool "read negative" true (Kblock.Blockdev.read dev (-1) = Error Ksim.Errno.EIO);
   check Alcotest.bool "write wrong size" true
-    (Kblock.Blockdev.write dev 0 (Bytes.make 3 'a') = Error Ksim.Errno.EINVAL)
+    (Kblock.Blockdev.write dev 0 (Bytes.make 3 'a') = Error Ksim.Errno.EINVAL);
+  check Alcotest.bool "write out of range" true
+    (Kblock.Blockdev.write dev 4 (Bytes.make 8 'a') = Error Ksim.Errno.EIO);
+  check Alcotest.bool "write negative" true
+    (Kblock.Blockdev.write dev (-1) (Bytes.make 8 'a') = Error Ksim.Errno.EIO);
+  (* Failed ops leave no trace: nothing cached, nothing counted pending. *)
+  check Alcotest.int "no pending after errors" 0 (Kblock.Blockdev.pending_writes dev)
 
 let test_dev_crash_loses_cache () =
   let dev = Kblock.Blockdev.create ~nblocks:4 ~block_size:8 in
@@ -74,6 +80,34 @@ let test_dev_crash_states_dedup () =
   write_ok dev 0 (block dev 'a') (* identical write: subsets collapse *);
   let states = Kblock.Blockdev.crash_media_states dev ~limit:64 in
   check Alcotest.int "deduplicated" 2 (List.length states)
+
+let media_fingerprint media = String.concat "" (List.map Bytes.to_string (Array.to_list media))
+
+let test_dev_crash_states_limit_boundary () =
+  let mk () =
+    let dev = Kblock.Blockdev.create ~nblocks:4 ~block_size:8 in
+    write_ok dev 0 (block dev 'a');
+    write_ok dev 1 (block dev 'b');
+    write_ok dev 2 (block dev 'c');
+    dev
+  in
+  (* 3 pending writes: 8 subsets.  At limit = 8 enumeration is exhaustive. *)
+  let exhaustive = Kblock.Blockdev.crash_media_states (mk ()) ~limit:8 in
+  check Alcotest.int "exactly at limit: exhaustive" 8 (List.length exhaustive);
+  (* One below the boundary: the sampled fallback, still within limit,
+     still deduplicated, still containing the two must-have images. *)
+  let sampled = Kblock.Blockdev.crash_media_states (mk ()) ~limit:7 in
+  check Alcotest.bool "within limit" true (List.length sampled <= 7);
+  let prints = List.map media_fingerprint sampled in
+  check Alcotest.int "no duplicates" (List.length prints)
+    (List.length (List.sort_uniq compare prints));
+  let blank = String.make 32 '\000' in
+  check Alcotest.bool "bare media present" true (List.mem blank prints);
+  let full = media_fingerprint [| block (mk ()) 'a'; block (mk ()) 'b'; block (mk ()) 'c'; Bytes.make 8 '\000' |] in
+  check Alcotest.bool "all-survived present" true (List.mem full prints);
+  (* Every sampled image is one of the true subsets. *)
+  let all = List.map media_fingerprint exhaustive in
+  List.iter (fun p -> check Alcotest.bool "a real subset" true (List.mem p all)) prints
 
 let test_dev_snapshot_of_media () =
   let dev = Kblock.Blockdev.create ~nblocks:2 ~block_size:4 in
@@ -230,7 +264,12 @@ let prop_random_flagsets_validate_consistently =
 
 let mk_journal () =
   let dev = Kblock.Blockdev.create ~nblocks:64 ~block_size:64 in
-  (dev, Kblock.Journal.format dev ~jblocks:16)
+  (dev, Kblock.Journal.format (Kblock.Blockdev.io dev) ~jblocks:16)
+
+let checkpoint_ok j =
+  match Kblock.Journal.checkpoint j with
+  | Ok () -> ()
+  | Error e -> fail ("checkpoint: " ^ Ksim.Errno.to_string e)
 
 let test_journal_commit_checkpoint_read () =
   let dev, j = mk_journal () in
@@ -241,7 +280,7 @@ let test_journal_commit_checkpoint_read () =
   | Error e -> fail (Ksim.Errno.to_string e));
   (match Kblock.Journal.commit j tx with Ok () -> () | Error e -> fail (Ksim.Errno.to_string e));
   check Alcotest.int "one pending tx" 1 (Kblock.Journal.pending_txs j);
-  Kblock.Journal.checkpoint j;
+  checkpoint_ok j;
   check Alcotest.int "checkpointed" 0 (Kblock.Journal.pending_txs j);
   check Alcotest.string "home updated" (String.make 64 'a') (Bytes.to_string (read_ok dev home))
 
@@ -262,7 +301,7 @@ let test_journal_recovery_replays_committed () =
   (match Kblock.Journal.commit j tx with Ok () -> () | Error e -> fail (Ksim.Errno.to_string e));
   (* Crash before checkpoint: home writes never issued, journal durable. *)
   Kblock.Blockdev.crash dev;
-  let j2 = Kblock.Journal.recover dev ~jblocks:16 in
+  let j2 = Kblock.Journal.recover (Kblock.Blockdev.io dev) ~jblocks:16 in
   check Alcotest.int "one tx replayed" 1 (Kblock.Journal.stats j2).Kblock.Journal.replayed_txs;
   check Alcotest.string "home 0" (String.make 64 'b') (Bytes.to_string (read_ok dev home));
   check Alcotest.string "home 1" (String.make 64 'c') (Bytes.to_string (read_ok dev (home + 1)))
@@ -276,7 +315,7 @@ let test_journal_recovery_ignores_uncommitted () =
   ignore (Kblock.Journal.tx_write j tx ~blkno:home (Bytes.make 64 'z'));
   (* Don't commit; instead crash with nothing journaled. *)
   Kblock.Blockdev.crash dev;
-  let j2 = Kblock.Journal.recover dev ~jblocks:16 in
+  let j2 = Kblock.Journal.recover (Kblock.Blockdev.io dev) ~jblocks:16 in
   check Alcotest.int "nothing replayed" 0 (Kblock.Journal.stats j2).Kblock.Journal.replayed_txs;
   check Alcotest.string "home untouched" (String.make 64 '\000')
     (Bytes.to_string (read_ok dev home))
@@ -288,8 +327,8 @@ let test_journal_recovery_idempotent () =
   ignore (Kblock.Journal.tx_write j tx ~blkno:home (Bytes.make 64 'q'));
   ignore (Kblock.Journal.commit j tx);
   Kblock.Blockdev.crash dev;
-  let _ = Kblock.Journal.recover dev ~jblocks:16 in
-  let j3 = Kblock.Journal.recover dev ~jblocks:16 in
+  let _ = Kblock.Journal.recover (Kblock.Blockdev.io dev) ~jblocks:16 in
+  let j3 = Kblock.Journal.recover (Kblock.Blockdev.io dev) ~jblocks:16 in
   (* Second recovery: the tx is already checkpointed, nothing replays. *)
   check Alcotest.int "idempotent" 0 (Kblock.Journal.stats j3).Kblock.Journal.replayed_txs;
   check Alcotest.string "content stable" (String.make 64 'q')
@@ -302,7 +341,7 @@ let test_journal_coalesces_same_block () =
   ignore (Kblock.Journal.tx_write j tx ~blkno:home (Bytes.make 64 'a'));
   ignore (Kblock.Journal.tx_write j tx ~blkno:home (Bytes.make 64 'b'));
   ignore (Kblock.Journal.commit j tx);
-  Kblock.Journal.checkpoint j;
+  checkpoint_ok j;
   check Alcotest.string "last write wins" (String.make 64 'b')
     (Bytes.to_string (read_ok dev home))
 
@@ -320,7 +359,7 @@ let test_journal_auto_checkpoint_on_full () =
   done;
   check Alcotest.bool "auto checkpoint happened" true
     ((Kblock.Journal.stats j).Kblock.Journal.checkpoints >= 1);
-  Kblock.Journal.checkpoint j;
+  checkpoint_ok j;
   for i = 0 to 7 do
     check Alcotest.string "all landed" (String.make 64 'k')
       (Bytes.to_string (read_ok dev (home + i)))
@@ -328,7 +367,7 @@ let test_journal_auto_checkpoint_on_full () =
 
 let test_journal_oversized_tx_rejected () =
   let dev = Kblock.Blockdev.create ~nblocks:256 ~block_size:64 in
-  let j = Kblock.Journal.format dev ~jblocks:8 in
+  let j = Kblock.Journal.format (Kblock.Blockdev.io dev) ~jblocks:8 in
   let home = Kblock.Journal.data_start j in
   let tx = Kblock.Journal.tx_begin j in
   for i = 0 to 9 do
@@ -347,7 +386,7 @@ let prop_journal_crash_recovery_consistent =
       list_size (int_range 1 6) (list_size (int_range 1 3) (pair (int_range 0 8) printable)))
     (fun txs ->
       let dev = Kblock.Blockdev.create ~nblocks:128 ~block_size:64 in
-      let j = Kblock.Journal.format dev ~jblocks:32 in
+      let j = Kblock.Journal.format (Kblock.Blockdev.io dev) ~jblocks:32 in
       let home = Kblock.Journal.data_start j in
       let expected = Hashtbl.create 8 in
       List.iter
@@ -362,11 +401,123 @@ let prop_journal_crash_recovery_consistent =
           | Error _ -> ())
         txs;
       Kblock.Blockdev.crash dev;
-      let _ = Kblock.Journal.recover dev ~jblocks:32 in
+      let _ = Kblock.Journal.recover (Kblock.Blockdev.io dev) ~jblocks:32 in
       Hashtbl.fold
         (fun i c acc ->
           acc && Bytes.to_string (read_ok dev (home + i)) = String.make 64 c)
         expected true)
+
+(* Flakydev / Resilient -------------------------------------------------------- *)
+
+let mk_flaky ?(seed = 42) () =
+  let dev = Kblock.Blockdev.create ~nblocks:16 ~block_size:8 in
+  let fp = Ksim.Failpoint.create ~seed () in
+  let flaky = Kblock.Flakydev.create ~fp (Kblock.Blockdev.io dev) in
+  (dev, fp, flaky)
+
+let test_flaky_read_eio_deterministic () =
+  let dev, fp, flaky = mk_flaky () in
+  write_ok dev 0 (block dev 'x');
+  Ksim.Failpoint.configure fp "flaky.read-eio" ~enabled:true ~interval:2 ~times:2 ();
+  let io = Kblock.Flakydev.io flaky in
+  let results = List.init 6 (fun _ -> Result.is_ok (io.Kblock.Io.read 0)) in
+  (* Hits 2 and 4 inject; the times budget then runs dry. *)
+  check Alcotest.(list bool) "schedule" [ true; false; true; false; true; true ] results;
+  check Alcotest.int "two read errors" 2 (Kblock.Flakydev.read_errors flaky)
+
+let test_flaky_torn_write () =
+  let dev, fp, flaky = mk_flaky () in
+  write_ok dev 0 (Bytes.of_string "OLDOLDOL");
+  Kblock.Blockdev.flush dev;
+  Ksim.Failpoint.configure fp "flaky.torn-write" ~enabled:true ~times:1 ();
+  let io = Kblock.Flakydev.io flaky in
+  check Alcotest.bool "write fails" true (io.Kblock.Io.write 0 (Bytes.of_string "newnewne") = Error Ksim.Errno.EIO);
+  check Alcotest.int "one torn write" 1 (Kblock.Flakydev.torn_writes flaky);
+  (* A proper tear: some prefix of the new data over the old content. *)
+  let landed = Bytes.to_string (read_ok dev 0) in
+  check Alcotest.bool "not the full new data" true (landed <> "newnewne");
+  check Alcotest.bool "not the old data either" true (landed <> "OLDOLDOL");
+  let tear = ref 0 in
+  String.iteri (fun i c -> if c = "newnewne".[i] && !tear = i then incr tear) landed;
+  check Alcotest.bool "prefix of new" true (!tear >= 1);
+  check Alcotest.string "suffix of old" (String.sub "OLDOLDOL" !tear (8 - !tear))
+    (String.sub landed !tear (8 - !tear));
+  (* Deterministic: the same seed draws the same tear offset. *)
+  let dev2, fp2, flaky2 = mk_flaky () in
+  write_ok dev2 0 (Bytes.of_string "OLDOLDOL");
+  Kblock.Blockdev.flush dev2;
+  Ksim.Failpoint.configure fp2 "flaky.torn-write" ~enabled:true ~times:1 ();
+  ignore ((Kblock.Flakydev.io flaky2).Kblock.Io.write 0 (Bytes.of_string "newnewne"));
+  check Alcotest.string "replayable tear" landed (Bytes.to_string (read_ok dev2 0))
+
+let test_flaky_availability_window () =
+  let dev, _, flaky = mk_flaky () in
+  write_ok dev 0 (block dev 'x');
+  Kblock.Blockdev.flush dev;
+  Kblock.Flakydev.set_availability flaky ~up:2 ~down:2;
+  let io = Kblock.Flakydev.io flaky in
+  let results = List.init 8 (fun _ -> Result.is_ok (io.Kblock.Io.read 0)) in
+  check Alcotest.(list bool) "2 up, 2 down, repeating"
+    [ true; true; false; false; true; true; false; false ]
+    results;
+  check Alcotest.int "down rejections" 4 (Kblock.Flakydev.down_rejections flaky);
+  (* Skip past the next up window: flush also fails once down. *)
+  ignore (io.Kblock.Io.read 0);
+  ignore (io.Kblock.Io.read 0);
+  check Alcotest.bool "flush rejected when down" true (Result.is_error (io.Kblock.Io.flush ()));
+  check Alcotest.bool "invalid window rejected" true
+    (try
+       Kblock.Flakydev.set_availability flaky ~up:0 ~down:1;
+       false
+     with Invalid_argument _ -> true)
+
+(* An Io.t that fails the first [failures] calls of each op with [err]. *)
+let unreliable_io ?(err = Ksim.Errno.EIO) ~failures base =
+  let budget = ref failures in
+  let gate f =
+    if !budget > 0 then begin
+      decr budget;
+      Error err
+    end
+    else f ()
+  in
+  {
+    Kblock.Io.nblocks = base.Kblock.Io.nblocks;
+    block_size = base.Kblock.Io.block_size;
+    read = (fun blkno -> gate (fun () -> base.Kblock.Io.read blkno));
+    write = (fun blkno data -> gate (fun () -> base.Kblock.Io.write blkno data));
+    flush = (fun () -> gate base.Kblock.Io.flush);
+  }
+
+let test_resilient_recovers_transient () =
+  let dev = Kblock.Blockdev.create ~nblocks:8 ~block_size:8 in
+  let r = Kblock.Resilient.create ~max_attempts:4 (unreliable_io ~failures:2 (Kblock.Blockdev.io dev)) in
+  (match Kblock.Resilient.write r 0 (block dev 'w') with
+  | Ok () -> ()
+  | Error e -> fail ("expected recovery, got " ^ Ksim.Errno.to_string e));
+  check Alcotest.int "one op" 1 (Kblock.Resilient.ops r);
+  check Alcotest.int "two retries" 2 (Kblock.Resilient.retries r);
+  check Alcotest.int "one recovered op" 1 (Kblock.Resilient.recovered_ops r);
+  check Alcotest.int "no permanent failure" 0 (Kblock.Resilient.permanent_failures r);
+  (* Deterministic backoff: 100 + 200 simulated ns for attempts 1 and 2. *)
+  check Alcotest.int "simulated backoff" 300 (Kblock.Resilient.simulated_ns r);
+  check Alcotest.string "write landed" (String.make 8 'w') (Bytes.to_string (read_ok dev 0))
+
+let test_resilient_permanent_verdict () =
+  let dev = Kblock.Blockdev.create ~nblocks:8 ~block_size:8 in
+  let r = Kblock.Resilient.create ~max_attempts:3 (unreliable_io ~failures:99 (Kblock.Blockdev.io dev)) in
+  check Alcotest.bool "EIO propagates" true (Kblock.Resilient.write r 0 (block dev 'w') = Error Ksim.Errno.EIO);
+  check Alcotest.int "permanent verdict" 1 (Kblock.Resilient.permanent_failures r);
+  check Alcotest.int "budget consumed" 2 (Kblock.Resilient.retries r)
+
+let test_resilient_nontransient_immediate () =
+  let dev = Kblock.Blockdev.create ~nblocks:8 ~block_size:8 in
+  let r = Kblock.Resilient.create ~max_attempts:4 (Kblock.Blockdev.io dev) in
+  (* EINVAL is not transient: no retries, no permanent-failure verdict. *)
+  check Alcotest.bool "EINVAL propagates" true
+    (Kblock.Resilient.write r 0 (Bytes.make 3 'x') = Error Ksim.Errno.EINVAL);
+  check Alcotest.int "no retries" 0 (Kblock.Resilient.retries r);
+  check Alcotest.int "no permanent verdict" 0 (Kblock.Resilient.permanent_failures r)
 
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
@@ -381,6 +532,8 @@ let () =
         :: Alcotest.test_case "last write wins" `Quick test_dev_last_write_wins
         :: Alcotest.test_case "crash states exhaustive" `Quick test_dev_crash_states_exhaustive
         :: Alcotest.test_case "crash states dedup" `Quick test_dev_crash_states_dedup
+        :: Alcotest.test_case "crash states limit boundary" `Quick
+             test_dev_crash_states_limit_boundary
         :: Alcotest.test_case "snapshot is deep" `Quick test_dev_snapshot_of_media
         :: qcheck [ prop_flush_then_crash_preserves_all; prop_blockdev_satisfies_axioms ] );
       ( "buffer_head",
@@ -409,4 +562,17 @@ let () =
              test_journal_auto_checkpoint_on_full
         :: Alcotest.test_case "oversized tx rejected" `Quick test_journal_oversized_tx_rejected
         :: qcheck [ prop_journal_crash_recovery_consistent ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "flaky read eio deterministic" `Quick
+            test_flaky_read_eio_deterministic;
+          Alcotest.test_case "flaky torn write" `Quick test_flaky_torn_write;
+          Alcotest.test_case "flaky availability window" `Quick test_flaky_availability_window;
+          Alcotest.test_case "resilient recovers transient" `Quick
+            test_resilient_recovers_transient;
+          Alcotest.test_case "resilient permanent verdict" `Quick
+            test_resilient_permanent_verdict;
+          Alcotest.test_case "resilient nontransient immediate" `Quick
+            test_resilient_nontransient_immediate;
+        ] );
     ]

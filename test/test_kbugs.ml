@@ -109,10 +109,19 @@ let test_semantic_fault_stops_only_at_stage4 () =
 
 let test_matrix_shape () =
   let m = Kbugs.Inject.matrix () in
-  check Alcotest.int "seven faults" 7 (List.length m);
+  check Alcotest.int "eight faults" 8 (List.length m);
   List.iter
     (fun (_, cells) -> check Alcotest.int "four stages" 4 (List.length cells))
     m
+
+let test_transient_io_absorbed_when_protected () =
+  (match Kbugs.Inject.trigger_transient_io ~protected:false () with
+  | Kbugs.Inject.Exhibited _ -> ()
+  | d -> fail ("unprotected: " ^ Kbugs.Inject.detection_to_string d));
+  match Kbugs.Inject.trigger_transient_io ~protected:true () with
+  | Kbugs.Inject.Detected how ->
+      check Alcotest.bool "mentions retries" true (String.length how > 0)
+  | d -> fail ("protected: " ^ Kbugs.Inject.detection_to_string d)
 
 let test_claims_upheld () =
   let c = Kbugs.Analysis.check_claims () in
@@ -159,6 +168,8 @@ let () =
           Alcotest.test_case "semantic stops only at stage 4" `Quick
             test_semantic_fault_stops_only_at_stage4;
           Alcotest.test_case "matrix shape" `Quick test_matrix_shape;
+          Alcotest.test_case "transient io absorbed when protected" `Quick
+            test_transient_io_absorbed_when_protected;
         ] );
       ( "analysis",
         [

@@ -412,6 +412,65 @@ let rng_pick_member =
       let rng = Ksim.Rng.of_int seed in
       List.mem (Ksim.Rng.pick rng xs) xs)
 
+(* Failpoint ------------------------------------------------------------------ *)
+
+let test_failpoint_interval_and_times () =
+  let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:1 () in
+  Ksim.Failpoint.configure fp "site" ~enabled:true ~interval:3 ~times:2 ();
+  let fired = List.init 12 (fun _ -> Ksim.Failpoint.should_fail fp "site") in
+  (* Hits 3 and 6 inject; then the times budget is gone. *)
+  check Alcotest.(list bool) "every 3rd hit, twice"
+    [ false; false; true; false; false; true; false; false; false; false; false; false ]
+    fired;
+  check Alcotest.int "hits counted" 12 (Ksim.Failpoint.hits fp "site");
+  check Alcotest.int "injections counted" 2 (Ksim.Failpoint.injected fp "site");
+  check Alcotest.int "total" 2 (Ksim.Failpoint.total_injected fp)
+
+let test_failpoint_disabled_and_heal () =
+  let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:1 () in
+  (* Registered but never enabled: zero cost path, never fires. *)
+  check Alcotest.bool "disabled never fires" false (Ksim.Failpoint.should_fail fp "quiet");
+  Ksim.Failpoint.configure fp "loud" ~enabled:true ();
+  check Alcotest.bool "enabled fires" true (Ksim.Failpoint.should_fail fp "loud");
+  Ksim.Failpoint.disable_all fp;
+  check Alcotest.bool "healed" false (Ksim.Failpoint.should_fail fp "loud");
+  check Alcotest.bool "bad probability rejected" true
+    (try
+       Ksim.Failpoint.configure fp "loud" ~probability:1.5 ();
+       false
+     with Invalid_argument _ -> true)
+
+let test_failpoint_probability_replayable () =
+  let run () =
+    let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:77 () in
+    Ksim.Failpoint.configure fp "p" ~enabled:true ~probability:0.4 ();
+    let fired = List.init 64 (fun _ -> Ksim.Failpoint.should_fail fp "p") in
+    (fired, Ksim.Failpoint.schedule fp)
+  in
+  let fired_a, sched_a = run () in
+  let fired_b, sched_b = run () in
+  check Alcotest.(list bool) "same seed, same draws" fired_a fired_b;
+  check Alcotest.(list string) "same schedule fingerprint" sched_a sched_b;
+  let hits = List.length (List.filter Fun.id fired_a) in
+  check Alcotest.bool "probability gate actually gates" true (hits > 0 && hits < 64);
+  (* The per-site stream comes from (seed, name): registration order of
+     other sites must not perturb it. *)
+  let fp2 = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:77 () in
+  ignore (Ksim.Failpoint.register fp2 "aardvark");
+  ignore (Ksim.Failpoint.register fp2 "zebra");
+  Ksim.Failpoint.configure fp2 "p" ~enabled:true ~probability:0.4 ();
+  let fired_c = List.init 64 (fun _ -> Ksim.Failpoint.should_fail fp2 "p") in
+  check Alcotest.(list bool) "independent of registration order" fired_a fired_c
+
+let test_failpoint_publish () =
+  let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:3 () in
+  Ksim.Failpoint.configure fp "s" ~enabled:true ();
+  ignore (Ksim.Failpoint.should_fail fp "s");
+  let stats = Ksim.Kstats.create () in
+  Ksim.Failpoint.publish fp stats;
+  check Alcotest.int "hits published" 1 (Ksim.Kstats.get stats "s.hits");
+  check Alcotest.int "injected published" 1 (Ksim.Kstats.get stats "s.injected")
+
 (* Kstats --------------------------------------------------------------------- *)
 
 let test_kstats () =
@@ -486,5 +545,12 @@ let () =
         :: Alcotest.test_case "split independence" `Quick test_rng_split_independent
         :: qcheck [ rng_int_in_bounds; rng_float_in_unit; rng_shuffle_permutation; rng_pick_member ]
       );
+      ( "failpoint",
+        [
+          Alcotest.test_case "interval and times" `Quick test_failpoint_interval_and_times;
+          Alcotest.test_case "disabled and heal" `Quick test_failpoint_disabled_and_heal;
+          Alcotest.test_case "probability replayable" `Quick test_failpoint_probability_replayable;
+          Alcotest.test_case "publish counters" `Quick test_failpoint_publish;
+        ] );
       ("kstats", [ Alcotest.test_case "counters" `Quick test_kstats ]);
     ]

@@ -1,0 +1,261 @@
+(* The torture rig: seeded fault schedules against the full resilience
+   stack, then a crash, recovery, and a crash-safety spec re-check.
+
+   Stack under test:
+
+     Journalfs (Journaled)  — aborts + errors=remount-ro on permanent EIO
+       Resilient            — bounded retries, deterministic backoff
+         Flakydev           — failpoint-driven EIO / torn writes
+           Blockdev         — volatile write cache, crash = cache drop
+
+   Everything is driven by one integer seed: the workload, the fault
+   schedule (via [Ksim.Failpoint]) and the tear offsets are all derived
+   from it, so every run is exactly replayable. *)
+
+open Kspec
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let seeds = [ 11; 23; 47 ]
+
+let geometry = Kfs.Journalfs.default_geometry
+
+(* One full stack over a fresh device.  The registry gets its own trace so
+   [Failpoint.schedule] fingerprints are per-run, not polluted by the
+   shared global trace. *)
+let mk_stack ~seed =
+  let dev = Kblock.Blockdev.create ~nblocks:geometry.nblocks ~block_size:geometry.block_size in
+  let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed () in
+  let flaky = Kblock.Flakydev.create ~fp (Kblock.Blockdev.io dev) in
+  let resilient = Kblock.Resilient.create ~max_attempts:6 (Kblock.Flakydev.io flaky) in
+  let fs = Kfs.Journalfs.mkfs_on ~io:(Kblock.Resilient.io resilient) Kfs.Journalfs.Journaled dev in
+  (dev, fp, flaky, resilient, fs)
+
+(* A deterministic workload over a small path space: creates, overwrites,
+   unlinks, reads and periodic fsyncs.  Benign errors (ENOENT, EEXIST...)
+   are part of the history — the spec produces the same ones. *)
+let gen_ops rng n =
+  let p = Fs_spec.path_of_string in
+  let files = [| "/a"; "/b"; "/c"; "/d" |] in
+  let pick_file () = files.(Ksim.Rng.int rng (Array.length files)) in
+  List.init n (fun i ->
+      match Ksim.Rng.int rng 10 with
+      | 0 | 1 -> Fs_spec.Create (p (pick_file ()))
+      | 2 | 3 | 4 | 5 ->
+          Fs_spec.Write { file = p (pick_file ()); off = 0; data = Printf.sprintf "data-%d" i }
+      | 6 -> Fs_spec.Unlink (p (pick_file ()))
+      | 7 -> Fs_spec.Read { file = p (pick_file ()); off = 0; len = 16 }
+      | _ -> Fs_spec.Fsync)
+
+let arm_faults fp =
+  Ksim.Failpoint.configure fp "flaky.read-eio" ~enabled:true ~probability:0.3 ();
+  Ksim.Failpoint.configure fp "flaky.write-eio" ~enabled:true ~probability:0.2 ();
+  Ksim.Failpoint.configure fp "flaky.torn-write" ~enabled:true ~probability:0.1 ()
+
+(* Run the faulty workload.  Ops that die of a surfaced EIO (or EROFS
+   afterwards) never changed durable state and are excluded from the spec
+   history; everything else executed exactly as the spec would. *)
+let run_workload fs ops =
+  let executed = ref [] in
+  List.iter
+    (fun op ->
+      match Kfs.Journalfs.apply fs op with
+      | Error (Ksim.Errno.EIO | Ksim.Errno.EROFS) -> ()
+      | _ -> executed := op :: !executed)
+    ops;
+  List.rev !executed
+
+type outcome = {
+  schedule : string list;
+  injected : int;
+  recovered_state : Fs_spec.state;
+  executed : Fs_spec.op list;
+}
+
+let run_torture ~seed =
+  let dev, fp, flaky, _resilient, fs = mk_stack ~seed in
+  arm_faults fp;
+  let ops = gen_ops (Ksim.Rng.of_int seed) 40 in
+  let executed = run_workload fs ops in
+  (* Crash: the volatile cache is gone; mount replays the journal over a
+     now-reliable device (the fault window is over). *)
+  Kblock.Blockdev.crash dev;
+  let healed = Kfs.Journalfs.mount ~geometry Kfs.Journalfs.Journaled dev in
+  if Kfs.Journalfs.is_corrupt healed then fail (Printf.sprintf "seed %d: corrupt after recovery" seed);
+  {
+    schedule = Ksim.Failpoint.schedule fp;
+    injected = Kblock.Flakydev.injected flaky;
+    recovered_state = Kfs.Journalfs.interpret healed;
+    executed;
+  }
+
+(* 1. Under a seeded fault storm, a crash at the end of the workload
+   recovers to a state the crash-safe spec allows. *)
+let test_seeded_storm_recovers_legally () =
+  List.iter
+    (fun seed ->
+      let o = run_torture ~seed in
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: faults actually injected" seed)
+        true (o.injected > 0);
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: recovery allowed by crash-safe spec" seed)
+        true
+        (Fs_spec.Crash_safe.is_allowed_recovery o.executed o.recovered_state))
+    seeds
+
+(* 2. Replayability: the same seed produces bit-identical fault schedules
+   and final states; different seeds produce different schedules. *)
+let test_fault_schedules_replayable () =
+  let outcomes = List.map (fun seed -> (seed, run_torture ~seed, run_torture ~seed)) seeds in
+  List.iter
+    (fun (seed, a, b) ->
+      check
+        Alcotest.(list string)
+        (Printf.sprintf "seed %d: identical schedule" seed)
+        a.schedule b.schedule;
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: identical recovered state" seed)
+        true
+        (Fs_spec.equal a.recovered_state b.recovered_state))
+    outcomes;
+  match outcomes with
+  | (_, a, _) :: (_, b, _) :: _ ->
+      check Alcotest.bool "distinct seeds, distinct schedules" true (a.schedule <> b.schedule)
+  | _ -> fail "need at least two seeds"
+
+(* 3. After recovery the healed FS is still crash-safe going forward:
+   continue the history on the recovered image and re-check every crash
+   image against the spec, seeded from the recovered state. *)
+let test_post_recovery_crash_spec_recheck () =
+  List.iter
+    (fun seed ->
+      let o = run_torture ~seed in
+      (* Remount once more to get a handle backed by the same media. *)
+      let p = Fs_spec.path_of_string in
+      let post_ops =
+        [
+          Fs_spec.Create (p "/post");
+          Fs_spec.Write { file = p "/post"; off = 0; data = "after the storm" };
+          Fs_spec.Fsync;
+          Fs_spec.Write { file = p "/post"; off = 0; data = "second wind" };
+        ]
+      in
+      (* Rebuild the same pre-crash media by replaying the torture run
+         deterministically, then crash + mount — [run_torture] already did
+         exactly this, so just redo it to own the device. *)
+      let dev, fp, _, _, fs = mk_stack ~seed in
+      arm_faults fp;
+      let executed = run_workload fs (gen_ops (Ksim.Rng.of_int seed) 40) in
+      check Alcotest.bool "same executed history" true (executed = o.executed);
+      Kblock.Blockdev.crash dev;
+      let healed = Kfs.Journalfs.mount ~geometry Kfs.Journalfs.Journaled dev in
+      let start = Kfs.Journalfs.interpret healed in
+      (* The spec continues from the recovered state: durable = volatile =
+         what recovery produced. *)
+      let cstate = ref { Fs_spec.Crash_safe.durable = start; volatile = start } in
+      let allowed = ref [ start ] in
+      List.iteri
+        (fun i op ->
+          (match Kfs.Journalfs.apply healed op with
+          | Ok _ -> ()
+          | Error e -> fail (Printf.sprintf "seed %d post-op %d: %s" seed i (Ksim.Errno.to_string e)));
+          let c', _ = Fs_spec.Crash_safe.step !cstate op in
+          cstate := c';
+          (* Crash here may recover to any volatile state since the last
+             fsync; fsync collapses the allowed set. *)
+          (match op with
+          | Fs_spec.Fsync -> allowed := [ c'.Fs_spec.Crash_safe.volatile ]
+          | _ -> allowed := c'.Fs_spec.Crash_safe.volatile :: !allowed);
+          List.iteri
+            (fun image_index image ->
+              let recovered = Kfs.Journalfs.interpret image in
+              if not (List.exists (fun s -> Fs_spec.equal s recovered) !allowed) then
+                fail
+                  (Printf.sprintf "seed %d: illegal recovery after post-op %d, image %d" seed i
+                     image_index))
+            (Kfs.Journalfs.crash_images healed ~limit:16))
+        post_ops)
+    seeds
+
+(* 4. Graceful degradation: a persistent write failure (every attempt
+   fails) flips the FS to errors=remount-ro instead of corrupting it. *)
+let test_permanent_failure_remounts_readonly () =
+  let dev, fp, _flaky, resilient, fs = mk_stack ~seed:5 in
+  let p = Fs_spec.path_of_string in
+  (* A little durable history first, while the device is healthy. *)
+  (match Kfs.Journalfs.apply fs (Fs_spec.Create (p "/keep")) with
+  | Ok _ -> ()
+  | Error e -> fail (Ksim.Errno.to_string e));
+  (match Kfs.Journalfs.apply fs (Fs_spec.Write { file = p "/keep"; off = 0; data = "safe" }) with
+  | Ok _ -> ()
+  | Error e -> fail (Ksim.Errno.to_string e));
+  (match Kfs.Journalfs.apply fs Fs_spec.Fsync with
+  | Ok _ -> ()
+  | Error e -> fail (Ksim.Errno.to_string e));
+  let incidents_before = List.length (Safeos_core.Audit.incidents ()) in
+  (* Now the device fails every write, forever: retries must exhaust. *)
+  Ksim.Failpoint.configure fp "flaky.write-eio" ~enabled:true ~probability:1.0 ();
+  (match Kfs.Journalfs.apply fs (Fs_spec.Create (p "/doomed")) with
+  | Error Ksim.Errno.EIO -> ()
+  | r -> fail ("expected EIO, got " ^ Fmt.str "%a" (Fs_spec.pp_result) r));
+  check Alcotest.bool "remounted read-only" true (Kfs.Journalfs.is_readonly fs);
+  check Alcotest.bool "permanent verdict recorded" true
+    (Kblock.Resilient.permanent_failures resilient >= 1);
+  check Alcotest.bool "incident audited" true
+    (List.length (Safeos_core.Audit.incidents ()) > incidents_before);
+  (* ...and the latch behaves like ext4 errors=remount-ro. *)
+  check Alcotest.bool "subsequent write EROFS" true
+    (Kfs.Journalfs.apply fs (Fs_spec.Write { file = p "/keep"; off = 0; data = "no" })
+    = Error Ksim.Errno.EROFS);
+  check Alcotest.bool "subsequent unlink EROFS" true
+    (Kfs.Journalfs.apply fs (Fs_spec.Unlink (p "/keep")) = Error Ksim.Errno.EROFS);
+  check Alcotest.bool "reads still work" true
+    (Kfs.Journalfs.apply fs (Fs_spec.Read { file = p "/keep"; off = 0; len = 4 })
+    = Ok (Fs_spec.Data "safe"));
+  check Alcotest.bool "fsync is a quiet no-op" true
+    (Kfs.Journalfs.apply fs Fs_spec.Fsync = Ok Fs_spec.Unit);
+  (* Crash-safety held through the abort: recovery sees the synced state. *)
+  Kblock.Blockdev.crash dev;
+  let healed = Kfs.Journalfs.mount ~geometry Kfs.Journalfs.Journaled dev in
+  check Alcotest.bool "not corrupt" false (Kfs.Journalfs.is_corrupt healed);
+  let executed =
+    [
+      Fs_spec.Create (p "/keep");
+      Fs_spec.Write { file = p "/keep"; off = 0; data = "safe" };
+      Fs_spec.Fsync;
+    ]
+  in
+  check Alcotest.bool "recovery allowed by crash-safe spec" true
+    (Fs_spec.Crash_safe.is_allowed_recovery executed (Kfs.Journalfs.interpret healed))
+
+(* 5. The journal's abort accounting is visible: a failed commit bumps
+   aborted_commits and leaves pending alone. *)
+let test_aborted_commit_counted () =
+  let _, fp, _, _, fs = mk_stack ~seed:9 in
+  Ksim.Failpoint.configure fp "flaky.write-eio" ~enabled:true ~probability:1.0 ();
+  let p = Fs_spec.path_of_string in
+  (match Kfs.Journalfs.apply fs (Fs_spec.Create (p "/x")) with
+  | Error Ksim.Errno.EIO -> ()
+  | _ -> fail "expected EIO");
+  match Kfs.Journalfs.journal_stats fs with
+  | None -> fail "journaled fs has stats"
+  | Some s ->
+      check Alcotest.bool "abort counted" true (s.Kblock.Journal.aborted_commits >= 1)
+
+let () =
+  Alcotest.run "torture"
+    [
+      ( "fault-torture",
+        [
+          Alcotest.test_case "seeded storm recovers legally" `Quick
+            test_seeded_storm_recovers_legally;
+          Alcotest.test_case "fault schedules replayable" `Quick test_fault_schedules_replayable;
+          Alcotest.test_case "post-recovery crash-spec re-check" `Quick
+            test_post_recovery_crash_spec_recheck;
+          Alcotest.test_case "permanent failure remounts read-only" `Quick
+            test_permanent_failure_remounts_readonly;
+          Alcotest.test_case "aborted commit counted" `Quick test_aborted_commit_counted;
+        ] );
+    ]
