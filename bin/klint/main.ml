@@ -1,0 +1,107 @@
+(* klint driver: lint lib/ against the safety ladder, reconcile with the
+   boot registry's level claims, and gate CI.
+
+   Exit codes: 0 clean (or only baselined/permitted findings),
+   1 non-baselined violations, 2 operational errors (parse failure,
+   bad baseline, missing tree). *)
+
+let ( / ) = Filename.concat
+
+let run root_opt baseline_opt report_opt update_baseline verbose =
+  let root =
+    match root_opt with
+    | Some r -> r
+    | None -> (
+        match Klint.find_root () with
+        | Some r -> r
+        | None ->
+            Fmt.epr "klint: cannot find dune-project above %s (use --root)@." (Sys.getcwd ());
+            exit 2)
+  in
+  if not (Sys.file_exists (root / "lib")) then begin
+    Fmt.epr "klint: %s has no lib/ to lint@." root;
+    exit 2
+  end;
+  let baseline_path = match baseline_opt with Some p -> p | None -> root / "klint.baseline" in
+  let report_path =
+    match report_opt with Some p -> p | None -> root / "_build" / "klint-report.json"
+  in
+  (* The same registry the kernel boots with, sized from the tree. *)
+  let registry =
+    Safeos_core.Boot.registry ~loc_of:(fun name -> Klint.registry_loc ~root name) ()
+  in
+  let tree = Klint.Engine.lint_tree ~root in
+  List.iter
+    (fun (file, msg) -> Fmt.epr "klint: parse error in %s:@.%s@." file msg)
+    tree.Klint.Engine.parse_errors;
+  if tree.Klint.Engine.parse_errors <> [] then exit 2;
+  if update_baseline then begin
+    Klint.Baseline.save baseline_path (Klint.Baseline.of_findings tree.Klint.Engine.findings);
+    Fmt.pr "klint: wrote %d baseline entries to %s@."
+      (List.length (Klint.Baseline.of_findings tree.Klint.Engine.findings))
+      baseline_path
+  end;
+  let baseline =
+    match Klint.Baseline.load baseline_path with
+    | Ok entries -> entries
+    | Error msg ->
+        Fmt.epr "klint: bad baseline %s: %s@." baseline_path msg;
+        exit 2
+  in
+  let r = Klint.Engine.reconcile ~registry ~baseline tree.Klint.Engine.findings in
+  Klint.Report.write ~path:report_path (Klint.Report.to_json ~registry tree r);
+  let attributed = r.Klint.Engine.attributed in
+  if verbose then
+    List.iter
+      (fun (a : Klint.Engine.attributed) ->
+        Fmt.pr "%a  [%s@%s%s]@." Klint.Finding.pp a.Klint.Engine.finding a.Klint.Engine.sub
+          (Safeos_core.Level.to_string a.Klint.Engine.level)
+          (if a.Klint.Engine.baselined then ", baselined" else ""))
+      attributed;
+  Fmt.pr "klint: %d files, %d effective lines, %d findings (%d baselined), %d violations@."
+    (List.length tree.Klint.Engine.files)
+    tree.Klint.Engine.effective_loc (List.length attributed)
+    (List.length (List.filter (fun a -> a.Klint.Engine.baselined) attributed))
+    (List.length r.Klint.Engine.violations);
+  if r.Klint.Engine.stale_baseline <> [] then
+    Fmt.pr "klint: ratchet progress — %d baseline entries no longer fire; regenerate with --update-baseline@."
+      (List.length r.Klint.Engine.stale_baseline);
+  Fmt.pr "klint: report written to %s@." report_path;
+  if r.Klint.Engine.violations = [] then 0
+  else begin
+    List.iter
+      (fun (a : Klint.Engine.attributed) ->
+        Fmt.epr "klint: VIOLATION %a — subsystem %s claims %s@." Klint.Finding.pp
+          a.Klint.Engine.finding a.Klint.Engine.sub
+          (Safeos_core.Level.to_string a.Klint.Engine.level))
+      r.Klint.Engine.violations;
+    1
+  end
+
+open Cmdliner
+
+let root =
+  Arg.(value & opt (some string) None & info [ "root" ] ~docv:"DIR"
+         ~doc:"Tree root (default: nearest dune-project above the cwd)")
+
+let baseline =
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
+         ~doc:"Baseline file (default: ROOT/klint.baseline)")
+
+let report =
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE"
+         ~doc:"JSON report path (default: ROOT/_build/klint-report.json)")
+
+let update_baseline =
+  Arg.(value & flag & info [ "update-baseline" ]
+         ~doc:"Rewrite the baseline from the current findings, then lint against it")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every finding")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "klint" ~version:"1.0.0"
+       ~doc:"Static safety-ladder linter: enforce Registry level claims against the source tree")
+    Term.(const run $ root $ baseline $ report $ update_baseline $ verbose)
+
+let () = exit (Cmd.eval' cmd)

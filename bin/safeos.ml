@@ -6,56 +6,16 @@
 
 let std = Format.std_formatter
 
-(* The kernel as shipped: every subsystem registered at its current
-   safety level.  LoC values are the sizes of the corresponding modules
-   in this repository. *)
+(* The kernel as shipped, from the shared Boot module.  LoC values come
+   from klint's per-subsystem line counts when the source tree is on
+   disk, so the Figure-1 audit cannot drift from the code. *)
 let boot_registry () =
-  let r = Safeos_core.Registry.create () in
-  let reg = Safeos_core.Registry.register r in
-  let open Safeos_core in
-  ignore
-    (reg ~name:"memfs" ~kind:Registry.File_system ~level:Level.Modular
-       ~iface:Interface.fs_interface ~loc:430
-       ~description:"in-memory FS, C idioms behind a modular interface"
-       ~instance:(Kvfs.Iface.make (module Kfs.Memfs_unsafe.Modular) ())
-       ());
-  ignore
-    (reg ~name:"journalfs" ~kind:Registry.File_system ~level:Level.Type_safe
-       ~iface:Interface.fs_interface ~loc:620 ~description:"journaled block FS (ext4-shaped)"
-       ~instance:(Kvfs.Iface.make (module Kfs.Journalfs.Journaled_fs) ())
-       ());
-  ignore
-    (reg ~name:"unionfs" ~kind:Registry.File_system ~level:Level.Type_safe
-       ~iface:Interface.fs_interface ~loc:330 ~description:"overlay FS on the modular interface"
-       ~instance:(Kvfs.Iface.make (module Kfs.Unionfs) ())
-       ());
-  ignore
-    (reg ~name:"cowfs" ~kind:Registry.File_system ~level:Level.Type_safe
-       ~iface:Interface.fs_interface ~loc:280 ~description:"copy-on-write FS with snapshots"
-       ~instance:(Kvfs.Iface.make (module Kfs.Cowfs) ())
-       ());
-  let plain name kind loc description level =
-    ignore
-      (reg ~name ~kind ~level
-         ~iface:(Interface.v ~name ~version:1 ~supports:Level.Verified [])
-         ~loc ~description ())
+  let loc_of =
+    match Klint.find_root () with
+    | Some root -> fun name -> Klint.registry_loc ~root name
+    | None -> fun _ -> None
   in
-  plain "blockdev" Registry.Block 160 "simulated disk with crash semantics" Level.Type_safe;
-  plain "buffer_cache" Registry.Block 250 "buffer_head cache, 16 state flags" Level.Type_safe;
-  plain "journal" Registry.Block 300 "jbd2-style write-ahead journal" Level.Type_safe;
-  plain "tcp" Registry.Network 230 "RFC793 connection state machine" Level.Type_safe;
-  plain "socket" Registry.Network 180 "protocol-family dispatch" Level.Modular;
-  plain "kmem" Registry.Memory 90 "manual allocator (unsafe by design)" Level.Unsafe;
-  plain "sched" Registry.Scheduler 120 "deterministic cooperative scheduler" Level.Type_safe;
-  plain "ebpf_vm" (Registry.Other "extension") 280
-    "verified extension VM (forward-jump eBPF miniature)" Level.Type_safe;
-  plain "mm" Registry.Memory 330 "virtual memory: vmas, demand paging, COW fork"
-    Level.Type_safe;
-  plain "lockdep" (Registry.Other "checker") 110 "lock-order (deadlock) validator"
-    Level.Type_safe;
-  plain "proc" Registry.Scheduler 150 "process layer: syscall surface over VFS+MM"
-    Level.Type_safe;
-  r
+  Safeos_core.Boot.registry ~loc_of ()
 
 (* figures ------------------------------------------------------------- *)
 

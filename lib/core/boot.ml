@@ -1,0 +1,63 @@
+(* The kernel as shipped: every subsystem registered at its current
+   safety level.  Shared by the safeos and klint drivers so the registry
+   both of them reason about is the same object.
+
+   LoC values are derived from the source tree when the caller supplies
+   [loc_of] (klint's per-subsystem line counts, so the Figure-1 audit
+   numbers cannot drift); the constants below are only the fallback for
+   contexts where the sources are not on disk. *)
+
+let registry ?loc_of () =
+  let loc name fallback =
+    match loc_of with
+    | None -> fallback
+    | Some f -> ( match f name with Some n -> n | None -> fallback)
+  in
+  let r = Registry.create () in
+  let reg = Registry.register r in
+  ignore
+    (reg ~name:"memfs" ~kind:Registry.File_system ~level:Level.Modular
+       ~iface:Interface.fs_interface ~loc:(loc "memfs" 430)
+       ~description:"in-memory FS, C idioms behind a modular interface"
+       ~instance:(Kvfs.Iface.make (module Kfs.Memfs_unsafe.Modular) ())
+       ());
+  ignore
+    (reg ~name:"journalfs" ~kind:Registry.File_system ~level:Level.Type_safe
+       ~iface:Interface.fs_interface ~loc:(loc "journalfs" 620)
+       ~description:"journaled block FS (ext4-shaped)"
+       ~instance:(Kvfs.Iface.make (module Kfs.Journalfs.Journaled_fs) ())
+       ());
+  ignore
+    (reg ~name:"unionfs" ~kind:Registry.File_system ~level:Level.Type_safe
+       ~iface:Interface.fs_interface ~loc:(loc "unionfs" 330)
+       ~description:"overlay FS on the modular interface"
+       ~instance:(Kvfs.Iface.make (module Kfs.Unionfs) ())
+       ());
+  ignore
+    (reg ~name:"cowfs" ~kind:Registry.File_system ~level:Level.Type_safe
+       ~iface:Interface.fs_interface ~loc:(loc "cowfs" 280)
+       ~description:"copy-on-write FS with snapshots"
+       ~instance:(Kvfs.Iface.make (module Kfs.Cowfs) ())
+       ());
+  let plain name kind fallback description level =
+    ignore
+      (reg ~name ~kind ~level
+         ~iface:(Interface.v ~name ~version:1 ~supports:Level.Verified [])
+         ~loc:(loc name fallback) ~description ())
+  in
+  plain "blockdev" Registry.Block 160 "simulated disk with crash semantics" Level.Type_safe;
+  plain "buffer_cache" Registry.Block 250 "buffer_head cache, 16 state flags" Level.Type_safe;
+  plain "journal" Registry.Block 300 "jbd2-style write-ahead journal" Level.Type_safe;
+  plain "tcp" Registry.Network 230 "RFC793 connection state machine" Level.Type_safe;
+  plain "socket" Registry.Network 180 "protocol-family dispatch" Level.Modular;
+  plain "kmem" Registry.Memory 90 "manual allocator (unsafe by design)" Level.Unsafe;
+  plain "sched" Registry.Scheduler 120 "deterministic cooperative scheduler" Level.Type_safe;
+  plain "ebpf_vm" (Registry.Other "extension") 280
+    "verified extension VM (forward-jump eBPF miniature)" Level.Type_safe;
+  plain "mm" Registry.Memory 330 "virtual memory: vmas, demand paging, COW fork"
+    Level.Type_safe;
+  plain "lockdep" (Registry.Other "checker") 110 "lock-order (deadlock) validator"
+    Level.Type_safe;
+  plain "proc" Registry.Scheduler 150 "process layer: syscall surface over VFS+MM"
+    Level.Type_safe;
+  r

@@ -1,0 +1,10 @@
+(** The boot-time component registry — the kernel as shipped.
+
+    Shared by the [safeos] and [klint] drivers so the registry both
+    reason about is the same object.  [loc_of] supplies per-subsystem
+    implementation sizes derived from the source tree (klint's line
+    counts); where it returns [None] (or is omitted) a recorded fallback
+    constant is used, so the audit still renders when the sources are
+    not on disk. *)
+
+val registry : ?loc_of:(string -> int option) -> unit -> Registry.t

@@ -1,0 +1,325 @@
+(* The five rule passes.  All of them are sparse-style syntactic
+   analyses over the parsetree:
+
+   R1 unchecked-cast     Dyn.cast_exn use                 -> type-confusion
+   R2 unchecked-err-ptr  Errptr.deref/ptr_err with no     -> null-dereference
+                         dominating is_err/to_result
+   R3 lock-balance       Klock.acquire without a release  -> data-race
+                         on every exit path
+   R4 ownership-bypass   Bytes.unsafe_* / raw aliasing    -> use-after-free
+   R5 must-check         Errno.r result discarded         -> semantic
+
+   R2 and R3 track context (checked identifiers, held locks) along the
+   tree; branches merge conservatively: a check only counts when it
+   dominates the use, a lock must balance on every non-diverging path. *)
+
+open Parsetree
+open Rules
+
+(* R1 / R4 / R5: context-free pattern matches ------------------------- *)
+
+let vb_discards_must_check vb =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_any -> (
+      (* [let _ = f ...] — a typed wildcard [let (_ : t) = ...] is an
+         explicit acknowledgment and passes, like sparse's (void) cast. *)
+      match head_name vb.pvb_expr with
+      | Some name when is_must_check name -> Some name
+      | _ -> None)
+  | _ -> None
+
+let simple_rules ~file ~fname structure_or_expr =
+  let findings = ref [] in
+  let add rule loc message =
+    findings := Finding.v ~rule ~file ~loc ~func:fname message :: !findings
+  in
+  let expr_hook it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } when path_matches ~penult:"Dyn" ~last:"cast_exn" txt ->
+        add Finding.R1_unchecked_cast loc
+          "Dyn.cast_exn: unchecked void* cast; use Dyn.project and handle None"
+    | Pexp_ident { txt; loc }
+      when (not (Subsystem.exempt_from_ownership_rule file))
+           && (match List.rev (flatten txt) with
+              | last :: "Bytes" :: _ ->
+                  String.length last > 7 && String.sub last 0 7 = "unsafe_"
+              | _ -> false) ->
+        add Finding.R4_ownership_bypass loc
+          (Fmt.str "%s: raw buffer sharing outside lib/ownership bypasses the ownership contracts"
+             (String.concat "." (flatten txt)))
+    | Pexp_apply (f, [ (Asttypes.Nolabel, arg) ]) when ident_matches ~last:"ignore" f -> (
+        match head_name arg with
+        | Some name when is_must_check name ->
+            add Finding.R5_must_check e.pexp_loc
+              (Fmt.str "result of must-check function %s discarded via ignore" name)
+        | _ -> ())
+    | Pexp_let (_, vbs, _) ->
+        List.iter
+          (fun vb ->
+            match vb_discards_must_check vb with
+            | Some name ->
+                add Finding.R5_must_check vb.pvb_loc
+                  (Fmt.str "result of must-check function %s discarded via let _" name)
+            | None -> ())
+          vbs
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr = expr_hook } in
+  (match structure_or_expr with
+  | `Expr e -> it.expr it e
+  | `Vb vb -> (
+      it.expr it vb.pvb_expr;
+      match vb_discards_must_check vb with
+      | Some name ->
+          add Finding.R5_must_check vb.pvb_loc
+            (Fmt.str "result of must-check function %s discarded via let _" name)
+      | None -> ()));
+  !findings
+
+(* R2: err-ptr checks must dominate dereferences ----------------------- *)
+
+module SS = Set.Make (String)
+
+let is_errptr_check e =
+  ident_matches ~penult:"Errptr" ~last:"is_err" e
+  || ident_matches ~penult:"Errptr" ~last:"to_result" e
+
+let is_errptr_use e =
+  ident_matches ~penult:"Errptr" ~last:"deref" e
+  || ident_matches ~penult:"Errptr" ~last:"ptr_err" e
+
+(* Identifiers an expression checks: arguments of is_err/to_result. *)
+let checked_idents_in e =
+  let acc = ref SS.empty in
+  let expr_hook it e =
+    (match e.pexp_desc with
+    | Pexp_apply (f, (Asttypes.Nolabel, arg) :: _)
+      when is_errptr_check f && is_simple_ident arg ->
+        acc := SS.add (expr_key arg) !acc
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr = expr_hook } in
+  it.expr it e;
+  !acc
+
+let pat_mentions_errptr p =
+  let found = ref false in
+  let pat_hook it p =
+    (match p.ppat_desc with
+    | Ppat_construct ({ txt; _ }, _) -> (
+        match List.rev (flatten txt) with
+        | ("Err" | "Ptr") :: _ -> found := true
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.pat it p
+  in
+  let it = { Ast_iterator.default_iterator with pat = pat_hook } in
+  it.pat it p;
+  !found
+
+let r2_check ~file ~fname body =
+  let findings = ref [] in
+  let add loc message =
+    findings :=
+      Finding.v ~rule:Finding.R2_unchecked_errptr ~file ~loc ~func:fname message
+      :: !findings
+  in
+  let rec scan checked e =
+    match e.pexp_desc with
+    | Pexp_constraint (e', _) | Pexp_open (_, e') | Pexp_newtype (_, e') ->
+        scan checked e'
+    | Pexp_apply (f, args) ->
+        (if is_errptr_use f then
+           match args with
+           | (Asttypes.Nolabel, arg) :: _
+             when is_simple_ident arg && SS.mem (expr_key arg) checked ->
+               ()
+           | (Asttypes.Nolabel, arg) :: _ ->
+               add e.pexp_loc
+                 (Fmt.str
+                    "err-ptr %s dereferenced with no dominating Errptr.is_err/to_result check"
+                    (expr_key arg))
+           | _ -> ());
+        scan checked f;
+        List.iter (fun (_, a) -> scan checked a) args
+    | Pexp_ifthenelse (cond, then_, else_) ->
+        scan checked cond;
+        let checked' = SS.union checked (checked_idents_in cond) in
+        scan checked' then_;
+        Option.iter (scan checked') else_
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        scan checked scrut;
+        let checked' =
+          if
+            is_simple_ident scrut
+            && List.exists (fun c -> pat_mentions_errptr c.pc_lhs) cases
+          then SS.add (expr_key scrut) checked
+          else checked
+        in
+        List.iter
+          (fun c ->
+            Option.iter (scan checked') c.pc_guard;
+            scan checked' c.pc_rhs)
+          cases
+    | Pexp_let (_, vbs, body) ->
+        let checked' =
+          List.fold_left
+            (fun acc vb ->
+              scan checked vb.pvb_expr;
+              (* [let ok = Errptr.is_err h in ...]: assume the binding is
+                 consulted before any deref — conservative in klint's
+                 favor would be the opposite, but this matches sparse's
+                 treatment of stored condition results. *)
+              match vb.pvb_expr.pexp_desc with
+              | Pexp_apply (f, (Asttypes.Nolabel, arg) :: _)
+                when is_errptr_check f && is_simple_ident arg ->
+                  SS.add (expr_key arg) acc
+              | _ -> acc)
+            checked vbs
+        in
+        scan checked' body
+    | Pexp_sequence (a, b) ->
+        scan checked a;
+        scan checked b
+    | Pexp_fun (_, default, _, inner) ->
+        Option.iter (scan checked) default;
+        scan checked inner
+    | Pexp_function cases ->
+        List.iter
+          (fun c ->
+            Option.iter (scan checked) c.pc_guard;
+            scan checked c.pc_rhs)
+          cases
+    | _ -> iter_children (scan checked) e
+  in
+  scan SS.empty body;
+  !findings
+
+(* R3: lock balance on every exit path --------------------------------- *)
+
+module SM = Map.Make (String)
+
+let merge_delta a b =
+  SM.union (fun _ x y -> match x + y with 0 -> None | n -> Some n) a b
+
+let is_klock file = String.equal file "lib/ksim/klock.ml"
+
+let is_acquire ~file e =
+  ident_matches ~penult:"Klock" ~last:"acquire" e
+  || (is_klock file && ident_matches ~last:"acquire" e)
+
+let is_release ~file e =
+  ident_matches ~penult:"Klock" ~last:"release" e
+  || (is_klock file && ident_matches ~last:"release" e)
+
+(* Does an expression diverge (tail position ends in raise/failwith/
+   assert false)?  Diverging branches are exempt from lock balance: the
+   exception, not the fall-through, leaves the function. *)
+let rec diverges e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) ->
+      ident_matches ~last:"raise" f
+      || ident_matches ~last:"raise_notrace" f
+      || ident_matches ~last:"failwith" f
+      || ident_matches ~last:"invalid_arg" f
+  | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ }
+    ->
+      true
+  | Pexp_sequence (_, b) | Pexp_let (_, _, b) -> diverges b
+  | Pexp_ifthenelse (_, t, Some e') -> diverges t && diverges e'
+  | Pexp_match (_, cases) -> cases <> [] && List.for_all (fun c -> diverges c.pc_rhs) cases
+  | Pexp_constraint (e', _) | Pexp_open (_, e') -> diverges e'
+  | _ -> false
+
+let r3_check ~file ~fname binding_expr =
+  let findings = ref [] in
+  let add loc message =
+    findings :=
+      Finding.v ~rule:Finding.R3_lock_balance ~file ~loc ~func:fname message :: !findings
+  in
+  let lock_key args =
+    match List.find_opt (fun (l, _) -> l = Asttypes.Nolabel) args with
+    | Some (_, arg) -> expr_key arg
+    | None -> "<lock>"
+  in
+  (* Join point: every non-diverging branch must agree on the net lock
+     delta, sparse's context-balance rule. *)
+  let join loc branches =
+    match List.filter_map (fun (d, div) -> if div then None else Some d) branches with
+    | [] -> SM.empty
+    | d :: rest ->
+        if List.for_all (SM.equal Int.equal d) rest then d
+        else begin
+          add loc
+            "lock context differs between branches (held on some paths, released on others)";
+          d
+        end
+  in
+  let rec delta e : int SM.t =
+    match e.pexp_desc with
+    | Pexp_constraint (e', _) | Pexp_open (_, e') | Pexp_newtype (_, e') -> delta e'
+    | Pexp_apply (f, args) when is_acquire ~file f ->
+        merge_delta (args_delta args) (SM.singleton (lock_key args) 1)
+    | Pexp_apply (f, args) when is_release ~file f ->
+        merge_delta (args_delta args) (SM.singleton (lock_key args) (-1))
+    | Pexp_apply (f, args) -> merge_delta (delta f) (args_delta args)
+    | Pexp_sequence (a, b) -> merge_delta (delta a) (delta b)
+    | Pexp_let (_, vbs, body) ->
+        List.fold_left
+          (fun acc vb -> merge_delta acc (delta vb.pvb_expr))
+          (delta body) vbs
+    | Pexp_ifthenelse (cond, then_, else_) ->
+        let d_else =
+          match else_ with Some e' -> (delta e', diverges e') | None -> (SM.empty, false)
+        in
+        merge_delta (delta cond)
+          (join e.pexp_loc [ (delta then_, diverges then_); d_else ])
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        let branches =
+          List.map
+            (fun c ->
+              Option.iter (fun g -> ignore_delta g) c.pc_guard;
+              (delta c.pc_rhs, diverges c.pc_rhs))
+            cases
+        in
+        merge_delta (delta scrut) (join e.pexp_loc branches)
+    | Pexp_while (cond, body) | Pexp_for (_, _, cond, _, body) ->
+        if not (SM.is_empty (delta body)) then
+          add e.pexp_loc "loop body changes the lock context across iterations";
+        delta cond
+    | Pexp_fun _ | Pexp_function _ ->
+        (* A nested closure is its own scope: check it independently,
+           contribute nothing to the enclosing function's context. *)
+        check_scope e;
+        SM.empty
+    | _ ->
+        let acc = ref SM.empty in
+        iter_children (fun child -> acc := merge_delta !acc (delta child)) e;
+        !acc
+  and args_delta args =
+    List.fold_left (fun acc (_, a) -> merge_delta acc (delta a)) SM.empty args
+  and ignore_delta e = ignore (delta e : int SM.t)
+  and check_scope e =
+    match e.pexp_desc with
+    | Pexp_fun (_, default, _, inner) ->
+        Option.iter ignore_delta default;
+        check_scope inner
+    | Pexp_newtype (_, inner) | Pexp_constraint (inner, _) -> check_scope inner
+    | Pexp_function cases ->
+        List.iter (fun c -> check_body c.pc_rhs) cases
+    | _ -> check_body e
+  and check_body body =
+    SM.iter
+      (fun lock n ->
+        if n > 0 then
+          add body.pexp_loc
+            (Fmt.str "lock %s acquired but not released on every exit path (use Klock.with_lock)"
+               lock)
+        else if n < 0 then
+          add body.pexp_loc (Fmt.str "lock %s released without a matching acquire" lock))
+      (delta body)
+  in
+  check_scope binding_expr;
+  !findings

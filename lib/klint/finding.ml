@@ -1,0 +1,91 @@
+(* A single klint finding: a source location where a safety-ladder rule
+   fires, tagged with the bug class the rule guards (which decides, via
+   [Level.prevents], at which rung the finding becomes a violation). *)
+
+type rule =
+  | R1_unchecked_cast
+  | R2_unchecked_errptr
+  | R3_lock_balance
+  | R4_ownership_bypass
+  | R5_must_check
+
+let all_rules =
+  [ R1_unchecked_cast; R2_unchecked_errptr; R3_lock_balance; R4_ownership_bypass;
+    R5_must_check ]
+
+let rule_id = function
+  | R1_unchecked_cast -> "R1"
+  | R2_unchecked_errptr -> "R2"
+  | R3_lock_balance -> "R3"
+  | R4_ownership_bypass -> "R4"
+  | R5_must_check -> "R5"
+
+let rule_of_id s = List.find_opt (fun r -> rule_id r = s) all_rules
+
+let rule_name = function
+  | R1_unchecked_cast -> "unchecked-cast"
+  | R2_unchecked_errptr -> "unchecked-err-ptr"
+  | R3_lock_balance -> "lock-balance"
+  | R4_ownership_bypass -> "ownership-bypass"
+  | R5_must_check -> "must-check"
+
+(* The bucket each rule polices — the mapping the reconciliation uses:
+   a subsystem claiming level L must be clean of every rule whose bucket
+   [Level.prevents L] rules out. *)
+let bug_class = function
+  | R1_unchecked_cast -> Safeos_core.Level.Type_confusion
+  | R2_unchecked_errptr -> Safeos_core.Level.Null_dereference
+  | R3_lock_balance -> Safeos_core.Level.Data_race
+  | R4_ownership_bypass -> Safeos_core.Level.Use_after_free
+  | R5_must_check -> Safeos_core.Level.Semantic
+
+(* Anchor each rule in the paper's CWE study via the kbugs catalog. *)
+let cwe_id = function
+  | R1_unchecked_cast -> 843 (* access of resource using incompatible type *)
+  | R2_unchecked_errptr -> 476 (* NULL pointer dereference *)
+  | R3_lock_balance -> 667 (* improper locking *)
+  | R4_ownership_bypass -> 416 (* use after free *)
+  | R5_must_check -> 754 (* improper check for unusual conditions *)
+
+let cwe rule = Kbugs.Cwe.find (cwe_id rule)
+
+type t = {
+  rule : rule;
+  file : string; (* path relative to the tree root, '/'-separated *)
+  line : int;
+  col : int;
+  func : string; (* enclosing binding, for the human report; "" at toplevel *)
+  message : string;
+}
+
+let v ~rule ~file ~loc ?(func = "") message =
+  let pos = loc.Location.loc_start in
+  {
+    rule;
+    file;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    func;
+    message;
+  }
+
+(* The stable order everything downstream (baseline, report) uses:
+   file, then line, then rule, so regenerating never reshuffles. *)
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Stdlib.compare a.line b.line with
+      | 0 -> (
+          match String.compare (rule_id a.rule) (rule_id b.rule) with
+          | 0 -> Stdlib.compare a.col b.col
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let sort findings = List.sort_uniq compare findings
+
+let pp ppf f =
+  Fmt.pf ppf "%s:%d:%d: [%s %s/CWE-%d] %s%s" f.file f.line f.col (rule_id f.rule)
+    (Safeos_core.Level.bug_class_to_string (bug_class f.rule))
+    (cwe_id f.rule) f.message
+    (if f.func = "" then "" else Fmt.str " (in %s)" f.func)

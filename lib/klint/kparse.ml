@@ -1,0 +1,11 @@
+(* Parsing front end: one .ml file to a Parsetree.structure via the
+   installed compiler's own parser (compiler-libs), so klint sees
+   exactly the syntax the build sees. *)
+
+let parse path =
+  match Pparse.parse_implementation ~tool_name:"klint" path with
+  | structure -> Ok structure
+  | exception exn -> (
+      match Location.error_of_exn exn with
+      | Some (`Ok report) -> Error (Format.asprintf "%a" Location.print_report report)
+      | Some `Already_displayed | None -> Error (Printexc.to_string exn))

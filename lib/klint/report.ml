@@ -1,0 +1,145 @@
+(* The Figure-2-style machine-readable report: findings bucketed by bug
+   class and rule, the share preventable at each ladder rung, and the
+   per-subsystem table whose level histogram reconciles with
+   [Registry.level_counts].  Hand-rolled JSON — no external deps. *)
+
+module Level = Safeos_core.Level
+module Registry = Safeos_core.Registry
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ escape s ^ "\""
+
+let json_obj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> json_str k ^ ": " ^ v) fields) ^ "}"
+
+let json_arr items = "[" ^ String.concat ", " items ^ "]"
+
+let count_by key items =
+  List.fold_left
+    (fun acc item ->
+      let k = key item in
+      let n = try List.assoc k acc with Not_found -> 0 in
+      (k, n + 1) :: List.remove_assoc k acc)
+    [] items
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+(* % of findings whose bug class is structurally prevented at or below
+   each rung — what the paper's Figure 2 claims per roadmap step,
+   measured against this tree's own residual findings. *)
+let preventable_at findings =
+  let total = List.length findings in
+  List.map
+    (fun level ->
+      let prevented =
+        List.length
+          (List.filter
+             (fun (a : Engine.attributed) ->
+               Level.prevents level (Finding.bug_class a.Engine.finding.Finding.rule))
+             findings)
+      in
+      (level, pct prevented total))
+    Level.all
+
+let subsystem_rows (r : Engine.reconciliation) registry =
+  let subs =
+    List.sort_uniq String.compare (List.map (fun a -> a.Engine.sub) r.Engine.attributed)
+  in
+  let registered_subs =
+    match registry with
+    | Some reg -> List.map (fun e -> e.Registry.name) (Registry.all reg)
+    | None -> []
+  in
+  List.sort_uniq String.compare (subs @ registered_subs)
+  |> List.map (fun sub ->
+         let of_sub = List.filter (fun a -> a.Engine.sub = sub) r.Engine.attributed in
+         let level, registered, loc =
+           match registry with
+           | Some reg -> (
+               match Registry.find reg sub with
+               | Some e -> (e.Registry.level, true, e.Registry.loc)
+               | None -> (
+                   match of_sub with
+                   | a :: _ -> (a.Engine.level, false, 0)
+                   | [] -> (Level.Unsafe, false, 0)))
+           | None -> (
+               match of_sub with
+               | a :: _ -> (a.Engine.level, false, 0)
+               | [] -> (Level.Unsafe, false, 0))
+         in
+         json_obj
+           [
+             ("name", json_str sub);
+             ("level", json_str (Level.to_string level));
+             ("registered", string_of_bool registered);
+             ("loc", string_of_int loc);
+             ("findings", string_of_int (List.length of_sub));
+             ( "violations",
+               string_of_int
+                 (List.length
+                    (List.filter (fun a -> a.Engine.forbidden && not a.Engine.baselined) of_sub))
+             );
+           ])
+
+let to_json ?registry (tree : Engine.tree_result) (r : Engine.reconciliation) =
+  let findings = r.Engine.attributed in
+  let by_rule =
+    count_by (fun a -> Finding.rule_id a.Engine.finding.Finding.rule) findings
+  in
+  let by_class =
+    count_by
+      (fun a -> Level.bug_class_to_string (Finding.bug_class a.Engine.finding.Finding.rule))
+      findings
+  in
+  let level_counts =
+    match registry with
+    | Some reg ->
+        List.map
+          (fun (level, n) -> (Level.to_string level, string_of_int n))
+          (Registry.level_counts reg)
+    | None -> []
+  in
+  json_obj
+    [
+      ("tool", json_str "klint");
+      ("files_linted", string_of_int (List.length tree.Engine.files));
+      ("effective_loc", string_of_int tree.Engine.effective_loc);
+      ("total_findings", string_of_int (List.length findings));
+      ( "baselined",
+        string_of_int (List.length (List.filter (fun a -> a.Engine.baselined) findings)) );
+      ("violations", string_of_int (List.length r.Engine.violations));
+      ("stale_baseline", string_of_int (List.length r.Engine.stale_baseline));
+      ("by_rule", json_obj (List.map (fun (k, n) -> (k, string_of_int n)) by_rule));
+      ("by_bug_class", json_obj (List.map (fun (k, n) -> (k, string_of_int n)) by_class));
+      ( "preventable_at",
+        json_obj
+          (List.map
+             (fun (level, p) -> (Level.to_string level, Fmt.str "%.1f" p))
+             (preventable_at findings)) );
+      ("subsystems", json_arr (subsystem_rows r registry));
+      ("level_counts", json_obj level_counts);
+    ]
+
+let write ~path json =
+  let dir = Filename.dirname path in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc json;
+      output_char oc '\n')

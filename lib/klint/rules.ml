@@ -1,0 +1,78 @@
+(* Shared syntactic predicates for the rule passes: longident shapes,
+   application heads, and the must-check function list.
+
+   Everything here is deliberately *syntactic* — klint is a sparse-style
+   checker over the parsetree, not a type checker, so rules match the
+   qualified names code actually writes ([Ksim.Dyn.cast_exn],
+   [Klock.acquire], ...) and accept the same class of approximation
+   sparse does. *)
+
+open Parsetree
+
+let flatten lid = Longident.flatten lid
+
+(* [path_matches ~last ~penult lid]: the path's final component equals
+   [last] and, when [penult] is given, the component before it equals
+   [penult] (so [Ksim.Dyn.cast_exn] and [Dyn.cast_exn] both match
+   ~penult:"Dyn" ~last:"cast_exn", while a local [cast_exn] does not). *)
+let path_matches ?penult ~last lid =
+  match List.rev (flatten lid) with
+  | l :: rest when String.equal l last -> (
+      match penult with
+      | None -> true
+      | Some p -> ( match rest with q :: _ -> String.equal q p | [] -> false))
+  | _ -> false
+
+let ident_matches ?penult ~last e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> path_matches ?penult ~last txt
+  | _ -> false
+
+(* Strip the wrappers that do not change what expression is "meant". *)
+let rec strip e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e) -> strip e
+  | _ -> e
+
+(* The head identifier of an application chain, as its final path
+   component: [L.read fs path ~off] -> Some "read". *)
+let head_name e =
+  let e = strip e in
+  let head = match e.pexp_desc with Pexp_apply (f, _) -> strip f | _ -> e in
+  match head.pexp_desc with
+  | Pexp_ident { txt; _ } -> ( match List.rev (flatten txt) with l :: _ -> Some l | [] -> None)
+  | _ -> None
+
+(* A simple name for an expression, used to correlate "x was checked"
+   with "x was dereferenced" (R2) and to key locks (R3):
+   idents and field chains render as dotted paths, anything else is
+   opaque. *)
+let rec expr_key e =
+  match (strip e).pexp_desc with
+  | Pexp_ident { txt; _ } -> String.concat "." (flatten txt)
+  | Pexp_field (e', { txt; _ }) -> expr_key e' ^ "." ^ String.concat "." (flatten txt)
+  | _ -> "<expr>"
+
+let is_simple_ident e =
+  match (strip e).pexp_desc with Pexp_ident _ -> true | _ -> false
+
+(* Functions returning ['a Errno.r] (or an err-ptr) whose result must
+   not be discarded — the sparse [__must_check] list, maintained by
+   hand because klint does not type-check.  Names are matched as the
+   final path component of the ignored application's head. *)
+let must_check =
+  [
+    "apply"; "apply_upper"; "submit_write"; "create"; "read"; "write_end"; "unlink";
+    "truncate"; "send"; "connect"; "listen"; "connect_pair"; "to_result";
+  ]
+
+let is_must_check name = List.mem name must_check
+
+(* Fold an expression's immediate children through [f] — the generic
+   recursion both stateful passes (R2, R3) fall back on for syntax they
+   do not interpret specially. *)
+let iter_children f e =
+  let it =
+    { Ast_iterator.default_iterator with expr = (fun _ child -> f child) }
+  in
+  Ast_iterator.default_iterator.expr it e

@@ -115,12 +115,19 @@ module Dyn_style = struct
   let dgram_key : string Queue.t Ksim.Dyn.Key.t = Ksim.Dyn.Key.create ~name:"sock.dgram_conn"
 
   (* Every operation casts the void pointer back: correct as written, and
-     one wrong key away from a crash. *)
+     one wrong key away from a crash.  [o_is_connected] has been migrated
+     to the checked [Dyn.project] path — a mismatched socket reads as
+     "not connected" instead of oopsing — shrinking the klint baseline by
+     one; the remaining casts stay as the step-0 exhibit. *)
   let tcp_ops =
     {
       o_send = (fun d data -> Tcp.send (Ksim.Dyn.cast_exn tcp_key d) data);
       o_received = (fun d -> Tcp.received (Ksim.Dyn.cast_exn tcp_key d));
-      o_is_connected = (fun d -> Tcp.state (Ksim.Dyn.cast_exn tcp_key d) = Tcp.Established);
+      o_is_connected =
+        (fun d ->
+          match Ksim.Dyn.project tcp_key d with
+          | Some conn -> Tcp.state conn = Tcp.Established
+          | None -> false);
     }
 
   let dgram_ops =

@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "== ci: dune build =="
 dune build
 
+echo "== ci: klint (static safety-ladder lint) =="
+dune build @lint
+
 echo "== ci: dune runtest =="
 dune runtest
 

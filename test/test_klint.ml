@@ -1,0 +1,314 @@
+(* Tests for klint, the static safety-ladder linter: good/bad fixture
+   snippets for each rule R1–R5, the domination and branch-join logic the
+   stateful passes depend on, reconciliation of findings against claimed
+   Registry levels (a Type_safe module with a cast_exn must fail), the
+   baseline round-trip, and a self-lint of the shipped tree whose report
+   must reconcile with the boot registry. *)
+
+let check = Alcotest.check
+
+module Level = Safeos_core.Level
+module F = Klint.Finding
+module E = Klint.Engine
+module B = Klint.Baseline
+
+(* Fixture plumbing ----------------------------------------------------- *)
+
+let mkdir_p dir =
+  let rec go d =
+    if String.length d > 1 && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  go dir
+
+(* Write [content] as [rel] under a throwaway root and lint it.  The
+   snippets only need to parse — klint is syntactic, so unbound names
+   are fine. *)
+let lint_snippet ?(rel = "lib/fixture/snippet.ml") content =
+  let root = Filename.temp_dir "klint_test" "" in
+  let path = Filename.concat root rel in
+  mkdir_p (Filename.dirname path);
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc;
+  match E.lint_file ~root rel with
+  | Ok findings -> F.sort findings
+  | Error msg -> Alcotest.fail ("fixture did not parse: " ^ msg)
+
+let rule_ids findings = List.map (fun f -> F.rule_id f.F.rule) findings
+let ids = Alcotest.(list string)
+
+(* Every fixture claims one subsystem at a chosen level, so the
+   reconciliation tests can move the claim up and down the ladder. *)
+let claiming level _path = { Klint.Subsystem.sub = "fixture"; level; registered = false }
+
+let violations ?(baseline = []) level findings =
+  (E.reconcile ~claim_of:(claiming level) ~baseline findings).E.violations
+
+(* R1: unchecked casts --------------------------------------------------- *)
+
+let test_r1_unchecked_cast () =
+  let bad = lint_snippet "let f d = Ksim.Dyn.cast_exn key d\n" in
+  check ids "cast_exn flagged" [ "R1" ] (rule_ids bad);
+  check Alcotest.string "enclosing binding" "f" (List.hd bad).F.func;
+  let good =
+    lint_snippet
+      "let f d = match Ksim.Dyn.project key d with Some x -> Some x | None -> None\n"
+  in
+  check ids "project is the checked path" [] (rule_ids good);
+  (* a local function merely named cast_exn is not the Dyn one *)
+  check ids "unqualified name not matched" [] (rule_ids (lint_snippet "let g d = cast_exn d\n"))
+
+(* R2: err-ptr checks must dominate dereferences ------------------------- *)
+
+let test_r2_unchecked_errptr () =
+  let bad = lint_snippet "let f h = Errptr.deref h\n" in
+  check ids "naked deref flagged" [ "R2" ] (rule_ids bad);
+  let guarded =
+    lint_snippet "let f h = if Errptr.is_err h then None else Some (Errptr.deref h)\n"
+  in
+  check ids "is_err dominates" [] (rule_ids guarded);
+  let matched =
+    lint_snippet
+      "let f h =\n\
+      \  match h with\n\
+      \  | Errptr.Err e -> Error e\n\
+      \  | Errptr.Ptr _ -> Ok (Errptr.deref h)\n"
+  in
+  check ids "Err/Ptr match dominates" [] (rule_ids matched);
+  let bound =
+    lint_snippet
+      "let f h = let bad = Errptr.is_err h in if bad then None else Some (Errptr.deref h)\n"
+  in
+  check ids "stored check result dominates" [] (rule_ids bound);
+  (* a check in a discarded branch does not dominate a later use *)
+  let non_dominating =
+    lint_snippet "let f h = (if Errptr.is_err h then () else ()); Errptr.deref h\n"
+  in
+  check ids "check must dominate, not merely precede" [ "R2" ] (rule_ids non_dominating)
+
+(* R3: lock balance on every exit path ----------------------------------- *)
+
+let test_r3_lock_balance () =
+  let leak = lint_snippet "let f l = Klock.acquire l; compute l\n" in
+  check ids "acquire without release" [ "R3" ] (rule_ids leak);
+  let balanced = lint_snippet "let f l = Klock.acquire l; compute l; Klock.release l\n" in
+  check ids "balanced pair is clean" [] (rule_ids balanced);
+  let with_lock = lint_snippet "let f l = Klock.with_lock l (fun () -> compute l)\n" in
+  check ids "with_lock is the blessed shape" [] (rule_ids with_lock);
+  let skewed =
+    lint_snippet "let f l c = Klock.acquire l; if c then Klock.release l else ()\n"
+  in
+  check ids "held on one branch only" [ "R3" ] (rule_ids skewed);
+  let diverging =
+    lint_snippet
+      "let f l x =\n\
+      \  Klock.acquire l;\n\
+      \  match x with\n\
+      \  | Some v -> Klock.release l; v\n\
+      \  | None -> failwith \"boom\"\n"
+  in
+  check ids "diverging branch exempt from balance" [] (rule_ids diverging);
+  let unowned = lint_snippet "let f l = Klock.release l\n" in
+  check ids "release without acquire" [ "R3" ] (rule_ids unowned);
+  (* two different locks each tracked by name *)
+  let two =
+    lint_snippet "let f a b = Klock.acquire a; Klock.acquire b; Klock.release a\n"
+  in
+  check ids "per-lock tracking" [ "R3" ] (rule_ids two)
+
+(* R4: ownership bypass -------------------------------------------------- *)
+
+let test_r4_ownership_bypass () =
+  let bad = lint_snippet "let f b = Bytes.unsafe_get b 0\n" in
+  check ids "Bytes.unsafe_* flagged" [ "R4" ] (rule_ids bad);
+  let good = lint_snippet "let f b = Bytes.get b 0\n" in
+  check ids "checked accessor clean" [] (rule_ids good);
+  (* the ownership layer itself may touch raw representations *)
+  let exempt =
+    lint_snippet ~rel:"lib/ownership/fixture.ml" "let f b = Bytes.unsafe_get b 0\n"
+  in
+  check ids "lib/ownership exempt" [] (rule_ids exempt)
+
+(* R5: must-check results ------------------------------------------------ *)
+
+let test_r5_must_check () =
+  let ignored = lint_snippet "let f t = ignore (submit_write t 0 data)\n" in
+  check ids "ignore of must-check" [ "R5" ] (rule_ids ignored);
+  let wild = lint_snippet "let _ = submit_write t 0 data\n" in
+  check ids "let _ of must-check" [ "R5" ] (rule_ids wild);
+  let typed = lint_snippet "let (_ : int r) = submit_write t 0 data\n" in
+  check ids "typed wildcard is an acknowledgment" [] (rule_ids typed);
+  let other = lint_snippet "let f t = ignore (helper t)\n" in
+  check ids "non-must-check ignore is fine" [] (rule_ids other)
+
+(* Reconciliation -------------------------------------------------------- *)
+
+let test_reconcile_cast_violation () =
+  (* The acceptance fixture: a subsystem claiming Type_safe (or above)
+     gains a Dyn.cast_exn — klint must report a violation. *)
+  let findings = lint_snippet "let f d = Ksim.Dyn.cast_exn key d\n" in
+  check Alcotest.int "violation at type-safe" 1
+    (List.length (violations Level.Type_safe findings));
+  check Alcotest.int "violation at verified" 1
+    (List.length (violations Level.Verified findings));
+  check Alcotest.int "tolerated at modular" 0
+    (List.length (violations Level.Modular findings));
+  (* grandfathered: recorded as forbidden but not a violation *)
+  let r =
+    E.reconcile ~claim_of:(claiming Level.Type_safe) ~baseline:(B.of_findings findings)
+      findings
+  in
+  check Alcotest.int "baselined finding tolerated" 0 (List.length r.E.violations);
+  check Alcotest.int "but still attributed as forbidden" 1
+    (List.length (List.filter (fun a -> a.E.forbidden) r.E.attributed))
+
+let test_reconcile_lock_violation () =
+  let findings = lint_snippet "let f l = Klock.acquire l; compute l\n" in
+  check ids "unbalanced acquire found" [ "R3" ] (rule_ids findings);
+  check Alcotest.int "data-race forbidden at ownership-safe" 1
+    (List.length (violations Level.Ownership_safe findings));
+  check Alcotest.int "tolerated at type-safe (races not yet claimed)" 0
+    (List.length (violations Level.Type_safe findings))
+
+let test_parse_error_reported () =
+  let root = Filename.temp_dir "klint_test" "" in
+  let rel = "lib/fixture/broken.ml" in
+  mkdir_p (Filename.concat root "lib/fixture");
+  let oc = open_out_bin (Filename.concat root rel) in
+  output_string oc "let = (\n";
+  close_out oc;
+  match E.lint_file ~root rel with
+  | Ok _ -> Alcotest.fail "garbage parsed?"
+  | Error _ -> ()
+
+(* Baseline -------------------------------------------------------------- *)
+
+let test_baseline_roundtrip () =
+  let findings =
+    lint_snippet
+      "let f d = Ksim.Dyn.cast_exn key d\n\
+       let g b = Bytes.unsafe_get b 0\n\
+       let h t = ignore (submit_write t 0 data)\n"
+  in
+  check ids "three rules fire" [ "R1"; "R4"; "R5" ] (rule_ids findings);
+  let base = B.of_findings findings in
+  (match B.of_string (B.to_string base) with
+  | Ok base' -> check Alcotest.bool "to_string/of_string round-trip" true (base = base')
+  | Error msg -> Alcotest.fail msg);
+  (* stable ordering: shuffled input renders identically *)
+  check Alcotest.string "order independent of input order" (B.to_string base)
+    (B.to_string (B.of_findings (List.rev findings)));
+  List.iter (fun f -> check Alcotest.bool "mem" true (B.mem base f)) findings;
+  check Alcotest.int "nothing stale" 0 (List.length (B.stale base findings));
+  (* fix one finding: its entry is reported as ratchet progress *)
+  let fixed = List.filter (fun f -> f.F.rule <> F.R1_unchecked_cast) findings in
+  check Alcotest.int "fixed entry is stale" 1 (List.length (B.stale base fixed))
+
+(* The shipped tree ------------------------------------------------------ *)
+
+let with_repo_root f =
+  (* dune runs tests from _build/default/test; the dune-project marker is
+     only at the real root, so find_root lands on the source tree.  Skip
+     quietly when the tree is not on disk (e.g. an installed test). *)
+  match Klint.find_root () with
+  | Some root when Sys.file_exists (Filename.concat root "lib") -> f root
+  | _ -> ()
+
+let test_shipped_tree_clean () =
+  with_repo_root (fun root ->
+      let tree = E.lint_tree ~root in
+      check Alcotest.int "whole tree parses" 0 (List.length tree.E.parse_errors);
+      check Alcotest.bool "the exhibits keep their findings" true (tree.E.findings <> []);
+      let baseline =
+        match B.load (Filename.concat root "klint.baseline") with
+        | Ok b -> b
+        | Error msg -> Alcotest.fail msg
+      in
+      let registry =
+        Safeos_core.Boot.registry ~loc_of:(fun name -> Klint.registry_loc ~root name) ()
+      in
+      let r = E.reconcile ~registry ~baseline tree.E.findings in
+      check Alcotest.int "shipped tree has no violations" 0 (List.length r.E.violations);
+      check Alcotest.int "checked-in baseline is not stale" 0
+        (List.length r.E.stale_baseline);
+      (* every finding lands in a known subsystem *)
+      List.iter
+        (fun a -> check Alcotest.bool "attributed" true (a.E.sub <> "unmapped"))
+        r.E.attributed;
+      (* the report's level histogram is the registry's, verbatim *)
+      let json = Klint.Report.to_json ~registry tree r in
+      let contains needle =
+        let nl = String.length needle and jl = String.length json in
+        let rec at i = i + nl <= jl && (String.sub json i nl = needle || at (i + 1)) in
+        at 0
+      in
+      List.iter
+        (fun (level, n) ->
+          let needle = Fmt.str "%S: %d" (Level.to_string level) n in
+          check Alcotest.bool ("level_counts has " ^ needle) true (contains needle))
+        (Safeos_core.Registry.level_counts registry);
+      (* and every registered subsystem appears as a per-subsystem row *)
+      List.iter
+        (fun e ->
+          let needle = Fmt.str "\"name\": %S" e.Safeos_core.Registry.name in
+          check Alcotest.bool ("subsystem row " ^ needle) true (contains needle))
+        (Safeos_core.Registry.all registry))
+
+let test_loc_derivation () =
+  with_repo_root (fun root ->
+      match Klint.registry_loc ~root "tcp" with
+      | None -> Alcotest.fail "tcp sources missing from the source map"
+      | Some n ->
+          check Alcotest.bool "tcp has code" true (n > 0);
+          let registry =
+            Safeos_core.Boot.registry
+              ~loc_of:(fun name -> Klint.registry_loc ~root name)
+              ()
+          in
+          (match Safeos_core.Registry.find registry "tcp" with
+          | Some e -> check Alcotest.int "registry loc derived from source" n e.Safeos_core.Registry.loc
+          | None -> Alcotest.fail "tcp not in the boot registry");
+          check (Alcotest.option Alcotest.int) "unknown subsystem has no loc" None
+            (Klint.registry_loc ~root "not_a_subsystem"))
+
+let test_effective_loc () =
+  let src =
+    "(* header *)\n\n\
+     let x = 1\n\
+     (* multi\n\
+    \   line (* nested *) comment\n\
+    \   still comment *)\n\
+     let y = \"(* not a comment *)\"\n"
+  in
+  check Alcotest.int "comments and blanks do not count" 2 (Klint.Loc.count_string src)
+
+let () =
+  Alcotest.run "klint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "r1 unchecked cast" `Quick test_r1_unchecked_cast;
+          Alcotest.test_case "r2 unchecked err-ptr" `Quick test_r2_unchecked_errptr;
+          Alcotest.test_case "r3 lock balance" `Quick test_r3_lock_balance;
+          Alcotest.test_case "r4 ownership bypass" `Quick test_r4_ownership_bypass;
+          Alcotest.test_case "r5 must-check" `Quick test_r5_must_check;
+          Alcotest.test_case "parse error reported" `Quick test_parse_error_reported;
+        ] );
+      ( "reconcile",
+        [
+          Alcotest.test_case "cast under type-safe claim" `Quick test_reconcile_cast_violation;
+          Alcotest.test_case "unbalanced lock under ownership claim" `Quick
+            test_reconcile_lock_violation;
+        ] );
+      ( "baseline",
+        [ Alcotest.test_case "round-trip and ratchet" `Quick test_baseline_roundtrip ] );
+      ( "tree",
+        [
+          Alcotest.test_case "shipped tree is violation-free" `Quick test_shipped_tree_clean;
+          Alcotest.test_case "registry loc derived from klint" `Quick test_loc_derivation;
+          Alcotest.test_case "effective line counting" `Quick test_effective_loc;
+        ] );
+    ]

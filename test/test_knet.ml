@@ -151,6 +151,14 @@ let test_dyn_socket_mismatch_crashes () =
   | _ -> fail "expected Type_confusion"
   | exception Ksim.Dyn.Type_confusion _ -> ()
 
+let test_dyn_socket_checked_query_survives_mismatch () =
+  (* [o_is_connected] was migrated from cast_exn to Dyn.project (the
+     klint R1 ratchet): on a mismatched socket it answers false where
+     [send] on the same socket still oopses. *)
+  let bad = Knet.Sock.Dyn_style.mismatched_socket () in
+  check Alcotest.bool "checked query degrades gracefully" false
+    (Knet.Sock.Dyn_style.is_connected bad)
+
 (* AMP: the CVE-2020-12351 shape ----------------------------------------------------- *)
 
 let test_amp_unsafe_honest_traffic () =
@@ -237,6 +245,8 @@ let () =
           Alcotest.test_case "protocols listed" `Quick test_typed_protocols_listed;
           Alcotest.test_case "dyn-style consistent" `Quick test_dyn_socket_works_when_consistent;
           Alcotest.test_case "dyn-style mismatch crashes" `Quick test_dyn_socket_mismatch_crashes;
+          Alcotest.test_case "dyn-style checked query survives mismatch" `Quick
+            test_dyn_socket_checked_query_survives_mismatch;
         ] );
       ( "amp",
         Alcotest.test_case "unsafe honest traffic" `Quick test_amp_unsafe_honest_traffic
