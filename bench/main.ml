@@ -326,6 +326,23 @@ let bench_ablation () =
       Test.make ~name:"migration-validation-50ops" (staged validation);
     ]
 
+(* BENCH-LINT: the static analyses gate every CI run, so their cost is
+   part of the developer loop; keep the whole-tree pass visibly cheap. ---- *)
+
+let bench_lint () =
+  let root =
+    match Klint.find_root () with
+    | Some r -> r
+    | None -> failwith "bench: cannot locate dune-project root"
+  in
+  run_group "lint"
+    [
+      Test.make ~name:"kracer-whole-tree"
+        (staged (fun () -> ignore (Klint.Kracer.analyze_tree ~root)));
+      Test.make ~name:"full-lint+kracer-tree"
+        (staged (fun () -> ignore (Klint.Engine.lint_tree ~root)));
+    ]
+
 (* Shape checks: turn the measured rows into the paper's qualitative
    claims, so bench output is self-judging. ------------------------------- *)
 
@@ -419,5 +436,6 @@ let () =
   let _ebpf = bench_ebpf () in
   let _mm = bench_mm () in
   let ablation = bench_ablation () in
+  let _lint = bench_lint () in
   shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilience ~ablation;
   Fmt.pr "@.done.@."

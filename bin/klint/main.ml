@@ -7,7 +7,7 @@
 
 let ( / ) = Filename.concat
 
-let run root_opt baseline_opt report_opt update_baseline verbose =
+let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges lock_graph_dot =
   let root =
     match root_opt with
     | Some r -> r
@@ -67,7 +67,52 @@ let run root_opt baseline_opt report_opt update_baseline verbose =
     Fmt.pr "klint: ratchet progress — %d baseline entries no longer fire; regenerate with --update-baseline@."
       (List.length r.Klint.Engine.stale_baseline);
   Fmt.pr "klint: report written to %s@." report_path;
-  if r.Klint.Engine.violations = [] then 0
+  let kracer = tree.Klint.Engine.kracer in
+  Fmt.pr "klint: lock graph — %d functions, %d static edges, %d guard classes@."
+    kracer.Klint.Kracer.funcs
+    (List.length kracer.Klint.Kracer.edges)
+    (List.length kracer.Klint.Kracer.guards);
+  List.iter
+    (fun cyc ->
+      Fmt.pr "klint: PREDICTED DEADLOCK — static lock-order cycle: %s@."
+        (String.concat " -> " (cyc @ [ List.hd cyc ])))
+    kracer.Klint.Kracer.cycles;
+  (match lock_graph_dot with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Klint.Kracer.dot_of_edges kracer.Klint.Kracer.edges);
+      close_out oc;
+      Fmt.pr "klint: lock graph written to %s@." path
+  | None -> ());
+  (* Static/runtime reconciliation: every lock nesting the tests saw must
+     already be in the static graph, otherwise the analysis has a hole. *)
+  let reconcile_rc =
+    match lockdep_edges with
+    | None -> 0
+    | Some path -> (
+        match Klint.Kracer.read_runtime_edges path with
+        | Error msg ->
+            Fmt.epr "klint: %s@." msg;
+            2
+        | Ok runtime -> (
+            match
+              Klint.Kracer.missing_runtime_edges ~static:kracer.Klint.Kracer.edges runtime
+            with
+            | [] ->
+                Fmt.pr
+                  "klint: lockdep reconciliation — %d runtime edges, all covered statically@."
+                  (List.length runtime);
+                0
+            | missing ->
+                List.iter
+                  (fun (a, b) ->
+                    Fmt.epr
+                      "klint: UNSOUND — runtime lock order %s -> %s is missing from the static graph@."
+                      a b)
+                  missing;
+                1))
+  in
+  if r.Klint.Engine.violations = [] then reconcile_rc
   else begin
     List.iter
       (fun (a : Klint.Engine.attributed) ->
@@ -98,10 +143,21 @@ let update_baseline =
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every finding")
 
+let lockdep_edges =
+  Arg.(value & opt (some string) None & info [ "lockdep-edges" ] ~docv:"FILE"
+         ~doc:"Reconcile the static lock-order graph against runtime edges exported by \
+               Ksim.Lockdep (KSIM_LOCKDEP_EXPORT); exit 1 if any runtime edge is missing \
+               from the static graph")
+
+let lock_graph_dot =
+  Arg.(value & opt (some string) None & info [ "lock-graph-dot" ] ~docv:"FILE"
+         ~doc:"Write the static lock-order graph as Graphviz dot")
+
 let cmd =
   Cmd.v
     (Cmd.info "klint" ~version:"1.0.0"
        ~doc:"Static safety-ladder linter: enforce Registry level claims against the source tree")
-    Term.(const run $ root $ baseline $ report $ update_baseline $ verbose)
+    Term.(const run $ root $ baseline $ report $ update_baseline $ verbose $ lockdep_edges
+          $ lock_graph_dot)
 
 let () = exit (Cmd.eval' cmd)

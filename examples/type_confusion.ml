@@ -31,13 +31,17 @@ let () =
   | Ok () -> Fmt.pr "  processed?! (should not happen)@."
   | Error e -> Fmt.pr "  rejected with %a — no crash, no corruption, connection lives on@." Ksim.Errno.pp e);
 
-  (* The same lesson at the socket layer: private data behind void*. *)
-  Fmt.pr "@.== socket private data ==@.";
+  (* The same lesson at the socket layer: private data behind void*.
+     This subsystem has since been migrated to the checked projection
+     (the klint R1 ratchet), so the mismatch degrades to EPROTO — the
+     "after" state the AMP stack above shows for step 2. *)
+  Fmt.pr "@.== socket private data (migrated to checked projection) ==@.";
   let bad = Knet.Sock.Dyn_style.mismatched_socket () in
   (match Knet.Sock.Dyn_style.send bad "payload" with
-  | Ok _ | Error _ -> Fmt.pr "  sent?!@."
-  | exception Ksim.Dyn.Type_confusion { expected; actual } ->
-      Fmt.pr "  KERNEL OOPS: socket ops cast private data to %s, found %s@." expected actual);
+  | Ok _ -> Fmt.pr "  sent?! (should not happen)@."
+  | Error e ->
+      Fmt.pr "  rejected with %a — the projection caught the mismatch, no oops@."
+        Ksim.Errno.pp e);
 
   (* And the error-pointer idiom the paper calls out for VFS lookup. *)
   Fmt.pr "@.== ERR_PTR dereference ==@.";

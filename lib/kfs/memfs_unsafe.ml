@@ -54,6 +54,11 @@ type fs = {
   inodes : (int, node) Hashtbl.t;
   mutable next_ino : int;
   faults : faults;
+  (* The superblock lock, ext4's s_lock shape: serializes whole-file
+     mutations (write_end, truncate) and nests *outside* i_lock, the
+     ordering both lockdep at runtime and kracer statically must agree
+     on. *)
+  s_lock : Ksim.Klock.t;
   (* Dangling pointers parked by the use-after-free fault: the code keeps
      using them, as C code would. *)
   mutable dangling : (int * string Ksim.Kmem.ptr) list;
@@ -81,7 +86,8 @@ let mkfs_with_faults faults =
   let heap = Ksim.Kmem.create ~name:"memfs_unsafe" () in
   let inodes = Hashtbl.create 64 in
   Hashtbl.replace inodes root_ino (Dir { entries = Hashtbl.create 8 });
-  { heap; inodes; next_ino = 1; faults; dangling = [] }
+  let s_lock = Ksim.Klock.create ~lockdep:Ksim.Lockdep.global ~name:"s_lock" () in
+  { heap; inodes; next_ino = 1; faults; s_lock; dangling = [] }
 
 let mkfs () = mkfs_with_faults (no_faults ())
 
@@ -117,13 +123,14 @@ let parent_entries fs path =
 let basename_exn path =
   match Fs_spec.basename path with Some name -> name | None -> assert false
 
-(* Update i_size the way sloppy C code does: usually under i_lock, but on
-   the fast path (fault enabled) without it — the Guarded cell records the
-   race. *)
+(* Update i_size the way sloppy C code does: usually under i_lock (via
+   the annotated accessor, which discharges its @must_hold), but on the
+   fast path (fault enabled) without it — the Guarded cell records the
+   race at runtime, and kracer's R6 flags the same line statically. *)
 let set_size fs (vnode : Kvfs.Vtypes.inode) size =
   if fs.faults.skip_i_lock then Ksim.Klock.Guarded.set vnode.i_size size
   else
-    Ksim.Klock.with_lock vnode.i_lock (fun () -> Ksim.Klock.Guarded.set vnode.i_size size)
+    Ksim.Klock.with_lock vnode.i_lock (fun () -> Kvfs.Vtypes.set_size_locked vnode size)
 
 let file_content fs (f : file_data) =
   ignore fs;
@@ -190,9 +197,12 @@ let write_end fs private_data ~data =
   in
   match node fs ctx.w_ino with
   | Some (File f) ->
-      let content = file_content fs f in
-      set_file_content fs f (Fs_spec.write_at content ~off:ctx.w_off ~data);
-      String.length data
+      (* s_lock outside, i_lock (inside set_file_content) within: the
+         nesting the lock-order graphs must both contain. *)
+      Ksim.Klock.with_lock fs.s_lock (fun () ->
+          let content = file_content fs f in
+          set_file_content fs f (Fs_spec.write_at content ~off:ctx.w_off ~data);
+          String.length data)
   | Some (Dir _) -> -Ksim.Errno.to_code Ksim.Errno.EISDIR
   | None -> -Ksim.Errno.to_code Ksim.Errno.ENOENT
 
@@ -234,13 +244,14 @@ let truncate fs path_str size =
   else
     match lookup_node fs path with
     | Some (File f) ->
-        let content = file_content fs f in
-        let content' =
-          if String.length content >= size then String.sub content 0 size
-          else content ^ String.make (size - String.length content) '\000'
-        in
-        set_file_content fs f content';
-        0
+        Ksim.Klock.with_lock fs.s_lock (fun () ->
+            let content = file_content fs f in
+            let content' =
+              if String.length content >= size then String.sub content 0 size
+              else content ^ String.make (size - String.length content) '\000'
+            in
+            set_file_content fs f content';
+            0)
     | Some (Dir _) -> -Ksim.Errno.to_code Ksim.Errno.EISDIR
     | None ->
         if is_dir fs path then -Ksim.Errno.to_code Ksim.Errno.EISDIR

@@ -1,0 +1,140 @@
+(* Sparse-style lock-context annotations, the klint analogue of the
+   kernel's __must_hold/__acquires/__releases.
+
+   Annotations live in doc comments on [.ml]/[.mli] items (the compiler
+   parser attaches those as [ocaml.doc] attributes, so kracer sees
+   exactly what the build sees), or — mostly for fixtures — as plain
+   attributes with a string payload:
+
+     (** Updates the cached size.  @must_hold: i_lock *)
+     let set_size_locked i n = ...
+
+     let helper l = ... [@@acquires "l"]
+
+   Grammar, per line of the doc text:
+
+     @must_hold: lock [, lock ...]   held at entry AND exit
+     @acquires:  lock [, lock ...]   taken by the function (net +1)
+     @releases:  lock [, lock ...]   dropped by the function (net -1)
+
+   Lock names are *classes*: the identifier a lock travels through
+   (variable or record field, e.g. [i_lock] for [vnode.i_lock]) which by
+   the naming convention is also the prefix of the runtime lock name
+   before the [:instance] suffix ([i_lock:7]).  [lock_class] performs
+   both collapses. *)
+
+type t = {
+  must_hold : string list;  (** held at entry and exit *)
+  acquires : string list;  (** net-acquired by the function *)
+  releases : string list;  (** net-released by the function *)
+}
+
+let empty = { must_hold = []; acquires = []; releases = [] }
+let is_empty a = a.must_hold = [] && a.acquires = [] && a.releases = []
+
+let dedup l = List.sort_uniq String.compare l
+
+let union a b =
+  {
+    must_hold = dedup (a.must_hold @ b.must_hold);
+    acquires = dedup (a.acquires @ b.acquires);
+    releases = dedup (a.releases @ b.releases);
+  }
+
+(* [lock_class "vnode.i_lock"] = ["i_lock"]; [lock_class "i_lock:7"] =
+   [lock_class "i_lock:%d"] = ["i_lock"].  The dot collapse keys a lock
+   by the field/variable carrying it; the colon/percent collapse maps
+   runtime instance names (and the format strings minting them) back to
+   the class. *)
+let lock_class name =
+  let name =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let cut sep s =
+    match String.index_opt s sep with Some i -> String.sub s 0 i | None -> s
+  in
+  cut ':' (cut '%' name)
+
+(* Parsing ---------------------------------------------------------------- *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = ':' || c = '\''
+
+(* Lock names after a marker: comma/space-separated identifiers, stopping
+   at the first token that is not one (so prose after the list is fine). *)
+let parse_names s =
+  let toks =
+    String.split_on_char ' ' (String.map (fun c -> if c = ',' || c = '\t' then ' ' else c) s)
+    |> List.filter (fun t -> t <> "")
+  in
+  let rec take acc = function
+    | tok :: rest when String.for_all is_ident_char tok ->
+        take (lock_class tok :: acc) rest
+    | _ -> List.rev acc
+  in
+  take [] toks
+
+let markers =
+  [
+    ("@must_hold", fun a names -> { a with must_hold = dedup (names @ a.must_hold) });
+    ("@acquires", fun a names -> { a with acquires = dedup (names @ a.acquires) });
+    ("@releases", fun a names -> { a with releases = dedup (names @ a.releases) });
+  ]
+
+(* One line of doc text: "@marker: names..." (the colon is optional). *)
+let parse_line acc line =
+  let line = String.trim line in
+  List.fold_left
+    (fun acc (marker, apply) ->
+      let ml = String.length marker in
+      if String.length line > ml && String.sub line 0 ml = marker then
+        let rest = String.sub line ml (String.length line - ml) in
+        let rest =
+          let r = String.trim rest in
+          if String.length r > 0 && r.[0] = ':' then String.sub r 1 (String.length r - 1)
+          else r
+        in
+        match parse_names rest with [] -> acc | names -> apply acc names
+      else acc)
+    acc markers
+
+let of_doc_text acc text =
+  List.fold_left parse_line acc (String.split_on_char '\n' text)
+
+(* Attribute extraction --------------------------------------------------- *)
+
+let string_payload (payload : Parsetree.payload) =
+  match payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let of_attributes (attrs : Parsetree.attributes) =
+  List.fold_left
+    (fun acc (a : Parsetree.attribute) ->
+      match (a.attr_name.txt, string_payload a.attr_payload) with
+      | ("ocaml.doc" | "doc" | "ocaml.text"), Some s -> of_doc_text acc s
+      | "must_hold", Some s -> { acc with must_hold = dedup (parse_names s @ acc.must_hold) }
+      | "acquires", Some s -> { acc with acquires = dedup (parse_names s @ acc.acquires) }
+      | "releases", Some s -> { acc with releases = dedup (parse_names s @ acc.releases) }
+      | _ -> acc)
+    empty attrs
+
+let pp ppf a =
+  let field name = function
+    | [] -> ()
+    | ls -> Fmt.pf ppf "@%s: %s " name (String.concat ", " ls)
+  in
+  field "must_hold" a.must_hold;
+  field "acquires" a.acquires;
+  field "releases" a.releases

@@ -233,11 +233,21 @@ let rec diverges e =
   | Pexp_constraint (e', _) | Pexp_open (_, e') -> diverges e'
   | _ -> false
 
-let r3_check ~file ~fname binding_expr =
+let r3_check ?(annot = Annot.empty) ~file ~fname binding_expr =
   let findings = ref [] in
   let add loc message =
     findings :=
       Finding.v ~rule:Finding.R3_lock_balance ~file ~loc ~func:fname message :: !findings
+  in
+  let add_r7 loc message =
+    findings :=
+      Finding.v ~rule:Finding.R7_lock_annotation ~file ~loc ~func:fname message :: !findings
+  in
+  (* A lock class the binding's annotation mentions: its imbalance is
+     judged against the contract (R7), not the default balance rule. *)
+  let annotated cl =
+    List.mem cl annot.Annot.must_hold || List.mem cl annot.Annot.acquires
+    || List.mem cl annot.Annot.releases
   in
   let lock_key args =
     match List.find_opt (fun (l, _) -> l = Asttypes.Nolabel) args with
@@ -291,8 +301,9 @@ let r3_check ~file ~fname binding_expr =
         delta cond
     | Pexp_fun _ | Pexp_function _ ->
         (* A nested closure is its own scope: check it independently,
-           contribute nothing to the enclosing function's context. *)
-        check_scope e;
+           contribute nothing to the enclosing function's context.  The
+           binding's annotation describes the outer body only. *)
+        check_scope ~top:false e;
         SM.empty
     | _ ->
         let acc = ref SM.empty in
@@ -301,25 +312,60 @@ let r3_check ~file ~fname binding_expr =
   and args_delta args =
     List.fold_left (fun acc (_, a) -> merge_delta acc (delta a)) SM.empty args
   and ignore_delta e = ignore (delta e : int SM.t)
-  and check_scope e =
+  and check_scope ~top e =
     match e.pexp_desc with
     | Pexp_fun (_, default, _, inner) ->
         Option.iter ignore_delta default;
-        check_scope inner
-    | Pexp_newtype (_, inner) | Pexp_constraint (inner, _) -> check_scope inner
+        check_scope ~top inner
+    | Pexp_newtype (_, inner) | Pexp_constraint (inner, _) -> check_scope ~top inner
     | Pexp_function cases ->
-        List.iter (fun c -> check_body c.pc_rhs) cases
-    | _ -> check_body e
-  and check_body body =
+        List.iter (fun c -> check_body ~top c.pc_rhs) cases
+    | _ -> check_body ~top e
+  and check_body ~top body =
+    let d = delta body in
+    (* collapse the expression-keyed delta onto lock classes so it can
+       meet the class-level annotation contract *)
+    let by_class =
+      SM.fold
+        (fun lock n acc ->
+          let cl = Annot.lock_class lock in
+          SM.update cl (fun prev -> Some (Option.value ~default:0 prev + n)) acc)
+        d SM.empty
+    in
     SM.iter
       (fun lock n ->
-        if n > 0 then
+        if top && annotated (Annot.lock_class lock) then ()
+        else if n > 0 then
           add body.pexp_loc
             (Fmt.str "lock %s acquired but not released on every exit path (use Klock.with_lock)"
                lock)
         else if n < 0 then
           add body.pexp_loc (Fmt.str "lock %s released without a matching acquire" lock))
-      (delta body)
+      d;
+    let net cl = Option.value ~default:0 (SM.find_opt cl by_class) in
+    if not top then ()
+    else begin
+    List.iter
+      (fun cl ->
+        if net cl <> 1 then
+          add_r7 body.pexp_loc
+            (Fmt.str "declared @acquires %s but the body's net effect on it is %+d" cl (net cl)))
+      annot.Annot.acquires;
+    List.iter
+      (fun cl ->
+        if net cl <> -1 then
+          add_r7 body.pexp_loc
+            (Fmt.str "declared @releases %s but the body's net effect on it is %+d" cl (net cl)))
+      annot.Annot.releases;
+    List.iter
+      (fun cl ->
+        if net cl <> 0 then
+          add_r7 body.pexp_loc
+            (Fmt.str
+               "declared @must_hold %s (caller-held) but the body changes its balance by %+d"
+               cl (net cl)))
+      annot.Annot.must_hold
+    end
   in
-  check_scope binding_expr;
+  check_scope ~top:true binding_expr;
   !findings

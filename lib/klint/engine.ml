@@ -24,7 +24,8 @@ and lint_item ~file ~prefix item =
           let fname = prefix ^ binding_name vb in
           Checks.simple_rules ~file ~fname (`Vb vb)
           @ Checks.r2_check ~file ~fname vb.pvb_expr
-          @ Checks.r3_check ~file ~fname vb.pvb_expr)
+          @ Checks.r3_check ~annot:(Annot.of_attributes vb.pvb_attributes) ~file ~fname
+              vb.pvb_expr)
         vbs
   | Pstr_eval (e, _) ->
       Checks.simple_rules ~file ~fname:prefix (`Expr e)
@@ -55,28 +56,38 @@ let lint_file ~root rel : file_result =
 (* Tree lint ------------------------------------------------------------- *)
 
 type tree_result = {
-  findings : Finding.t list; (* sorted by file/line/rule *)
+  findings : Finding.t list; (* sorted by file/line/rule; includes kracer's *)
   parse_errors : (string * string) list; (* file, message *)
   files : string list;
   effective_loc : int; (* total effective lines linted *)
+  kracer : Kracer.result; (* the interprocedural pass: lock graph + R6 *)
 }
 
 let lint_tree ~root =
   let files = Loc.ml_files_under ~root "lib" in
-  let findings, parse_errors =
+  (* parse each file once; the per-file rules and the interprocedural
+     pass walk the same trees *)
+  let parsed, parse_errors =
     List.fold_left
-      (fun (fs, errs) rel ->
-        match lint_file ~root rel with
-        | Ok found -> (found @ fs, errs)
-        | Error msg -> (fs, (rel, msg) :: errs))
+      (fun (ok, errs) rel ->
+        match Kparse.parse (Filename.concat root rel) with
+        | Ok structure -> ((rel, structure) :: ok, errs)
+        | Error msg -> (ok, (rel, msg) :: errs))
       ([], []) files
   in
+  let parsed = List.rev parsed in
+  let findings =
+    List.concat_map (fun (rel, structure) -> lint_structure ~file:rel ~prefix:"" structure)
+      parsed
+  in
+  let kracer = Kracer.analyze ~root parsed in
   {
-    findings = Finding.sort findings;
+    findings = Finding.sort (kracer.Kracer.findings @ findings);
     parse_errors = List.rev parse_errors;
     files;
     effective_loc =
       List.fold_left (fun acc rel -> acc + Loc.count_file (Filename.concat root rel)) 0 files;
+    kracer;
   }
 
 (* Reconciliation -------------------------------------------------------- *)

@@ -8,10 +8,12 @@ type rule =
   | R3_lock_balance
   | R4_ownership_bypass
   | R5_must_check
+  | R6_lockset_race
+  | R7_lock_annotation
 
 let all_rules =
   [ R1_unchecked_cast; R2_unchecked_errptr; R3_lock_balance; R4_ownership_bypass;
-    R5_must_check ]
+    R5_must_check; R6_lockset_race; R7_lock_annotation ]
 
 let rule_id = function
   | R1_unchecked_cast -> "R1"
@@ -19,6 +21,8 @@ let rule_id = function
   | R3_lock_balance -> "R3"
   | R4_ownership_bypass -> "R4"
   | R5_must_check -> "R5"
+  | R6_lockset_race -> "R6"
+  | R7_lock_annotation -> "R7"
 
 let rule_of_id s = List.find_opt (fun r -> rule_id r = s) all_rules
 
@@ -28,6 +32,8 @@ let rule_name = function
   | R3_lock_balance -> "lock-balance"
   | R4_ownership_bypass -> "ownership-bypass"
   | R5_must_check -> "must-check"
+  | R6_lockset_race -> "lockset-race"
+  | R7_lock_annotation -> "lock-annotation"
 
 (* The bucket each rule polices — the mapping the reconciliation uses:
    a subsystem claiming level L must be clean of every rule whose bucket
@@ -38,6 +44,8 @@ let bug_class = function
   | R3_lock_balance -> Safeos_core.Level.Data_race
   | R4_ownership_bypass -> Safeos_core.Level.Use_after_free
   | R5_must_check -> Safeos_core.Level.Semantic
+  | R6_lockset_race -> Safeos_core.Level.Data_race
+  | R7_lock_annotation -> Safeos_core.Level.Data_race
 
 (* Anchor each rule in the paper's CWE study via the kbugs catalog. *)
 let cwe_id = function
@@ -46,6 +54,8 @@ let cwe_id = function
   | R3_lock_balance -> 667 (* improper locking *)
   | R4_ownership_bypass -> 416 (* use after free *)
   | R5_must_check -> 754 (* improper check for unusual conditions *)
+  | R6_lockset_race -> 362 (* concurrent execution with improper synchronization *)
+  | R7_lock_annotation -> 667 (* improper locking: contract and body disagree *)
 
 let cwe rule = Kbugs.Cwe.find (cwe_id rule)
 

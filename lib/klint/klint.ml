@@ -10,6 +10,10 @@
 module Finding = Finding
 module Rules = Rules
 module Checks = Checks
+module Annot = Annot
+module Callgraph = Callgraph
+module Lockset = Lockset
+module Kracer = Kracer
 module Kparse = Kparse
 module Loc = Loc
 module Subsystem = Subsystem

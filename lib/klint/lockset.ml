@@ -1,0 +1,238 @@
+(* The per-function lockset walk kracer's interprocedural analysis is
+   built from.
+
+   For one function body, track the set of lock *classes* held locally
+   (relative to an unknown entry context) and record three kinds of
+   events, each with the locally-held set at that point:
+
+   - acquisitions ([Klock.acquire]/[try_acquire]/[with_lock]) — the raw
+     material of the static lock-order graph;
+   - [Klock.Guarded] cell accesses — the raw material of the R6 check;
+   - calls to functions known to the {!Callgraph} — the edges lock
+     context propagates over.
+
+   Branch joins are must-intersections (a lock counts as held after a
+   conditional only when every surviving branch holds it), diverging
+   branches are exempt as in R3, and closures are analyzed under the
+   context of their definition point — the run-immediately idiom
+   ([with_lock l (fun () -> ...)], [Hashtbl.iter] under a lock) which is
+   how this tree uses them.  Guard relationships are harvested from
+   [Guarded.create ~lock ~name] sites: the cell class comes from the
+   [~name] literal (["i_size:%d"] -> [i_size]), the guard class from the
+   lock expression ([i_lock]). *)
+
+open Parsetree
+open Rules
+module SS = Set.Make (String)
+
+type event = {
+  subject : string;  (** lock class acquired / cell class accessed / callee name *)
+  locked : SS.t;  (** lock classes held locally at the event *)
+  loc : Location.t;
+}
+
+type summary = {
+  func : Callgraph.func;
+  acquires : event list;  (** every acquisition site, innermost context *)
+  cell_uses : event list;  (** every [Guarded.get]/[set] through checked accessors *)
+  calls : (Callgraph.func * event) list;  (** resolved call sites *)
+  guards : (string * string) list;  (** cell class -> guard class, from create sites *)
+  unresolved : int;
+      (** call sites whose name is known to the graph but ambiguous —
+          kracer assumes them lock-neutral, the reconciliation's job *)
+}
+
+(* Primitive classification ---------------------------------------------- *)
+
+type prim =
+  | P_with_lock
+  | P_acquire
+  | P_try_acquire
+  | P_release
+  | P_guarded_use
+  | P_guarded_create
+  | P_none
+
+let classify f =
+  if ident_matches ~penult:"Klock" ~last:"with_lock" f then P_with_lock
+  else if ident_matches ~penult:"Klock" ~last:"acquire" f then P_acquire
+  else if ident_matches ~penult:"Klock" ~last:"try_acquire" f then P_try_acquire
+  else if ident_matches ~penult:"Klock" ~last:"release" f then P_release
+  else if
+    ident_matches ~penult:"Guarded" ~last:"get" f
+    || ident_matches ~penult:"Guarded" ~last:"set" f
+  then P_guarded_use
+  else if ident_matches ~penult:"Guarded" ~last:"create" f then P_guarded_create
+  else P_none
+
+let nolabel_arg args =
+  match List.find_opt (fun (l, _) -> l = Asttypes.Nolabel) args with
+  | Some (_, a) -> Some a
+  | None -> None
+
+let labelled_arg name args =
+  List.find_map
+    (fun (l, a) ->
+      match l with
+      | Asttypes.Labelled n when String.equal n name -> Some a
+      | _ -> None)
+    args
+
+let arg_class args =
+  match nolabel_arg args with
+  | Some a -> Some (Annot.lock_class (expr_key a))
+  | None -> None
+
+(* The cell-naming convention: [~name:"i_size:7"], or
+   [~name:(Printf.sprintf "i_size:%d" ino)] — a literal, possibly the
+   head argument of a formatting call. *)
+let rec name_literal e =
+  match (strip e).pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+  | Pexp_apply (_, args) -> Option.bind (nolabel_arg args) name_literal
+  | _ -> None
+
+(* The walk -------------------------------------------------------------- *)
+
+let summarize (cg : Callgraph.t) (func : Callgraph.func) =
+  let acquires = ref [] in
+  let cell_uses = ref [] in
+  let calls = ref [] in
+  let guards = ref [] in
+  let unresolved = ref 0 in
+  let event subject locked loc = { subject; locked; loc } in
+  let record_acquire cl locked loc = acquires := event cl locked loc :: !acquires in
+  let rec walk locked e : SS.t =
+    match e.pexp_desc with
+    | Pexp_constraint (e', _) | Pexp_open (_, e') | Pexp_newtype (_, e') -> walk locked e'
+    | Pexp_apply (f, args) -> (
+        match classify f with
+        | P_with_lock -> (
+            match args with
+            | (_, lock_e) :: rest ->
+                let locked = walk locked lock_e in
+                let cl = Annot.lock_class (expr_key lock_e) in
+                record_acquire cl locked e.pexp_loc;
+                let inner = SS.add cl locked in
+                List.iter (fun (_, a) -> ignore (walk inner a : SS.t)) rest;
+                locked
+            | [] -> locked)
+        | P_acquire -> (
+            let locked = args_walk locked args in
+            match arg_class args with
+            | Some cl ->
+                record_acquire cl locked e.pexp_loc;
+                SS.add cl locked
+            | None -> locked)
+        | P_try_acquire -> (
+            (* lockdep records the ordering on success; statically we
+               record the may-edge but, being a must-analysis, do not
+               treat the lock as held afterwards. *)
+            let locked = args_walk locked args in
+            (match arg_class args with
+            | Some cl -> record_acquire cl locked e.pexp_loc
+            | None -> ());
+            locked)
+        | P_release -> (
+            let locked = args_walk locked args in
+            match arg_class args with Some cl -> SS.remove cl locked | None -> locked)
+        | P_guarded_use ->
+            let locked = args_walk locked args in
+            (match nolabel_arg args with
+            | Some cell ->
+                cell_uses :=
+                  event (Annot.lock_class (expr_key cell)) locked e.pexp_loc :: !cell_uses
+            | None -> ());
+            locked
+        | P_guarded_create ->
+            let locked = args_walk locked args in
+            (match
+               ( Option.bind (labelled_arg "name" args) name_literal,
+                 labelled_arg "lock" args )
+             with
+            | Some n, Some lock_e ->
+                guards := (Annot.lock_class n, Annot.lock_class (expr_key lock_e)) :: !guards
+            | _ -> ());
+            locked
+        | P_none ->
+            let locked = walk locked f in
+            let locked = args_walk locked args in
+            let callee =
+              match (strip f).pexp_desc with
+              | Pexp_ident { txt; _ } ->
+                  let path = flatten txt in
+                  let r = Callgraph.resolve cg ~caller:func path in
+                  (match (r, List.rev path) with
+                  | None, last :: _ when Hashtbl.mem cg.Callgraph.by_last last ->
+                      incr unresolved
+                  | _ -> ());
+                  r
+              | _ -> None
+            in
+            (match callee with
+            | Some g ->
+                calls := (g, event (Callgraph.name g) locked e.pexp_loc) :: !calls;
+                (* the callee's declared effects move the caller's context *)
+                let locked =
+                  List.fold_left (fun s l -> SS.add l s) locked g.Callgraph.annot.Annot.acquires
+                in
+                List.fold_left (fun s l -> SS.remove l s) locked g.Callgraph.annot.Annot.releases
+            | None -> locked))
+    | Pexp_sequence (a, b) -> walk (walk locked a) b
+    | Pexp_let (_, vbs, body) ->
+        let locked = List.fold_left (fun l vb -> walk l vb.pvb_expr) locked vbs in
+        walk locked body
+    | Pexp_ifthenelse (cond, then_, else_) ->
+        let locked = walk locked cond in
+        let branches =
+          (then_ :: Option.to_list else_)
+          |> List.filter_map (fun b ->
+                 let after = walk locked b in
+                 if Checks.diverges b then None else Some after)
+        in
+        let branches = if else_ = None then locked :: branches else branches in
+        join locked branches
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        let locked = walk locked scrut in
+        let branches =
+          List.filter_map
+            (fun c ->
+              Option.iter (fun g -> ignore (walk locked g : SS.t)) c.pc_guard;
+              let after = walk locked c.pc_rhs in
+              if Checks.diverges c.pc_rhs then None else Some after)
+            cases
+        in
+        join locked branches
+    | Pexp_fun (_, default, _, inner) ->
+        Option.iter (fun d -> ignore (walk locked d : SS.t)) default;
+        ignore (walk locked inner : SS.t);
+        locked
+    | Pexp_function cases ->
+        List.iter
+          (fun c ->
+            Option.iter (fun g -> ignore (walk locked g : SS.t)) c.pc_guard;
+            ignore (walk locked c.pc_rhs : SS.t))
+          cases;
+        locked
+    | Pexp_while (cond, body) | Pexp_for (_, _, cond, _, body) ->
+        ignore (walk locked cond : SS.t);
+        ignore (walk locked body : SS.t);
+        locked
+    | _ ->
+        let acc = ref locked in
+        iter_children (fun child -> acc := walk !acc child) e;
+        !acc
+  and args_walk locked args = List.fold_left (fun l (_, a) -> walk l a) locked args
+  and join locked = function
+    | [] -> locked (* every branch diverges: context below is unreachable *)
+    | b :: rest -> List.fold_left SS.inter b rest
+  in
+  ignore (walk SS.empty func.Callgraph.body : SS.t);
+  {
+    func;
+    acquires = List.rev !acquires;
+    cell_uses = List.rev !cell_uses;
+    calls = List.rev !calls;
+    guards = List.rev !guards;
+    unresolved = !unresolved;
+  }

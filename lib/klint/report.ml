@@ -132,6 +132,27 @@ let to_json ?registry (tree : Engine.tree_result) (r : Engine.reconciliation) =
              (preventable_at findings)) );
       ("subsystems", json_arr (subsystem_rows r registry));
       ("level_counts", json_obj level_counts);
+      ( "lock_graph",
+        let k = tree.Engine.kracer in
+        json_obj
+          [
+            ("functions_analyzed", string_of_int k.Kracer.funcs);
+            ("unresolved_calls", string_of_int k.Kracer.unresolved_calls);
+            ( "guards",
+              json_arr
+                (List.map
+                   (fun (cell, lock) ->
+                     json_obj [ ("cell", json_str cell); ("lock", json_str lock) ])
+                   k.Kracer.guards) );
+            ( "edges",
+              json_arr
+                (List.map
+                   (fun (a, b) -> json_obj [ ("held", json_str a); ("acquired", json_str b) ])
+                   k.Kracer.edges) );
+            ( "predicted_cycles",
+              json_arr
+                (List.map (fun cyc -> json_arr (List.map json_str cyc)) k.Kracer.cycles) );
+          ] );
     ]
 
 let write ~path json =

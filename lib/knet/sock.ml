@@ -5,8 +5,10 @@
    throughout generic socket code".  [Typed] is the modular shape: a
    protocol is a first-class module behind the PROTO interface, and the
    generic layer cannot see its state.  [Dyn_style] is the C shape: the
-   per-socket state is a void pointer and every operation casts it back —
-   the representation the type-safety bench prices against [Typed]. *)
+   per-socket state is a void pointer every operation must project back —
+   nowadays through the checked [Dyn.project] (a mismatch is an [EPROTO],
+   not an oops), the representation the type-safety bench prices against
+   [Typed]. *)
 
 module type PROTO = sig
   type conn
@@ -114,15 +116,24 @@ module Dyn_style = struct
   let tcp_key : Tcp.t Ksim.Dyn.Key.t = Ksim.Dyn.Key.create ~name:"sock.tcp_conn"
   let dgram_key : string Queue.t Ksim.Dyn.Key.t = Ksim.Dyn.Key.create ~name:"sock.dgram_conn"
 
-  (* Every operation casts the void pointer back: correct as written, and
-     one wrong key away from a crash.  [o_is_connected] has been migrated
-     to the checked [Dyn.project] path — a mismatched socket reads as
-     "not connected" instead of oopsing — shrinking the klint baseline by
-     one; the remaining casts stay as the step-0 exhibit. *)
+  (* Every operation projects the void pointer back through the checked
+     [Dyn.project] path (this subsystem is fully migrated off [cast_exn],
+     clearing its four klint R1 baseline entries): a socket whose ops and
+     private data disagree fails with [EPROTO] — the driver-returned-
+     garbage errno — or reads as empty/disconnected, instead of oopsing
+     the way the step-0 cast did. *)
   let tcp_ops =
     {
-      o_send = (fun d data -> Tcp.send (Ksim.Dyn.cast_exn tcp_key d) data);
-      o_received = (fun d -> Tcp.received (Ksim.Dyn.cast_exn tcp_key d));
+      o_send =
+        (fun d data ->
+          match Ksim.Dyn.project tcp_key d with
+          | Some conn -> Tcp.send conn data
+          | None -> Error Ksim.Errno.EPROTO);
+      o_received =
+        (fun d ->
+          match Ksim.Dyn.project tcp_key d with
+          | Some conn -> Tcp.received conn
+          | None -> "");
       o_is_connected =
         (fun d ->
           match Ksim.Dyn.project tcp_key d with
@@ -134,10 +145,16 @@ module Dyn_style = struct
     {
       o_send =
         (fun d data ->
-          Queue.push data (Ksim.Dyn.cast_exn dgram_key d);
-          Ok (String.length data));
+          match Ksim.Dyn.project dgram_key d with
+          | Some q ->
+              Queue.push data q;
+              Ok (String.length data)
+          | None -> Error Ksim.Errno.EPROTO);
       o_received =
-        (fun d -> String.concat "" (List.of_seq (Queue.to_seq (Ksim.Dyn.cast_exn dgram_key d))));
+        (fun d ->
+          match Ksim.Dyn.project dgram_key d with
+          | Some q -> String.concat "" (List.of_seq (Queue.to_seq q))
+          | None -> "");
       o_is_connected = (fun _ -> true);
     }
 

@@ -116,4 +116,5 @@ module Guarded = struct
 
   let races cell = cell.races
   let name cell = cell.cell_name
+  let guard cell = cell.lock
 end

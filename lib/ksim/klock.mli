@@ -65,4 +65,10 @@ module Guarded : sig
   (** Unlocked accesses observed through {!get}/{!set}. *)
 
   val name : 'a cell -> string
+
+  val guard : 'a cell -> t
+  (** The protecting lock the cell was created with.  By convention cell
+      and lock names are ["class:instance"] (e.g. ["i_size:7"] guarded
+      by ["i_lock:7"]) so runtime instances collapse onto the static
+      lock classes kracer reasons about. *)
 end

@@ -99,5 +99,50 @@ let warning_count t = List.length t.warnings
 
 let edge_count t = Hashtbl.fold (fun _ tbl acc -> acc + Hashtbl.length tbl) t.edges 0
 
+(* The observed graph, serialized: one (held, acquired) pair per edge,
+   deterministically ordered so dumps diff cleanly. *)
+let edges t =
+  Hashtbl.fold
+    (fun a tbl acc -> Hashtbl.fold (fun b () acc -> (a, b) :: acc) tbl acc)
+    t.edges []
+  |> List.sort_uniq compare
+
+let dump_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph lockdep {\n";
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  %S -> %S;\n" a b))
+    (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Append the edge list to [path], one "held acquired" pair per line —
+   the wire format the static/runtime reconciliation (klint's kracer)
+   consumes.  Append-mode so every test binary in a suite can contribute
+   to the same file. *)
+let append_edges_to_file t ~path =
+  match edges t with
+  | [] -> ()
+  | es ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          let buf = Buffer.create 256 in
+          List.iter (fun (a, b) -> Buffer.add_string buf (a ^ " " ^ b ^ "\n")) es;
+          output_string oc (Buffer.contents buf))
+
 (* A process-wide instance, mirroring the kernel's single lockdep. *)
 let global = create ()
+
+let export_env = "KSIM_LOCKDEP_EXPORT"
+
+(* When [KSIM_LOCKDEP_EXPORT] names a file, every process dumps the
+   global graph there on exit: `scripts/ci.sh` sets it across `dune
+   runtest` so kracer can check its static lock-order graph against
+   everything the suite actually observed. *)
+let () =
+  match Sys.getenv_opt export_env with
+  | Some path when path <> "" ->
+      at_exit (fun () -> try append_edges_to_file global ~path with Sys_error _ -> ())
+  | Some _ | None -> ()

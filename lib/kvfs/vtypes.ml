@@ -32,7 +32,13 @@ let make_inode ?(ino = -1) kind =
       !next_ino
     end
   in
-  let i_lock = Ksim.Klock.create ~name:(Printf.sprintf "i_lock:%d" ino) () in
+  let i_lock =
+    (* wired to the global lock-order validator so every i_lock nesting
+       the tests exercise lands in the runtime graph kracer reconciles
+       its static graph against *)
+    Ksim.Klock.create ~lockdep:Ksim.Lockdep.global
+      ~name:(Printf.sprintf "i_lock:%d" ino) ()
+  in
   {
     ino;
     kind;
@@ -42,6 +48,22 @@ let make_inode ?(ino = -1) kind =
     i_version = 0;
     i_private = Ksim.Dyn.null;
   }
+
+(* The annotated i_size accessors — the checked counterpart of the
+   "only maybe protected" comment the paper quotes.  The @must_hold
+   contracts are what kracer propagates interprocedurally: a caller any
+   number of hops up must provably hold [i_lock] or R6 fires. *)
+
+(** Read the cached size.  @must_hold: i_lock *)
+let size_locked i = Ksim.Klock.Guarded.get i.i_size
+
+(** Update the cached size.  @must_hold: i_lock *)
+let set_size_locked i size = Ksim.Klock.Guarded.set i.i_size size
+
+(** Locked read of the size for callers holding nothing: takes and
+    releases [i_lock] internally, so it must not be called with the
+    lock already held. *)
+let read_size i = Ksim.Klock.with_lock i.i_lock (fun () -> size_locked i)
 
 let pp_inode ppf i =
   Fmt.pf ppf "inode %d (%s, size %d, nlink %d)" i.ino (file_kind_to_string i.kind)

@@ -23,7 +23,18 @@ type inode = {
 
 val make_inode : ?ino:int -> file_kind -> inode
 (** Fresh inode (auto-numbered unless [ino] is given) with its own
-    [i_lock] and a guarded [i_size] cell. *)
+    [i_lock] (reported to {!Ksim.Lockdep.global}) and a guarded
+    [i_size] cell. *)
+
+val size_locked : inode -> int
+(** Read the cached size.  @must_hold: i_lock *)
+
+val set_size_locked : inode -> int -> unit
+(** Update the cached size.  @must_hold: i_lock *)
+
+val read_size : inode -> int
+(** Locked read for callers holding nothing: takes and releases
+    [i_lock] internally. *)
 
 val pp_inode : Format.formatter -> inode -> unit
 

@@ -1,9 +1,10 @@
 #!/bin/sh
-# Tier-1 gate: build, full test suite, then a seeded fault-injection
-# torture smoke run. The torture suite drives the journalfs stack
-# through Flakydev faults under fixed seeds and checks that every
-# crash/recovery lands in a spec-allowed state — it must stay green
-# before any merge.
+# Tier-1 gate: build, static lint with its ratchet, full test suite with
+# runtime lock-order capture, a seeded fault-injection torture smoke
+# run, and finally the static/runtime lock-graph reconciliation. The
+# torture suite drives the journalfs stack through Flakydev faults under
+# fixed seeds and checks that every crash/recovery lands in a
+# spec-allowed state — it must stay green before any merge.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,10 +14,53 @@ dune build
 echo "== ci: klint (static safety-ladder lint) =="
 dune build @lint
 
+echo "== ci: klint baseline ratchet =="
+# The baseline may only shrink: a commit adding entries (new suppressed
+# findings) fails here.  Deliberate growth (e.g. a new checked exhibit)
+# must be acknowledged with ALLOW_BASELINE_GROWTH=1.
+mkdir -p _build
+if git rev-parse --verify -q HEAD >/dev/null 2>&1 \
+   && git cat-file -e HEAD:klint.baseline 2>/dev/null; then
+  git show HEAD:klint.baseline | grep -v '^#' | grep -v '^$' | sort \
+    > _build/baseline-head.txt
+  grep -v '^#' klint.baseline | grep -v '^$' | sort > _build/baseline-now.txt
+  grown=$(comm -13 _build/baseline-head.txt _build/baseline-now.txt || true)
+  if [ -n "$grown" ]; then
+    if [ "${ALLOW_BASELINE_GROWTH:-0}" = "1" ]; then
+      echo "ci: baseline grew (allowed by ALLOW_BASELINE_GROWTH=1):"
+      echo "$grown" | sed 's/^/  + /'
+    else
+      echo "ci: FAIL — klint.baseline grew relative to HEAD:" >&2
+      echo "$grown" | sed 's/^/  + /' >&2
+      echo "ci: fix the findings, or rerun with ALLOW_BASELINE_GROWTH=1 to accept them" >&2
+      exit 1
+    fi
+  else
+    echo "ci: baseline did not grow"
+  fi
+else
+  echo "ci: no HEAD baseline to ratchet against (first commit?); skipping"
+fi
+
+# Every test binary from here on appends the lock-order edges it
+# observed to this file; kracer checks them against its static graph at
+# the end.  --force so cached (skipped) tests cannot leave holes.
+LOCKDEP_EDGES="$(pwd)/_build/lockdep-edges.txt"
+rm -f "$LOCKDEP_EDGES"
+export KSIM_LOCKDEP_EXPORT="$LOCKDEP_EDGES"
+
 echo "== ci: dune runtest =="
-dune runtest
+dune runtest --force
 
 echo "== ci: torture smoke (seeded fault schedules) =="
 dune exec test/test_torture.exe
+
+echo "== ci: lock-graph reconciliation (static vs runtime) =="
+if [ -s "$LOCKDEP_EDGES" ]; then
+  dune exec bin/klint/main.exe -- --root . --lockdep-edges "$LOCKDEP_EDGES"
+else
+  echo "ci: FAIL — no runtime lock edges were exported; the capture is broken" >&2
+  exit 1
+fi
 
 echo "== ci: ok =="

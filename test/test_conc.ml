@@ -189,6 +189,45 @@ let test_concurrent_writer_during_lend_caught () =
            (Ownership.Checker.violations ck)))
     [ 1; 2; 3; 4 ]
 
+let test_lock_order_stable_across_interleavings () =
+  (* Two writers taking s_lock -> i_lock in the program's one order:
+     whatever the schedule, lockdep sees exactly that class edge and no
+     inversion — the invariant kracer's static graph is reconciled
+     against.  A third thread with the inverted order is then reported
+     under every seed, not just the unlucky one. *)
+  List.iter
+    (fun seed ->
+      let dep = Ksim.Lockdep.create () in
+      let s_lock = Ksim.Klock.create ~lockdep:dep ~name:"s_lock" () in
+      let i_lock = Ksim.Klock.create ~lockdep:dep ~name:"i_lock:1" () in
+      let sched = Ksim.Kthread.create ~seed () in
+      for _ = 1 to 2 do
+        ignore
+          (Ksim.Kthread.spawn sched ~name:"writer" (fun () ->
+               Ksim.Klock.with_lock s_lock (fun () ->
+                   Ksim.Kthread.yield ();
+                   Ksim.Klock.with_lock i_lock (fun () -> Ksim.Kthread.yield ()))))
+      done;
+      Ksim.Kthread.run sched;
+      check Alcotest.int (Printf.sprintf "seed %d: no inversion" seed) 0
+        (Ksim.Lockdep.warning_count dep);
+      check
+        Alcotest.(list (pair string string))
+        (Printf.sprintf "seed %d: the one edge" seed)
+        [ ("s_lock", "i_lock:1") ]
+        (Ksim.Lockdep.edges dep);
+      let sched' = Ksim.Kthread.create ~seed () in
+      ignore
+        (Ksim.Kthread.spawn sched' ~name:"inverted" (fun () ->
+             Ksim.Klock.with_lock i_lock (fun () ->
+                 Ksim.Klock.with_lock s_lock (fun () -> ()))));
+      Ksim.Kthread.run sched';
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: inversion reported" seed)
+        true
+        (Ksim.Lockdep.warning_count dep >= 1))
+    [ 1; 2; 3; 4; 5 ]
+
 let prop_outsource_matches_sequential =
   (* Whatever the schedule, outsourced results equal sequential results. *)
   QCheck2.Test.make ~name:"outsourced results = sequential results" ~count:60
@@ -222,5 +261,7 @@ let () =
             test_concurrent_shared_lend_readers;
           Alcotest.test_case "rogue writer caught" `Quick
             test_concurrent_writer_during_lend_caught;
+          Alcotest.test_case "lock order stable across interleavings" `Quick
+            test_lock_order_stable_across_interleavings;
         ] );
     ]

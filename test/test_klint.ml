@@ -144,6 +144,151 @@ let test_r5_must_check () =
   let other = lint_snippet "let f t = ignore (helper t)\n" in
   check ids "non-must-check ignore is fine" [] (rule_ids other)
 
+(* R7: annotation/body mismatches ---------------------------------------- *)
+
+let test_r7_annotation_mismatch () =
+  let honest = lint_snippet "let f l = Klock.acquire l [@@acquires \"l\"]\n" in
+  check ids "@acquires with matching body is clean" [] (rule_ids honest);
+  let liar = lint_snippet "let f l = compute l [@@acquires \"l\"]\n" in
+  check ids "@acquires with no acquisition" [ "R7" ] (rule_ids liar);
+  let imbalanced = lint_snippet "let f l = Klock.acquire l [@@must_hold \"l\"]\n" in
+  check ids "@must_hold must not change the balance" [ "R7" ] (rule_ids imbalanced);
+  let releaser = lint_snippet "let f l = Klock.release l [@@releases \"l\"]\n" in
+  check ids "@releases licenses the naked release" [] (rule_ids releaser);
+  (* without the annotation the same bodies are R3 territory *)
+  let r3 = lint_snippet "let f l = Klock.acquire l\n" in
+  check ids "unannotated imbalance is still R3" [ "R3" ] (rule_ids r3)
+
+(* kracer: the interprocedural pass -------------------------------------- *)
+
+(* Write a whole multi-file fixture tree and run the full engine on it,
+   so call-graph construction, the fixpoints, and finding plumbing are
+   all exercised together. *)
+let lint_tree_fixture files =
+  let root = Filename.temp_dir "kracer_test" "" in
+  List.iter
+    (fun (rel, content) ->
+      let path = Filename.concat root rel in
+      mkdir_p (Filename.dirname path);
+      let oc = open_out_bin path in
+      output_string oc content;
+      close_out oc)
+    files;
+  (root, E.lint_tree ~root)
+
+let fixture_cell_module =
+  "type t = { i_lock : Ksim.Klock.t; i_size : int Ksim.Klock.Guarded.cell }\n\
+   let make i_lock =\n\
+  \  { i_lock; i_size = Ksim.Klock.Guarded.create ~lock:i_lock ~name:\"i_size:0\" 0 }\n"
+
+let test_kracer_r6_two_hops () =
+  (* The seeded acceptance fixture: a Guarded.set reached through two
+     call hops with no lock anywhere on the path. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/cellmod.ml",
+          fixture_cell_module
+          ^ "let set_size t n = Ksim.Klock.Guarded.set t.i_size n\n\
+             let mid t n = set_size t n\n\
+             let top t n = mid t n\n" );
+      ]
+  in
+  let r6 = List.filter (fun f -> f.F.rule = F.R6_lockset_race) tree.E.findings in
+  check Alcotest.int "unlocked write through two hops flagged" 1 (List.length r6);
+  check Alcotest.string "flagged inside the accessor" "Cellmod.set_size" (List.hd r6).F.func
+
+let test_kracer_r6_annotated_clean () =
+  (* The same chain, annotated and locked at the top: the contracts
+     thread the lock requirement down and everything discharges. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/cellmod.ml",
+          fixture_cell_module
+          ^ "(** @must_hold: i_lock *)\n\
+             let set_size t n = Ksim.Klock.Guarded.set t.i_size n\n\
+             (** @must_hold: i_lock *)\n\
+             let mid t n = set_size t n\n\
+             let top t n = Ksim.Klock.with_lock t.i_lock (fun () -> mid t n)\n" );
+      ]
+  in
+  check ids "annotated chain is clean" [] (rule_ids tree.E.findings)
+
+let test_kracer_r6_must_hold_call_site () =
+  (* A caller that ignores a callee's @must_hold contract is flagged at
+     the call site even when the callee never touches a Guarded cell. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/contract.ml",
+          "(** @must_hold: i_lock *)\n\
+           let locked_op i_lock = compute i_lock\n\
+           let careless i_lock = locked_op i_lock\n" );
+      ]
+  in
+  let r6 = List.filter (fun f -> f.F.rule = F.R6_lockset_race) tree.E.findings in
+  check Alcotest.int "contract violation at the call site" 1 (List.length r6);
+  check Alcotest.string "in the careless caller" "Contract.careless" (List.hd r6).F.func
+
+let test_kracer_static_edges_and_cycles () =
+  (* Both nestings of the same two locks: the static graph must contain
+     both edges and predict the AB-BA deadlock as a cycle, including the
+     acquisition that only happens inside a callee. *)
+  let root, _ =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/order.ml",
+          "let inner b_lock = Ksim.Klock.with_lock b_lock (fun () -> ())\n\
+           let ab a_lock b_lock = Ksim.Klock.with_lock a_lock (fun () -> inner b_lock)\n\
+           let ba a_lock b_lock =\n\
+          \  Ksim.Klock.with_lock b_lock (fun () ->\n\
+          \      Ksim.Klock.with_lock a_lock (fun () -> ()))\n" );
+      ]
+  in
+  let k = Klint.Kracer.analyze_tree ~root in
+  check Alcotest.bool "a->b edge (through the call)" true
+    (List.mem ("a_lock", "b_lock") k.Klint.Kracer.edges);
+  check Alcotest.bool "b->a edge (direct nesting)" true
+    (List.mem ("b_lock", "a_lock") k.Klint.Kracer.edges);
+  check
+    Alcotest.(list (list string))
+    "the AB-BA cycle is predicted"
+    [ [ "a_lock"; "b_lock" ] ]
+    k.Klint.Kracer.cycles
+
+let test_kracer_runtime_reconciliation () =
+  (* Class-collapse and subtraction: runtime instances of a statically
+     known nesting are covered; an order the static graph lacks is
+     reported as the unsound residue. *)
+  let static = [ ("s_lock", "i_lock") ] in
+  check
+    Alcotest.(list (pair string string))
+    "instance edges collapse onto the static class edge" []
+    (Klint.Kracer.missing_runtime_edges ~static
+       [ ("s_lock", "i_lock:3"); ("s_lock", "i_lock:7") ]);
+  check
+    Alcotest.(list (pair string string))
+    "an unseen ordering surfaces" [ ("i_lock", "j_lock") ]
+    (Klint.Kracer.missing_runtime_edges ~static
+       [ ("s_lock", "i_lock:3"); ("i_lock:3", "j_lock:1") ])
+
+let test_kracer_mli_annotation () =
+  (* Contracts may live on the .mli val instead of the .ml binding. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/sigmod.ml",
+          fixture_cell_module ^ "let set_size t n = Ksim.Klock.Guarded.set t.i_size n\n" );
+        ( "lib/fixture/sigmod.mli",
+          "type t\n\
+           val make : Ksim.Klock.t -> t\n\
+           (** @must_hold: i_lock *)\n\
+           val set_size : t -> int -> unit\n" );
+      ]
+  in
+  check ids "mli contract discharges the cell access" [] (rule_ids tree.E.findings)
+
 (* Reconciliation -------------------------------------------------------- *)
 
 let test_reconcile_cast_violation () =
@@ -295,7 +440,19 @@ let () =
           Alcotest.test_case "r3 lock balance" `Quick test_r3_lock_balance;
           Alcotest.test_case "r4 ownership bypass" `Quick test_r4_ownership_bypass;
           Alcotest.test_case "r5 must-check" `Quick test_r5_must_check;
+          Alcotest.test_case "r7 annotation mismatch" `Quick test_r7_annotation_mismatch;
           Alcotest.test_case "parse error reported" `Quick test_parse_error_reported;
+        ] );
+      ( "kracer",
+        [
+          Alcotest.test_case "r6 through two call hops" `Quick test_kracer_r6_two_hops;
+          Alcotest.test_case "annotated chain is clean" `Quick test_kracer_r6_annotated_clean;
+          Alcotest.test_case "must_hold checked at call sites" `Quick
+            test_kracer_r6_must_hold_call_site;
+          Alcotest.test_case "static edges and predicted cycles" `Quick
+            test_kracer_static_edges_and_cycles;
+          Alcotest.test_case "runtime reconciliation" `Quick test_kracer_runtime_reconciliation;
+          Alcotest.test_case "mli-side contracts" `Quick test_kracer_mli_annotation;
         ] );
       ( "reconcile",
         [

@@ -145,16 +145,19 @@ let test_dyn_socket_works_when_consistent () =
   Knet.Sock.Dyn_style.deliver_tcp ~src:a ~dst:b;
   check Alcotest.string "works while casts line up" "via void*" (Knet.Sock.Dyn_style.received b)
 
-let test_dyn_socket_mismatch_crashes () =
+let test_dyn_socket_mismatch_is_eproto () =
+  (* The whole Dyn_style vtable is migrated off cast_exn (the klint R1
+     ratchet cleared this subsystem): a socket whose ops and private data
+     disagree now sends EPROTO instead of oopsing with Type_confusion. *)
   let bad = Knet.Sock.Dyn_style.mismatched_socket () in
-  match Knet.Sock.Dyn_style.send bad "boom" with
-  | _ -> fail "expected Type_confusion"
-  | exception Ksim.Dyn.Type_confusion _ -> ()
+  (match Knet.Sock.Dyn_style.send bad "boom" with
+  | Error Ksim.Errno.EPROTO -> ()
+  | Ok _ -> fail "mismatched send must not succeed"
+  | Error e -> fail ("expected EPROTO, got " ^ Ksim.Errno.to_string e));
+  check Alcotest.string "mismatched receive reads empty" ""
+    (Knet.Sock.Dyn_style.received bad)
 
 let test_dyn_socket_checked_query_survives_mismatch () =
-  (* [o_is_connected] was migrated from cast_exn to Dyn.project (the
-     klint R1 ratchet): on a mismatched socket it answers false where
-     [send] on the same socket still oopses. *)
   let bad = Knet.Sock.Dyn_style.mismatched_socket () in
   check Alcotest.bool "checked query degrades gracefully" false
     (Knet.Sock.Dyn_style.is_connected bad)
@@ -244,7 +247,8 @@ let () =
           Alcotest.test_case "unknown proto" `Quick test_typed_socket_unknown_proto;
           Alcotest.test_case "protocols listed" `Quick test_typed_protocols_listed;
           Alcotest.test_case "dyn-style consistent" `Quick test_dyn_socket_works_when_consistent;
-          Alcotest.test_case "dyn-style mismatch crashes" `Quick test_dyn_socket_mismatch_crashes;
+          Alcotest.test_case "dyn-style mismatch is EPROTO" `Quick
+            test_dyn_socket_mismatch_is_eproto;
           Alcotest.test_case "dyn-style checked query survives mismatch" `Quick
             test_dyn_socket_checked_query_survives_mismatch;
         ] );

@@ -264,6 +264,88 @@ let test_lockdep_reentrant_stack () =
   Ksim.Klock.with_lock b (fun () -> ());
   check Alcotest.int "no spurious warnings" 0 (Ksim.Lockdep.warning_count dep)
 
+let test_lockdep_edges_export () =
+  let dep = Ksim.Lockdep.create () in
+  let a = Ksim.Klock.create ~lockdep:dep ~name:"A" () in
+  let b = Ksim.Klock.create ~lockdep:dep ~name:"B" () in
+  let c = Ksim.Klock.create ~lockdep:dep ~name:"C" () in
+  Ksim.Klock.with_lock a (fun () ->
+      Ksim.Klock.with_lock b (fun () -> Ksim.Klock.with_lock c (fun () -> ())));
+  (* nesting under A and B simultaneously records the transitive pairs too *)
+  check
+    Alcotest.(list (pair string string))
+    "deterministic edge list"
+    [ ("A", "B"); ("A", "C"); ("B", "C") ]
+    (Ksim.Lockdep.edges dep);
+  let dot = Ksim.Lockdep.dump_dot dep in
+  check Alcotest.bool "dot names the graph" true
+    (String.length dot > 0 && String.sub dot 0 16 = "digraph lockdep ");
+  (* the wire format the kracer reconciliation reads back *)
+  let path = Filename.temp_file "lockdep" ".txt" in
+  Sys.remove path;
+  Ksim.Lockdep.append_edges_to_file dep ~path;
+  Ksim.Lockdep.append_edges_to_file dep ~path;
+  let ic = open_in path in
+  let rec slurp acc =
+    match input_line ic with line -> slurp (line :: acc) | exception End_of_file -> List.rev acc
+  in
+  let lines = slurp [] in
+  close_in ic;
+  check Alcotest.int "append mode accumulates" 6 (List.length lines);
+  check Alcotest.string "held-acquired pairs, space separated" "A B" (List.hd lines)
+
+let test_lockdep_release_out_of_order () =
+  (* A held, B acquired, A released first: acquiring C now must record
+     only B -> C — A is gone from the held stack despite being released
+     out of LIFO order. *)
+  let dep = Ksim.Lockdep.create () in
+  let a = Ksim.Klock.create ~lockdep:dep ~name:"A" () in
+  let b = Ksim.Klock.create ~lockdep:dep ~name:"B" () in
+  let c = Ksim.Klock.create ~lockdep:dep ~name:"C" () in
+  Ksim.Klock.acquire a;
+  Ksim.Klock.acquire b;
+  Ksim.Klock.release a;
+  Ksim.Klock.acquire c;
+  Ksim.Klock.release c;
+  Ksim.Klock.release b;
+  check
+    Alcotest.(list (pair string string))
+    "no stale A -> C edge"
+    [ ("A", "B"); ("B", "C") ]
+    (Ksim.Lockdep.edges dep)
+
+let test_lockdep_reacquire_after_release () =
+  (* A -> B, full release, then B alone, then A alone: the second and
+     third critical sections hold one lock each, so no inversion exists
+     and no B -> A edge may appear. *)
+  let dep = Ksim.Lockdep.create () in
+  let a = Ksim.Klock.create ~lockdep:dep ~name:"A" () in
+  let b = Ksim.Klock.create ~lockdep:dep ~name:"B" () in
+  Ksim.Klock.with_lock a (fun () -> Ksim.Klock.with_lock b (fun () -> ()));
+  Ksim.Klock.with_lock b (fun () -> ());
+  Ksim.Klock.with_lock a (fun () -> ());
+  check Alcotest.int "no warnings" 0 (Ksim.Lockdep.warning_count dep);
+  check
+    Alcotest.(list (pair string string))
+    "only the nested edge" [ ("A", "B") ] (Ksim.Lockdep.edges dep)
+
+let test_lockdep_trylock_orders () =
+  (* A successful try_acquire participates in the order graph exactly
+     like a blocking acquire: B -> A via trylock then A -> B blocking is
+     an inversion. *)
+  let dep = Ksim.Lockdep.create () in
+  let a = Ksim.Klock.create ~lockdep:dep ~name:"A" () in
+  let b = Ksim.Klock.create ~lockdep:dep ~name:"B" () in
+  Ksim.Klock.with_lock b (fun () ->
+      check Alcotest.bool "trylock succeeds uncontended" true (Ksim.Klock.try_acquire a);
+      Ksim.Klock.release a);
+  check
+    Alcotest.(list (pair string string))
+    "trylock recorded an edge" [ ("B", "A") ] (Ksim.Lockdep.edges dep);
+  Ksim.Klock.with_lock a (fun () -> Ksim.Klock.with_lock b (fun () -> ()));
+  check Alcotest.int "inversion against the trylock edge reported" 1
+    (Ksim.Lockdep.warning_count dep)
+
 (* Kthread ------------------------------------------------------------------ *)
 
 let test_scheduler_runs_all () =
@@ -529,6 +611,13 @@ let () =
           Alcotest.test_case "transitive cycle" `Quick test_lockdep_transitive_cycle;
           Alcotest.test_case "across threads" `Quick test_lockdep_across_threads;
           Alcotest.test_case "out-of-order release" `Quick test_lockdep_reentrant_stack;
+          Alcotest.test_case "edges and exports" `Quick test_lockdep_edges_export;
+          Alcotest.test_case "out-of-order release drops held edge" `Quick
+            test_lockdep_release_out_of_order;
+          Alcotest.test_case "re-acquire after release" `Quick
+            test_lockdep_reacquire_after_release;
+          Alcotest.test_case "trylock participates in ordering" `Quick
+            test_lockdep_trylock_orders;
         ] );
       ( "kthread",
         [
