@@ -215,6 +215,57 @@ let bench_resilience () =
       Test.make ~name:"journalfs-write-stack-10pct-faults" (staged (cycle (stack ~faults:true)));
     ]
 
+(* BENCH-SUP: the oops firewall — healthy-path overhead of the supervised
+   mount, and the wall cost of a full contained-oops cycle (panic, EINTR
+   drain, microreboot).  The recovery latency on the simulated clock is
+   deterministic, so it is printed once as a number rather than timed. *)
+
+let bench_supervision () =
+  let p = Kspec.Fs_spec.path_of_string in
+  let stat = Kspec.Fs_spec.Stat (p "/f") in
+  let plain_vfs = Kvfs.Vfs.create () in
+  (match Kvfs.Vfs.mount plain_vfs ~at:[] (Kvfs.Iface.make (module Kfs.Memfs_typed) ()) with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  ignore (Kvfs.Vfs.apply plain_vfs (Kspec.Fs_spec.Create (p "/f")));
+  let sup_vfs = Kvfs.Vfs.create () in
+  (match
+     Kvfs.Vfs.mount sup_vfs ~at:[]
+       ~remake:(fun () -> Kvfs.Iface.make (module Kfs.Memfs_typed) ())
+       (Kvfs.Iface.make (module Kfs.Memfs_typed) ())
+   with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  ignore (Kvfs.Vfs.apply sup_vfs (Kspec.Fs_spec.Create (p "/f")));
+  (* One full contained-oops cycle.  Under the default policy the
+     schedule is exact: panic -> EIO, drain -> EINTR, reboot -> op runs
+     against the new generation. *)
+  let reboot_cycle () =
+    let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:1 () in
+    let make () = Kvfs.Iface.panicky ~fp (Kvfs.Iface.make (module Kfs.Memfs_typed) ()) in
+    let vfs = Kvfs.Vfs.create () in
+    (match Kvfs.Vfs.mount vfs ~at:[] ~remake:make (make ()) with
+    | Ok () -> ()
+    | Error _ -> assert false);
+    Ksim.Failpoint.configure fp "module.panic" ~enabled:true ~times:1 ();
+    ignore (Kvfs.Vfs.apply vfs stat);
+    ignore (Kvfs.Vfs.apply vfs stat);
+    ignore (Kvfs.Vfs.apply vfs stat);
+    vfs
+  in
+  (match Kvfs.Vfs.supervisor_at (reboot_cycle ()) (p "/") with
+  | Some sup ->
+      Fmt.pr "supervision: simulated recovery latency %d ns (oops -> healthy), epoch %d@."
+        (Ksim.Supervisor.last_recovery_ns sup) (Ksim.Supervisor.epoch sup)
+  | None -> assert false);
+  run_group "supervision"
+    [
+      Test.make ~name:"vfs-stat-unsupervised" (staged (fun () -> Kvfs.Vfs.apply plain_vfs stat));
+      Test.make ~name:"vfs-stat-supervised-healthy"
+        (staged (fun () -> Kvfs.Vfs.apply sup_vfs stat));
+      Test.make ~name:"microreboot-full-cycle" (staged (fun () -> reboot_cycle ()));
+    ]
+
 (* The extension VM: interpreted-but-verified vs native hook ---------------- *)
 
 let bench_ebpf () =
@@ -348,7 +399,8 @@ let bench_lint () =
 
 let find rows needle = List.assoc_opt needle rows |> Option.value ~default:nan
 
-let shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilience ~ablation =
+let shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilience ~supervision
+    ~ablation =
   Fmt.pr "@.%s@.shape checks (paper claim -> measured):@." (String.make 64 '=');
   let ratio a b = if Float.is_nan a || Float.is_nan b || b = 0. then nan else a /. b in
   let claim name ok detail = Fmt.pr "  [%s] %-52s %s@." (if ok then "ok" else "??") name detail in
@@ -398,6 +450,13 @@ let shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilien
   in
   claim "disabled failpoints cost ~nothing on the write path" (rr < 1.5 || Float.is_nan rr)
     (Fmt.str "stack-disabled/bare %.2fx" rr);
+  let rs =
+    ratio
+      (find supervision "supervision/vfs-stat-supervised-healthy")
+      (find supervision "supervision/vfs-stat-unsupervised")
+  in
+  claim "oops firewall is cheap on the healthy path" (rs < 3.0 || Float.is_nan rs)
+    (Fmt.str "supervised/unsupervised %.2fx" rs);
   let ra =
     ratio (find ablation "ablation/bufferhead-checked-20blocks")
       (find ablation "ablation/bufferhead-unchecked-20blocks")
@@ -433,9 +492,11 @@ let () =
   let roadmap = bench_roadmap () in
   let journal = bench_journal () in
   let resilience = bench_resilience () in
+  let supervision = bench_supervision () in
   let _ebpf = bench_ebpf () in
   let _mm = bench_mm () in
   let ablation = bench_ablation () in
   let _lint = bench_lint () in
-  shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilience ~ablation;
+  shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilience ~supervision
+    ~ablation;
   Fmt.pr "@.done.@."

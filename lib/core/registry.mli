@@ -23,6 +23,7 @@ type entry = {
   loc : int;  (** implementation size, for the Figure-1 audit *)
   description : string;
   instance : Kvfs.Iface.instance option;
+  supervisor : Ksim.Supervisor.t option;  (** oops firewall, when supervised *)
 }
 
 type t
@@ -37,6 +38,9 @@ and change =
   | Registered of Level.t
   | Replaced of { from_level : Level.t; to_level : Level.t }
   | Rejected of string
+  | Oopsed  (** the component's supervisor contained a panic *)
+  | Restarted of int  (** microreboot succeeded; carries the new epoch *)
+  | Escalated  (** restart budget exhausted; component degraded *)
 
 exception Incompatible of string
 
@@ -51,10 +55,14 @@ val register :
   ?loc:int ->
   ?description:string ->
   ?instance:Kvfs.Iface.instance ->
+  ?supervisor:Ksim.Supervisor.t ->
   unit ->
   entry
 (** @raise Incompatible on duplicate names or an interface that cannot
-    host the claimed level. *)
+    host the claimed level.  When [supervisor] is given, its lifecycle is
+    mirrored into the registry history: oopses, successful microreboots
+    (with the new epoch), and escalations appear as {!Oopsed} /
+    {!Restarted} / {!Escalated} events against the component. *)
 
 val replace :
   t ->
@@ -64,6 +72,7 @@ val replace :
   ?loc:int ->
   ?description:string ->
   ?instance:Kvfs.Iface.instance ->
+  ?supervisor:Ksim.Supervisor.t ->
   unit ->
   ( entry,
     [ `Incompatible_interface of string * string
@@ -79,6 +88,10 @@ val find_exn : t -> string -> entry
 val all : t -> entry list
 val by_kind : t -> kind -> entry list
 val history : t -> event list
+
+val health : t -> string -> Ksim.Supervisor.state option
+(** The component's supervisor state ([None]: unknown component or
+    unsupervised). *)
 
 val level_counts : t -> (Level.t * int) list
 val total_loc : t -> int

@@ -9,13 +9,22 @@
    the op gets a *permanent* verdict: the error propagates to the caller,
    [permanent_failures] increments, and an event lands on the trace —
    that verdict is what flips the file system above us into read-only
-   degraded mode. *)
+   degraded mode.
+
+   [jitter] decorrelates concurrent retriers: each backoff sleep is
+   stretched by a draw from the instance's own SplitMix64 stream
+   (derived from [seed]), up to [jitter * backoff] extra ns, so two
+   instances facing the same fault schedule do not retry in lockstep.
+   The stream is per-instance and seeded, so [simulated_ns] stays
+   exactly replayable. *)
 
 type t = {
   base : Io.t;
   max_attempts : int;
   backoff_base : int;
   backoff_cap : int;
+  jitter : float;
+  rng : Ksim.Rng.t;
   trace : Ksim.Ktrace.t;
   mutable clock : int; (* simulated ns slept in backoff *)
   mutable ops : int;
@@ -24,14 +33,17 @@ type t = {
   mutable permanent_failures : int;
 }
 
-let create ?(max_attempts = 4) ?(backoff_base = 100) ?(backoff_cap = 10_000)
-    ?(trace = Ksim.Ktrace.global) base =
+let create ?(max_attempts = 4) ?(backoff_base = 100) ?(backoff_cap = 10_000) ?(jitter = 0.0)
+    ?(seed = 0) ?(trace = Ksim.Ktrace.global) base =
   if max_attempts < 1 then invalid_arg "Resilient.create: max_attempts";
+  if jitter < 0.0 || jitter > 1.0 then invalid_arg "Resilient.create: jitter";
   {
     base;
     max_attempts;
     backoff_base;
     backoff_cap;
+    jitter;
+    rng = Ksim.Rng.of_int seed;
     trace;
     clock = 0;
     ops = 0;
@@ -45,7 +57,12 @@ let transient = function
   | _ -> false
 
 let backoff t attempt =
-  min t.backoff_cap (t.backoff_base * (1 lsl min (attempt - 1) 20))
+  let base = min t.backoff_cap (t.backoff_base * (1 lsl min (attempt - 1) 20)) in
+  (* Seeded jitter: the draw comes from this instance's own stream, so
+     it is replayable yet different across instances with distinct
+     seeds — concurrent retriers spread out instead of stampeding. *)
+  let spread = int_of_float (t.jitter *. float_of_int base) in
+  if spread > 0 then base + Ksim.Rng.int t.rng (spread + 1) else base
 
 let run t label f =
   t.ops <- t.ops + 1;

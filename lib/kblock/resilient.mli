@@ -16,10 +16,19 @@ val create :
   ?max_attempts:int ->
   ?backoff_base:int ->
   ?backoff_cap:int ->
+  ?jitter:float ->
+  ?seed:int ->
   ?trace:Ksim.Ktrace.t ->
   Io.t ->
   t
-(** Defaults: 4 attempts, 100 ns base, 10_000 ns cap, {!Ksim.Ktrace.global}. *)
+(** Defaults: 4 attempts, 100 ns base, 10_000 ns cap, no jitter,
+    {!Ksim.Ktrace.global}.  [jitter] (in [0,1]) stretches each backoff
+    sleep by up to [jitter * backoff] extra ns drawn from a per-instance
+    SplitMix64 stream seeded with [seed] (default 0), so concurrent
+    retriers with distinct seeds do not retry in lockstep while
+    {!simulated_ns} stays exactly replayable.
+    @raise Invalid_argument on [max_attempts < 1] or jitter outside
+    [0,1]. *)
 
 val io : t -> Io.t
 

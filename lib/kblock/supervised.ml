@@ -1,0 +1,54 @@
+(* The supervised block layer: an oops firewall in front of any [Io.t]
+   stack, with generation-stamped clients.
+
+   [io] mints a client bound to the epoch current at mint time.  Every
+   operation first validates the client's epoch (a client minted before
+   the last microreboot answers [ESTALE] — the block-layer analogue of a
+   stale fd), then runs through [Ksim.Supervisor.call], so an exception
+   thrown anywhere in the wrapped stack is contained to an errno and
+   trips a microreboot: the [remake] factory rebuilds the stack (e.g.
+   re-opens the device) and new clients minted afterwards see the fresh
+   generation.  Budget exhaustion degrades the layer to hard [EIO] —
+   the per-subsystem degraded mode for block devices, where serving
+   reads from a dead stack would be a lie. *)
+
+type t = {
+  sup : Ksim.Supervisor.t;
+  mutable base : Io.t;
+}
+
+let create ?policy ?trace ?stats ~name ~remake () =
+  let base = remake () in
+  let t = { sup = Ksim.Supervisor.create ?policy ?trace ?stats ~name (); base } in
+  Ksim.Supervisor.set_restart t.sup (fun () ->
+      match remake () with
+      | fresh ->
+          t.base <- fresh;
+          Ok ()
+      | exception exn -> Error (Printexc.to_string exn));
+  t
+
+let supervisor t = t.sup
+let epoch t = Ksim.Supervisor.epoch t.sup
+
+(* The epoch check lives *inside* the containment thunk: the supervisor
+   may perform the deferred microreboot at the top of [call], and a
+   client minted before the oops must not reach the rebuilt stack — not
+   even on the very call that triggered the reboot. *)
+let guarded t ~minted ~label f =
+  Ksim.Supervisor.call ~label t.sup (fun () ->
+      let ( let* ) = Ksim.Errno.( let* ) in
+      let* () = Ksim.Supervisor.validate t.sup minted in
+      f ())
+
+let io t : Io.t =
+  let minted = epoch t in
+  {
+    Io.nblocks = t.base.Io.nblocks;
+    block_size = t.base.Io.block_size;
+    read = (fun blkno -> guarded t ~minted ~label:"read" (fun () -> t.base.Io.read blkno));
+    write =
+      (fun blkno data ->
+        guarded t ~minted ~label:"write" (fun () -> t.base.Io.write blkno data));
+    flush = (fun () -> guarded t ~minted ~label:"flush" (fun () -> t.base.Io.flush ()));
+  }

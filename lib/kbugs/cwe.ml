@@ -25,6 +25,7 @@ let catalog =
     v 401 "Missing Release of Memory" Safeos_core.Level.Memory_leak;
     (* prevented by functional correctness verification (+35%) *)
     v 20 "Improper Input Validation" Safeos_core.Level.Semantic;
+    v 248 "Uncaught Exception" Safeos_core.Level.Semantic;
     v 682 "Incorrect Calculation" Safeos_core.Level.Semantic;
     v 459 "Incomplete Cleanup" Safeos_core.Level.Semantic;
     v 754 "Improper Check for Unusual Conditions" Safeos_core.Level.Semantic;

@@ -19,10 +19,11 @@ type fault =
   | F_data_race
   | F_off_by_one
   | F_transient_io
+  | F_module_panic
 
 let all_faults =
   [ F_use_after_free; F_double_free; F_memory_leak; F_wrong_cast; F_missing_errptr_check;
-    F_data_race; F_off_by_one; F_transient_io ]
+    F_data_race; F_off_by_one; F_transient_io; F_module_panic ]
 
 let fault_to_string = function
   | F_use_after_free -> "use-after-free"
@@ -33,6 +34,7 @@ let fault_to_string = function
   | F_data_race -> "data-race"
   | F_off_by_one -> "off-by-one"
   | F_transient_io -> "transient-io"
+  | F_module_panic -> "module-panic"
 
 let bug_class_of_fault = function
   | F_use_after_free -> Safeos_core.Level.Use_after_free
@@ -43,6 +45,7 @@ let bug_class_of_fault = function
   | F_data_race -> Safeos_core.Level.Data_race
   | F_off_by_one -> Safeos_core.Level.Semantic
   | F_transient_io -> Safeos_core.Level.Crash_inconsistency
+  | F_module_panic -> Safeos_core.Level.Semantic (* CWE-248: uncaught exception *)
 
 type detection =
   | Prevented of string  (** structurally impossible at this rung *)
@@ -99,6 +102,50 @@ let trigger_transient_io ~protected () =
   else if injected = 0 then Not_triggered
   else Detected (Printf.sprintf "resilient retries absorbed %d transient faults" injected)
 
+(* Module panics: a panic raised through a module entry point.  In the
+   monolith every module shares the kernel's fate — the panic escapes the
+   VFS dispatch and oopses the whole kernel (here: an uncaught
+   exception).  Behind a modular interface the mount can carry a
+   [Ksim.Supervisor] oops firewall instead: the panic is contained to an
+   errno, the file system microreboots, and the workload continues on
+   fresh handles — so the verdict at modular-and-above rungs is
+   [Detected], the supervisor playing the rung's checker. *)
+let trigger_module_panic ~supervised () =
+  let fp = Ksim.Failpoint.create ~seed:13 () in
+  Ksim.Failpoint.configure fp "module.panic" ~enabled:true ~times:1 ();
+  let make () = Kvfs.Iface.panicky ~fp (Kvfs.Iface.make (module Kfs.Memfs_typed) ()) in
+  let vfs = Kvfs.Vfs.create () in
+  (match
+     if supervised then Kvfs.Vfs.mount vfs ~at:[] ~remake:make (make ())
+     else Kvfs.Vfs.mount vfs ~at:[] (make ())
+   with
+  | Ok () -> ()
+  | Error e -> failwith ("trigger_module_panic: mount: " ^ Ksim.Errno.to_string e));
+  let p = Fs_spec.path_of_string in
+  let ops =
+    [
+      Fs_spec.Create (p "/a");
+      Fs_spec.Create (p "/b");
+      Fs_spec.Create (p "/c");
+      Fs_spec.Write { file = p "/c"; off = 0; data = "survived" };
+    ]
+  in
+  match List.map (fun op -> Kvfs.Vfs.apply vfs op) ops with
+  | exception Ksim.Supervisor.Module_panic site ->
+      Exhibited (Printf.sprintf "uncontained panic at %s oopsed the kernel" site)
+  | results -> (
+      let failures = List.length (List.filter Result.is_error results) in
+      match Kvfs.Vfs.supervisor_at vfs (p "/") with
+      | Some sup
+        when Ksim.Supervisor.state sup = Ksim.Supervisor.Healthy
+             && Ksim.Supervisor.epoch sup > 0 ->
+          Detected
+            (Printf.sprintf
+               "supervisor contained the panic and microrebooted (epoch %d, %d ops failed \
+                during quiesce)"
+               (Ksim.Supervisor.epoch sup) failures)
+      | _ -> Not_triggered)
+
 (* The trigger trace: create, write, read, unlink, then read again (the
    dangling access), with enough churn to surface leaks and races. *)
 let trigger_memfs_unsafe fault =
@@ -111,7 +158,7 @@ let trigger_memfs_unsafe fault =
   | F_missing_errptr_check -> faults.missing_errptr_check <- true
   | F_data_race -> faults.skip_i_lock <- true
   | F_off_by_one -> faults.off_by_one <- true
-  | F_transient_io -> ());
+  | F_transient_io | F_module_panic -> ());
   let fs = Kfs.Memfs_unsafe.mkfs_with_faults faults in
   let module L = Kfs.Memfs_unsafe.Legacy in
   let run () =
@@ -150,6 +197,7 @@ let trigger_memfs_unsafe fault =
 
 let trigger_unsafe = function
   | F_transient_io -> trigger_transient_io ~protected:false ()
+  | F_module_panic -> trigger_module_panic ~supervised:false ()
   | fault -> trigger_memfs_unsafe fault
 
 (* Data races need the unlocked-access counter rather than an exception:
@@ -239,6 +287,12 @@ let at_stage stage fault =
          device and the hiccup becomes a failure. *)
       if Stdlib.( >= ) (rank stage) (rank Verified) then trigger_transient_io ~protected:true ()
       else trigger_transient_io ~protected:false ()
+  | F_module_panic ->
+      (* Containment needs only the modular interface: once the module is
+         called through [Iface], a supervisor can firewall it.  Every
+         rung from Modular up therefore detects; the monolith oopses. *)
+      if Stdlib.( >= ) (rank stage) (rank Modular) then trigger_module_panic ~supervised:true ()
+      else trigger_module_panic ~supervised:false ()
   | _ -> (
   let bug = bug_class_of_fault fault in
   match prevented_at bug with

@@ -16,6 +16,11 @@ type fault =
       (** A flaky block device under the file system: transient [EIO]s
           that a resilient I/O stack absorbs and a bare one turns into a
           spurious failure (see {!Kblock.Flakydev} / {!Kblock.Resilient}). *)
+  | F_module_panic
+      (** A panic raised through a module entry point (CWE-248).
+          Uncontained it oopses the whole kernel; behind a modular
+          interface a {!Ksim.Supervisor} firewall converts it to an
+          errno and microreboots the module. *)
 
 val all_faults : fault list
 val fault_to_string : fault -> string
@@ -41,6 +46,13 @@ val trigger_transient_io : protected:bool -> unit -> detection
     [protected:true] a {!Kblock.Resilient} layer sits in between and the
     faults are absorbed ([Detected]); without it the first EIO fails the
     op and remounts the FS read-only ([Exhibited]). *)
+
+val trigger_module_panic : supervised:bool -> unit -> detection
+(** Fire failpoint site ["module.panic"] through a {!Kvfs.Iface.panicky}
+    file system under the VFS.  Unsupervised the panic escapes the
+    dispatch and oopses the kernel ([Exhibited]); on a supervised mount
+    it is contained, the fs microreboots, and the workload completes
+    ([Detected]). *)
 
 val trigger_race : unit -> detection
 val trigger_verified_semantic : unit -> detection

@@ -192,3 +192,73 @@ module Dyn_style = struct
     | Some ca, Some cb -> Tcp_proto.deliver ~src:ca ~dst:cb
     | _ -> ()
 end
+
+(* The supervised layer: the modular shape behind an oops firewall ---------- *)
+
+module Supervised = struct
+  (* Socket handles are generation-stamped the same way fds are: a handle
+     minted before a microreboot answers [ESTALE] afterwards, because the
+     protocol state it points into belongs to the dead generation.  The
+     layer itself holds no cross-handle state, so its restart function
+     just opens a new generation — exactly the shadow-driver observation
+     that a network driver can be restarted behind live applications,
+     which then learn about it through their stale handles. *)
+
+  let panic_site = "sock.module-panic"
+
+  type handle = {
+    pair : Typed.pair;
+    minted : int;
+  }
+
+  type t = {
+    sup : Ksim.Supervisor.t;
+    fp : Ksim.Failpoint.t option;
+  }
+
+  let create ?policy ?trace ?stats ?fp ~name () =
+    let sup = Ksim.Supervisor.create ?policy ?trace ?stats ~name () in
+    Ksim.Supervisor.set_restart sup (fun () -> Ok ());
+    { sup; fp }
+
+  let supervisor t = t.sup
+  let epoch t = Ksim.Supervisor.epoch t.sup
+
+  let maybe_panic t =
+    match t.fp with
+    | Some fp when Ksim.Failpoint.should_fail fp panic_site ->
+        raise (Ksim.Supervisor.Module_panic panic_site)
+    | _ -> ()
+
+  let socket_pair t proto =
+    Ksim.Supervisor.call ~label:("socket_pair " ^ proto) t.sup (fun () ->
+        maybe_panic t;
+        match Typed.socket_pair proto with
+        | Ok pair -> Ok { pair; minted = Ksim.Supervisor.epoch t.sup }
+        | Error e -> Error e)
+
+  (* The epoch check runs inside the containment thunk: the supervisor
+     may microreboot at the top of [call], and a handle minted before
+     the oops must not reach the new generation — not even on the call
+     that triggers the reboot. *)
+  let guarded t h ~label f =
+    Ksim.Supervisor.call ~label t.sup (fun () ->
+        let ( let* ) = Ksim.Errno.( let* ) in
+        let* () = Ksim.Supervisor.validate t.sup h.minted in
+        maybe_panic t;
+        f h.pair)
+
+  let connect t h = guarded t h ~label:"connect" Typed.connect
+  let send t h data = guarded t h ~label:"send" (fun pair -> Typed.send pair data)
+
+  let deliver t h =
+    guarded t h ~label:"deliver" (fun pair ->
+        Typed.deliver pair;
+        Ok ())
+
+  let received_at_peer t h =
+    guarded t h ~label:"received" (fun pair -> Ok (Typed.received_at_peer pair))
+
+  let is_connected t h =
+    guarded t h ~label:"is_connected" (fun pair -> Ok (Typed.is_connected pair))
+end

@@ -60,3 +60,41 @@ module Dyn_style : sig
   val connect_tcp_pair : socket -> socket -> unit Ksim.Errno.r
   val deliver_tcp : src:socket -> dst:socket -> unit
 end
+
+(** The modular layer behind a {!Ksim.Supervisor} oops firewall, with
+    generation-stamped socket handles.
+
+    A handle records the epoch current when it was minted; after the
+    layer microreboots, operations on the old handle answer [ESTALE]
+    (the protocol state it points into belongs to the dead generation)
+    and a fresh {!Supervised.socket_pair} reaches the new one.  When
+    [fp] is given, every operation consults the failpoint site
+    ["sock.module-panic"]; a firing raises {!Ksim.Supervisor.Module_panic}
+    through the layer, which the firewall contains to an errno. *)
+module Supervised : sig
+  type t
+  type handle
+
+  val panic_site : string
+
+  val create :
+    ?policy:Ksim.Supervisor.policy ->
+    ?trace:Ksim.Ktrace.t ->
+    ?stats:Ksim.Kstats.t ->
+    ?fp:Ksim.Failpoint.t ->
+    name:string ->
+    unit ->
+    t
+
+  val supervisor : t -> Ksim.Supervisor.t
+  val epoch : t -> int
+
+  val socket_pair : t -> string -> handle Ksim.Errno.r
+  (** A fresh endpoint pair stamped with the current epoch. *)
+
+  val connect : t -> handle -> unit Ksim.Errno.r
+  val send : t -> handle -> string -> int Ksim.Errno.r
+  val deliver : t -> handle -> unit Ksim.Errno.r
+  val received_at_peer : t -> handle -> string Ksim.Errno.r
+  val is_connected : t -> handle -> bool Ksim.Errno.r
+end

@@ -73,9 +73,27 @@ type sys = {
   exit : int -> unit; (* raises Exited *)
 }
 
-let boot ?(frames = 1024) ?(page_size = 256) () =
+(* Boot the kernel.  [root_fp] wraps the root file system in a panicky
+   shell consulting failpoint site "module.panic" — without supervision
+   the panic escapes through the syscall and the calling process
+   segfaults (exit 139), the monolithic baseline.  [supervise_root]
+   mounts the root behind a [Ksim.Supervisor] firewall instead: the same
+   panic is contained to an errno, the fs microreboots (a root memfs
+   comes back empty — it is RAM), and fds minted before the reboot
+   answer [ESTALE]. *)
+let boot ?(frames = 1024) ?(page_size = 256) ?root_fp ?root_policy ?stats
+    ?(supervise_root = false) () =
   let vfs = Kvfs.Vfs.create () in
-  (match Kvfs.Vfs.mount vfs ~at:[] (Kvfs.Iface.make (module Kfs.Memfs_typed) ()) with
+  let make_root () =
+    let fs = Kvfs.Iface.make (module Kfs.Memfs_typed) () in
+    match root_fp with Some fp -> Kvfs.Iface.panicky ~fp fs | None -> fs
+  in
+  let mounted =
+    if supervise_root then
+      Kvfs.Vfs.mount vfs ~at:[] ~remake:make_root ?policy:root_policy ?stats (make_root ())
+    else Kvfs.Vfs.mount vfs ~at:[] (make_root ())
+  in
+  (match mounted with
   | Ok () -> ()
   | Error e -> failwith ("Kernel.boot: " ^ Ksim.Errno.to_string e));
   {

@@ -45,8 +45,25 @@ type sys = {
   exit : int -> unit;  (** terminate with a code (raises {!Exited}) *)
 }
 
-val boot : ?frames:int -> ?page_size:int -> unit -> t
-(** A kernel with a root memfs and [frames] physical frames. *)
+val boot :
+  ?frames:int ->
+  ?page_size:int ->
+  ?root_fp:Ksim.Failpoint.t ->
+  ?root_policy:Ksim.Supervisor.policy ->
+  ?stats:Ksim.Kstats.t ->
+  ?supervise_root:bool ->
+  unit ->
+  t
+(** A kernel with a root memfs and [frames] physical frames.
+
+    [root_fp] wraps the root fs in {!Kvfs.Iface.panicky} (failpoint site
+    ["module.panic"]); without supervision such a panic escapes the
+    syscall and the calling process segfaults (exit 139) — the
+    monolithic baseline.  [supervise_root] (default [false]) mounts the
+    root behind a {!Ksim.Supervisor} oops firewall instead: the panic is
+    contained to an errno, the fs microreboots (a root memfs comes back
+    empty — it is RAM), and fds minted before the reboot answer
+    [ESTALE] until reopened. *)
 
 val spawn : t -> name:string -> (sys -> int) -> int
 (** Register a user program with a fresh address space; returns its pid.

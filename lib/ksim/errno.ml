@@ -5,6 +5,7 @@
 type t =
   | EPERM
   | ENOENT
+  | EINTR
   | EIO
   | EBADF
   | EAGAIN
@@ -30,6 +31,7 @@ type t =
 let to_code = function
   | EPERM -> 1
   | ENOENT -> 2
+  | EINTR -> 4
   | EIO -> 5
   | EBADF -> 9
   | EAGAIN -> 11
@@ -53,7 +55,7 @@ let to_code = function
   | ESTALE -> 116
 
 let all =
-  [ EPERM; ENOENT; EIO; EBADF; EAGAIN; ENOMEM; EACCES; EFAULT; EBUSY; EEXIST; EXDEV;
+  [ EPERM; ENOENT; EINTR; EIO; EBADF; EAGAIN; ENOMEM; EACCES; EFAULT; EBUSY; EEXIST; EXDEV;
     ENOTDIR; EISDIR; EINVAL; ENOSPC; EROFS; EPIPE; ENAMETOOLONG; ENOTEMPTY;
     EOVERFLOW; EPROTO; ENOSYS; ESTALE ]
 
@@ -62,6 +64,7 @@ let of_code code = List.find_opt (fun e -> to_code e = code) all
 let to_string = function
   | EPERM -> "EPERM"
   | ENOENT -> "ENOENT"
+  | EINTR -> "EINTR"
   | EIO -> "EIO"
   | EBADF -> "EBADF"
   | EAGAIN -> "EAGAIN"

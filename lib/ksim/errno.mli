@@ -7,6 +7,7 @@
 type t =
   | EPERM
   | ENOENT
+  | EINTR
   | EIO
   | EBADF
   | EAGAIN

@@ -22,6 +22,25 @@ let to_list t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* A snapshot is just the sorted counter list; [diff] pairs two of them
+   so tests can assert exact per-phase deltas instead of absolute values
+   that drift as instrumentation is added elsewhere. *)
+type snapshot = (string * int) list
+
+let snapshot = to_list
+
+let diff ~before ~after =
+  let base name = match List.assoc_opt name before with Some v -> v | None -> 0 in
+  List.filter_map
+    (fun (name, v) ->
+      let d = v - base name in
+      if d = 0 then None else Some (name, d))
+    after
+
+let delta ~before ~after name =
+  let get l = match List.assoc_opt name l with Some v -> v | None -> 0 in
+  get after - get before
+
 let reset t = Hashtbl.reset t
 
 let pp ppf t =

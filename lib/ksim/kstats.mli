@@ -10,5 +10,18 @@ val get : t -> string -> int
 val to_list : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+type snapshot = (string * int) list
+(** A point-in-time copy of every counter, sorted by name. *)
+
+val snapshot : t -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> (string * int) list
+(** Per-counter growth between two snapshots, sorted by name; counters
+    that did not move are omitted, so tests can assert exact per-phase
+    deltas instead of absolute values. *)
+
+val delta : before:snapshot -> after:snapshot -> string -> int
+(** Growth of one named counter between two snapshots (0 if absent). *)
+
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,236 @@
+(* The oops firewall: containment at a module boundary, plus
+   shadow-driver-style microreboot.
+
+   [call] is the boundary.  An exception escaping the supervised module
+   is a simulated oops: it is converted to an [EIO] result, recorded as
+   an incident on the global trace, and the module enters recovery
+   instead of unwinding the kernel.  Recovery is deferred and paid for
+   on the supervisor's simulated clock — the clock advances [op_cost]
+   ns per call, an oops arms a deadline [backoff_base * 2^n] ns out
+   (capped), calls before the deadline drain with [EINTR], and the
+   first call past it runs the restart function.  A successful restart
+   bumps the epoch, which is what invalidates pre-oops handles: [validate]
+   answers [ESTALE] for any handle minted by a dead generation.
+
+   Everything is a function of the call sequence, so runs replay
+   bit-identically: no wall clock, no randomness. *)
+
+exception Module_panic of string
+
+type state =
+  | Healthy
+  | Oopsed
+  | Restarting
+  | Failed
+
+let state_to_string = function
+  | Healthy -> "healthy"
+  | Oopsed -> "oopsed"
+  | Restarting -> "restarting"
+  | Failed -> "failed"
+
+type policy = {
+  restart_budget : int;
+  backoff_base : int;
+  backoff_cap : int;
+  op_cost : int;
+}
+
+let default_policy =
+  { restart_budget = 3; backoff_base = 200; backoff_cap = 5_000; op_cost = 100 }
+
+type t = {
+  name : string;
+  policy : policy;
+  trace : Ktrace.t;
+  stats : Kstats.t option;
+  mutable restart_fn : (unit -> (unit, string) result) option;
+  mutable observer : (state -> state -> unit) option;
+  mutable state : state;
+  mutable epoch : int;
+  mutable restarts : int;
+  mutable oopses : int;
+  mutable escalations : int;
+  mutable stale_rejected : int;
+  mutable eintr_aborted : int;
+  mutable degraded_calls : int;
+  mutable clock : int; (* simulated ns *)
+  mutable restart_at : int; (* deadline while Oopsed *)
+  mutable oops_time : int; (* clock at the last oops *)
+  mutable last_recovery_ns : int;
+  mutable total_recovery_ns : int;
+}
+
+let create ?(policy = default_policy) ?(trace = Ktrace.global) ?stats ?restart ~name () =
+  if policy.restart_budget < 0 then invalid_arg "Supervisor.create: restart_budget";
+  if policy.backoff_base < 1 || policy.op_cost < 1 then
+    invalid_arg "Supervisor.create: backoff/op_cost must be positive";
+  {
+    name;
+    policy;
+    trace;
+    stats;
+    restart_fn = restart;
+    observer = None;
+    state = Healthy;
+    epoch = 0;
+    restarts = 0;
+    oopses = 0;
+    escalations = 0;
+    stale_rejected = 0;
+    eintr_aborted = 0;
+    degraded_calls = 0;
+    clock = 0;
+    restart_at = 0;
+    oops_time = 0;
+    last_recovery_ns = 0;
+    total_recovery_ns = 0;
+  }
+
+let set_restart t f = t.restart_fn <- Some f
+let set_observer t f = t.observer <- Some f
+
+let name t = t.name
+let state t = t.state
+let epoch t = t.epoch
+let oopses t = t.oopses
+let restarts t = t.restarts
+let escalations t = t.escalations
+let stale_rejected t = t.stale_rejected
+let eintr_aborted t = t.eintr_aborted
+let clock t = t.clock
+let last_recovery_ns t = t.last_recovery_ns
+let total_recovery_ns t = t.total_recovery_ns
+
+let bump t counter = Option.iter (fun s -> Kstats.incr s counter) t.stats
+
+let transition t to_state =
+  let from = t.state in
+  if from <> to_state then begin
+    t.state <- to_state;
+    Ktrace.emitf t.trace ~category:"supervisor" "%s: %s -> %s (epoch %d)" t.name
+      (state_to_string from) (state_to_string to_state) t.epoch;
+    Option.iter (fun f -> f from to_state) t.observer
+  end
+
+(* Exponential backoff for the (n+1)-th restart, capped. *)
+let backoff t n =
+  min t.policy.backoff_cap (t.policy.backoff_base * (1 lsl min n 20))
+
+let exn_label = function
+  | Module_panic site -> "module panic at " ^ site
+  | exn -> Printexc.to_string exn
+
+let oops t ~label exn =
+  t.oopses <- t.oopses + 1;
+  t.oops_time <- t.clock;
+  t.restart_at <- t.clock + backoff t t.restarts;
+  bump t "supervisor.oopses";
+  Ktrace.emitf t.trace ~category:"supervisor" "%s: oops in %s (%s); restart at +%d ns" t.name
+    label (exn_label exn) (t.restart_at - t.clock);
+  Ktrace.emitf Ktrace.global ~category:"incident" "supervisor: %s oopsed in %s (%s)" t.name
+    label (exn_label exn);
+  transition t Oopsed
+
+let escalate t reason =
+  t.escalations <- t.escalations + 1;
+  bump t "supervisor.escalations";
+  Ktrace.emitf Ktrace.global ~category:"incident"
+    "supervisor: %s escalated to failed after %d restarts (%s)" t.name t.restarts reason;
+  transition t Failed
+
+(* The microreboot: runs at the first call past the backoff deadline.
+   Budget is checked first so a module with no headroom left escalates
+   instead of thrashing; a restart function that itself fails re-arms
+   the backoff and burns budget like a normal restart. *)
+let try_restart t =
+  if t.restarts >= t.policy.restart_budget then escalate t "restart budget exhausted"
+  else
+    match t.restart_fn with
+    | None -> escalate t "no restart function registered"
+    | Some f ->
+        transition t Restarting;
+        t.restarts <- t.restarts + 1;
+        let outcome = try f () with exn -> Error (exn_label exn) in
+        (match outcome with
+        | Ok () ->
+            t.epoch <- t.epoch + 1;
+            let latency = t.clock - t.oops_time in
+            t.last_recovery_ns <- latency;
+            t.total_recovery_ns <- t.total_recovery_ns + latency;
+            bump t "supervisor.restarts";
+            Ktrace.emitf t.trace ~category:"supervisor"
+              "%s: microreboot complete (restart %d, epoch %d, recovery %d ns)" t.name
+              t.restarts t.epoch latency;
+            transition t Healthy
+        | Error msg ->
+            Ktrace.emitf t.trace ~category:"supervisor" "%s: restart %d failed (%s)" t.name
+              t.restarts msg;
+            if t.restarts >= t.policy.restart_budget then
+              escalate t ("restart failed: " ^ msg)
+            else begin
+              t.restart_at <- t.clock + backoff t t.restarts;
+              transition t Oopsed
+            end)
+
+let run t ~label f =
+  match f () with
+  | result -> result
+  | exception exn ->
+      oops t ~label exn;
+      Error Errno.EIO
+
+let call ?(label = "op") t f =
+  t.clock <- t.clock + t.policy.op_cost;
+  match t.state with
+  | Failed ->
+      t.degraded_calls <- t.degraded_calls + 1;
+      bump t "supervisor.degraded_calls";
+      Error Errno.EIO
+  | Restarting ->
+      (* A reentrant call from inside the restart function: refuse it,
+         the instance is not up yet. *)
+      t.eintr_aborted <- t.eintr_aborted + 1;
+      bump t "supervisor.eintr_aborted";
+      Error Errno.EINTR
+  | Oopsed when t.clock < t.restart_at ->
+      t.eintr_aborted <- t.eintr_aborted + 1;
+      bump t "supervisor.eintr_aborted";
+      Error Errno.EINTR
+  | Oopsed -> (
+      try_restart t;
+      match t.state with
+      | Healthy -> run t ~label f
+      | Failed ->
+          t.degraded_calls <- t.degraded_calls + 1;
+          bump t "supervisor.degraded_calls";
+          Error Errno.EIO
+      | Oopsed | Restarting ->
+          t.eintr_aborted <- t.eintr_aborted + 1;
+          bump t "supervisor.eintr_aborted";
+          Error Errno.EINTR)
+  | Healthy -> run t ~label f
+
+let validate t handle_epoch =
+  if handle_epoch = t.epoch then Ok ()
+  else begin
+    t.stale_rejected <- t.stale_rejected + 1;
+    bump t "supervisor.stale_handles";
+    Ktrace.emitf t.trace ~category:"supervisor" "%s: stale handle (epoch %d, live %d) -> ESTALE"
+      t.name handle_epoch t.epoch;
+    Error Errno.ESTALE
+  end
+
+let publish t stats =
+  let p suffix v = Kstats.incr ~by:v stats ("supervisor." ^ t.name ^ "." ^ suffix) in
+  p "oopses" t.oopses;
+  p "restarts" t.restarts;
+  p "escalations" t.escalations;
+  p "stale_handles" t.stale_rejected;
+  p "eintr_aborted" t.eintr_aborted;
+  p "degraded_calls" t.degraded_calls
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %s epoch=%d oopses=%d restarts=%d/%d stale=%d eintr=%d clock=%dns" t.name
+    (state_to_string t.state) t.epoch t.oopses t.restarts t.policy.restart_budget
+    t.stale_rejected t.eintr_aborted t.clock

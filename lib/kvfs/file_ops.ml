@@ -15,6 +15,10 @@ type open_file = {
   writable : bool;
   readable : bool;
   append : bool;
+  epoch : int;
+      (* generation of the mount that minted this fd; a supervised
+         mount that microreboots strands the fd at the old epoch and
+         every subsequent use answers ESTALE *)
 }
 
 type t = {
@@ -55,11 +59,26 @@ let openf t ?(flags = [ O_RDONLY ]) path_str =
   in
   let fd = t.next_fd in
   t.next_fd <- t.next_fd + 1;
-  Hashtbl.replace t.fds fd { path; pos = 0; writable; readable; append = has O_APPEND };
+  Hashtbl.replace t.fds fd
+    {
+      path;
+      pos = 0;
+      writable;
+      readable;
+      append = has O_APPEND;
+      epoch = Vfs.epoch_at t.vfs path;
+    };
   Ok fd
 
 let lookup_fd t fd =
   match Hashtbl.find_opt t.fds fd with Some f -> Ok f | None -> Error Ksim.Errno.EBADF
+
+(* The stale-handle gate: an fd minted before its mount's last
+   microreboot must not touch the rebuilt state. *)
+let live_fd t fd =
+  let* f = lookup_fd t fd in
+  let* () = Vfs.validate_epoch t.vfs f.path f.epoch in
+  Ok f
 
 let close t fd =
   let* _ = lookup_fd t fd in
@@ -67,21 +86,21 @@ let close t fd =
   Ok ()
 
 let write t fd data =
-  let* f = lookup_fd t fd in
+  let* f = live_fd t fd in
   if not f.writable then Error Ksim.Errno.EBADF
   else
     let* off = if f.append then file_size t f.path else Ok f.pos in
-    match Vfs.apply t.vfs (Write { file = f.path; off; data }) with
+    match Vfs.apply_stamped t.vfs ~epoch:f.epoch (Write { file = f.path; off; data }) with
     | Ok _ ->
         f.pos <- off + String.length data;
         Ok (String.length data)
     | Error e -> Error e
 
 let read t fd ~len =
-  let* f = lookup_fd t fd in
+  let* f = live_fd t fd in
   if not f.readable then Error Ksim.Errno.EBADF
   else
-    match Vfs.apply t.vfs (Read { file = f.path; off = f.pos; len }) with
+    match Vfs.apply_stamped t.vfs ~epoch:f.epoch (Read { file = f.path; off = f.pos; len }) with
     | Ok (Data data) ->
         f.pos <- f.pos + String.length data;
         Ok data
@@ -94,7 +113,7 @@ type whence =
   | SEEK_END
 
 let lseek t fd offset whence =
-  let* f = lookup_fd t fd in
+  let* f = live_fd t fd in
   let* base =
     match whence with
     | SEEK_SET -> Ok 0
@@ -135,3 +154,6 @@ let stat t path =
 
 let fsync t = wrap_unit t Fsync
 let open_fds t = Hashtbl.length t.fds
+
+let fd_epoch t fd =
+  match Hashtbl.find_opt t.fds fd with Some f -> Some f.epoch | None -> None

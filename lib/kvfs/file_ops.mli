@@ -21,7 +21,10 @@ val vfs : t -> Vfs.t
 
 val openf : t -> ?flags:flag list -> string -> int Ksim.Errno.r
 (** Open (default read-only); [O_CREAT] creates, [O_TRUNC] truncates.
-    Returns a file descriptor (>= 3). *)
+    Returns a file descriptor (>= 3).  The fd records the epoch of the
+    mount that minted it: after that mount microreboots
+    ({!Ksim.Supervisor}), [read]/[write]/[lseek] on the stale fd answer
+    [ESTALE] deterministically; reopen to reach the rebuilt state. *)
 
 val close : t -> int -> unit Ksim.Errno.r
 val write : t -> int -> string -> int Ksim.Errno.r
@@ -40,3 +43,6 @@ val readdir : t -> string -> string list Ksim.Errno.r
 val stat : t -> string -> ([ `File | `Dir ] * int) Ksim.Errno.r
 val fsync : t -> unit Ksim.Errno.r
 val open_fds : t -> int
+
+val fd_epoch : t -> int -> int option
+(** The mount epoch recorded when the fd was opened ([None]: bad fd). *)

@@ -36,6 +36,28 @@ let instance_interpret (Instance ((module F), fs)) = F.interpret fs
 
 let make (type f) (module F : FS_OPS with type fs = f) () = instance (module F) (F.mkfs ())
 
+(* A panic shim around an instance: every entry point first consults a
+   failpoint and, when it fires, raises a module panic *through* the
+   modular interface — exactly the oops the supervisor exists to
+   contain.  The wrapped instance is the closure state, so a remake
+   factory that re-wraps a fresh inner instance gives the supervisor a
+   rebootable panicky module. *)
+let panicky ?(site = "module.panic") ~fp inner =
+  let module P = struct
+    type fs = unit
+
+    let fs_name = instance_name inner ^ "+panicky"
+    let stage = instance_stage inner
+    let mkfs () = ()
+
+    let apply () op =
+      if Ksim.Failpoint.should_fail fp site then raise (Ksim.Supervisor.Module_panic site);
+      instance_apply inner op
+
+    let interpret () = instance_interpret inner
+  end in
+  instance (module P) ()
+
 (* The unsafe, C-shaped convention --------------------------------------- *)
 
 module type FS_OPS_LEGACY = sig

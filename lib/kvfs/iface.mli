@@ -30,6 +30,12 @@ val instance : (module FS_OPS with type fs = 'f) -> 'f -> instance
 val make : (module FS_OPS with type fs = 'f) -> unit -> instance
 (** [make (module F) ()] packages a freshly made file system. *)
 
+val panicky : ?site:string -> fp:Ksim.Failpoint.t -> instance -> instance
+(** Wrap an instance so every operation first consults failpoint [site]
+    (default ["module.panic"]) and raises {!Ksim.Supervisor.Module_panic}
+    through the modular interface when it fires — the deterministic
+    oops generator the supervisor is tested against. *)
+
 val instance_name : instance -> string
 val instance_stage : instance -> int
 val instance_apply : instance -> Kspec.Fs_spec.op -> Kspec.Fs_spec.result

@@ -519,6 +519,75 @@ let test_resilient_nontransient_immediate () =
   check Alcotest.int "no retries" 0 (Kblock.Resilient.retries r);
   check Alcotest.int "no permanent verdict" 0 (Kblock.Resilient.permanent_failures r)
 
+let test_resilient_seeded_jitter () =
+  let sleep ~seed =
+    let dev = Kblock.Blockdev.create ~nblocks:8 ~block_size:8 in
+    let r =
+      Kblock.Resilient.create ~max_attempts:4 ~jitter:0.5 ~seed
+        (unreliable_io ~failures:2 (Kblock.Blockdev.io dev))
+    in
+    (match Kblock.Resilient.write r 0 (block dev 'w') with
+    | Ok () -> ()
+    | Error e -> fail ("expected recovery, got " ^ Ksim.Errno.to_string e));
+    Kblock.Resilient.simulated_ns r
+  in
+  (* Replayable: the same seed draws the same jitter. *)
+  check Alcotest.int "same seed, same clock" (sleep ~seed:3) (sleep ~seed:3);
+  (* Jitter only ever stretches the backoff: within [backoff, 1.5*backoff]
+     for the two sleeps (100 + 200 unjittered). *)
+  let ns = sleep ~seed:3 in
+  check Alcotest.bool "stretched, bounded" true (ns >= 300 && ns <= 450);
+  (* Distinct seeds decorrelate instances (300..450 leaves 151 cells; the
+     chance of 5 seeds colliding by accident is negligible). *)
+  let sleeps = List.map (fun seed -> sleep ~seed) [ 1; 2; 3; 4; 5 ] in
+  check Alcotest.bool "seeds decorrelate" true
+    (List.length (List.sort_uniq compare sleeps) > 1);
+  check Alcotest.bool "bad jitter rejected" true
+    (try
+       let dev = Kblock.Blockdev.create ~nblocks:8 ~block_size:8 in
+       let _ = Kblock.Resilient.create ~jitter:1.5 (Kblock.Blockdev.io dev) in
+       false
+     with Invalid_argument _ -> true)
+
+(* Supervised ------------------------------------------------------------------- *)
+
+let test_supervised_microreboot_and_stale_client () =
+  let generation = ref 0 in
+  let boom = ref false in
+  let remake () =
+    incr generation;
+    let dev = Kblock.Blockdev.create ~nblocks:8 ~block_size:8 in
+    let base = Kblock.Blockdev.io dev in
+    {
+      base with
+      Kblock.Io.read =
+        (fun blkno ->
+          if !boom then begin
+            boom := false;
+            raise (Ksim.Supervisor.Module_panic "blk.read")
+          end
+          else base.Kblock.Io.read blkno);
+    }
+  in
+  let s =
+    Kblock.Supervised.create ~trace:(Ksim.Ktrace.create ()) ~name:"blk" ~remake ()
+  in
+  let client = Kblock.Supervised.io s in
+  check Alcotest.bool "healthy read" true (Result.is_ok (client.Kblock.Io.read 0));
+  boom := true;
+  (* Panic contained; the stack microreboots behind the scenes. *)
+  check Alcotest.bool "oops contained" true (client.Kblock.Io.read 0 = Error Ksim.Errno.EIO);
+  check Alcotest.bool "quiesce EINTR" true (client.Kblock.Io.read 0 = Error Ksim.Errno.EINTR);
+  (* The reboot happens on this call, so the old client discovers its own
+     staleness. *)
+  check Alcotest.bool "old client ESTALE" true
+    (client.Kblock.Io.read 0 = Error Ksim.Errno.ESTALE);
+  check Alcotest.int "stack rebuilt" 2 !generation;
+  check Alcotest.int "epoch bumped" 1 (Kblock.Supervised.epoch s);
+  (* A freshly minted client reaches the new generation. *)
+  let fresh = Kblock.Supervised.io s in
+  check Alcotest.bool "fresh client works" true (Result.is_ok (fresh.Kblock.Io.read 0))
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -574,5 +643,11 @@ let () =
             test_resilient_permanent_verdict;
           Alcotest.test_case "resilient nontransient immediate" `Quick
             test_resilient_nontransient_immediate;
+          Alcotest.test_case "resilient seeded jitter" `Quick test_resilient_seeded_jitter;
+        ] );
+      ( "supervised",
+        [
+          Alcotest.test_case "microreboot and stale client" `Quick
+            test_supervised_microreboot_and_stale_client;
         ] );
     ]

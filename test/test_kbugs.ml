@@ -109,7 +109,7 @@ let test_semantic_fault_stops_only_at_stage4 () =
 
 let test_matrix_shape () =
   let m = Kbugs.Inject.matrix () in
-  check Alcotest.int "eight faults" 8 (List.length m);
+  check Alcotest.int "nine faults" 9 (List.length m);
   List.iter
     (fun (_, cells) -> check Alcotest.int "four stages" 4 (List.length cells))
     m

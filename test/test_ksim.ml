@@ -544,6 +544,60 @@ let test_failpoint_probability_replayable () =
   let fired_c = List.init 64 (fun _ -> Ksim.Failpoint.should_fail fp2 "p") in
   check Alcotest.(list bool) "independent of registration order" fired_a fired_c
 
+(* The knobs interact: [interval] gates eligibility by hit count, [times]
+   budgets the injections, and exhaustion is observable and reversible by
+   re-configuring. *)
+let test_failpoint_interval_times_exhaustion () =
+  let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:9 () in
+  Ksim.Failpoint.configure fp "s" ~enabled:true ~interval:2 ~times:3 ();
+  let fired = List.init 10 (fun _ -> Ksim.Failpoint.should_fail fp "s") in
+  (* Eligible hits are 2, 4, 6, 8, 10; the times budget stops after three. *)
+  check Alcotest.(list bool) "interval x times"
+    [ false; true; false; true; false; true; false; false; false; false ]
+    fired;
+  check Alcotest.int "budget spent" 3 (Ksim.Failpoint.injected fp "s");
+  (* Topping the budget back up resumes on the same hit parity: the next
+     eligible hit is 12. *)
+  Ksim.Failpoint.configure fp "s" ~times:1 ();
+  let fired = List.init 2 (fun _ -> Ksim.Failpoint.should_fail fp "s") in
+  check Alcotest.(list bool) "resumes on parity" [ false; true ] fired;
+  check Alcotest.int "budget spent again" 4 (Ksim.Failpoint.injected fp "s")
+
+let test_failpoint_reconfigure_after_disable_all () =
+  let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:9 () in
+  Ksim.Failpoint.configure fp "s" ~enabled:true ();
+  check Alcotest.bool "fires" true (Ksim.Failpoint.should_fail fp "s");
+  Ksim.Failpoint.disable_all fp;
+  check Alcotest.bool "healed" false (Ksim.Failpoint.should_fail fp "s");
+  (* disable_all keeps hits and streams: re-enabling with interval 3 is
+     judged against the cumulative hit count (2 so far; next eligible is
+     hit 3). *)
+  Ksim.Failpoint.configure fp "s" ~enabled:true ~interval:3 ();
+  let fired = List.init 4 (fun _ -> Ksim.Failpoint.should_fail fp "s") in
+  check Alcotest.(list bool) "cumulative hits drive interval"
+    [ true; false; false; true ] fired;
+  check Alcotest.int "hits kept across heal" 6 (Ksim.Failpoint.hits fp "s")
+
+let test_failpoint_streams_per_site () =
+  (* Each site's probability stream is a function of (seed, name) only:
+     two registries with the same seed but opposite registration orders
+     agree draw-for-draw on every site. *)
+  let draws fp name = List.init 32 (fun _ -> Ksim.Failpoint.should_fail fp name) in
+  let fp_ab = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:21 () in
+  Ksim.Failpoint.configure fp_ab "alpha" ~enabled:true ~probability:0.5 ();
+  Ksim.Failpoint.configure fp_ab "beta" ~enabled:true ~probability:0.5 ();
+  let alpha_1 = draws fp_ab "alpha" in
+  let beta_1 = draws fp_ab "beta" in
+  let fp_ba = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:21 () in
+  Ksim.Failpoint.configure fp_ba "beta" ~enabled:true ~probability:0.5 ();
+  Ksim.Failpoint.configure fp_ba "alpha" ~enabled:true ~probability:0.5 ();
+  (* Interleave in the other order too: draws must not depend on it. *)
+  let beta_2 = draws fp_ba "beta" in
+  let alpha_2 = draws fp_ba "alpha" in
+  check Alcotest.(list bool) "alpha agrees" alpha_1 alpha_2;
+  check Alcotest.(list bool) "beta agrees" beta_1 beta_2;
+  check Alcotest.bool "sites differ from each other" true (alpha_1 <> beta_1)
+
 let test_failpoint_publish () =
   let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:3 () in
   Ksim.Failpoint.configure fp "s" ~enabled:true ();
@@ -565,6 +619,161 @@ let test_kstats () =
   check Alcotest.(list (pair string int)) "sorted" [ ("x", 5); ("y", 1) ] (Ksim.Kstats.to_list s);
   Ksim.Kstats.reset s;
   check Alcotest.int "reset" 0 (Ksim.Kstats.get s "x")
+
+let test_kstats_snapshot_diff () =
+  let s = Ksim.Kstats.create () in
+  Ksim.Kstats.incr ~by:3 s "kept";
+  Ksim.Kstats.incr ~by:2 s "grown";
+  let before = Ksim.Kstats.snapshot s in
+  Ksim.Kstats.incr ~by:5 s "grown";
+  Ksim.Kstats.incr s "fresh";
+  let after = Ksim.Kstats.snapshot s in
+  (* Only the counters that moved, with exact deltas; keys absent before
+     count from zero. *)
+  check Alcotest.(list (pair string int)) "diff"
+    [ ("fresh", 1); ("grown", 5) ]
+    (Ksim.Kstats.diff ~before ~after);
+  check Alcotest.int "delta grown" 5 (Ksim.Kstats.delta ~before ~after "grown");
+  check Alcotest.int "delta kept" 0 (Ksim.Kstats.delta ~before ~after "kept");
+  check Alcotest.int "delta missing" 0 (Ksim.Kstats.delta ~before ~after "nope")
+
+(* Supervisor ------------------------------------------------------------------ *)
+
+(* A supervised module that panics on demand: [bad] arms the next call. *)
+let sup_module () =
+  let bad = ref false in
+  let f () =
+    if !bad then begin
+      bad := false;
+      raise (Ksim.Supervisor.Module_panic "test.site")
+    end
+    else Ok "ok"
+  in
+  (bad, f)
+
+let test_supervisor_contains_and_reboots () =
+  let bad, f = sup_module () in
+  let trace = Ksim.Ktrace.create () in
+  let sup =
+    Ksim.Supervisor.create ~trace ~restart:(fun () -> Ok ()) ~name:"mod" ()
+  in
+  check Alcotest.string "healthy call passes" "ok"
+    (Result.get_ok (Ksim.Supervisor.call sup f));
+  bad := true;
+  (* The panic is contained to EIO — never an uncaught exception. *)
+  check Alcotest.bool "oops contained" true (Ksim.Supervisor.call sup f = Error Ksim.Errno.EIO);
+  check Alcotest.bool "state oopsed" true (Ksim.Supervisor.state sup = Ksim.Supervisor.Oopsed);
+  (* Before the backoff deadline the mount quiesces: calls drain EINTR. *)
+  check Alcotest.bool "drains EINTR" true (Ksim.Supervisor.call sup f = Error Ksim.Errno.EINTR);
+  (* First call past the deadline microreboots and then serves. *)
+  check Alcotest.string "recovered" "ok" (Result.get_ok (Ksim.Supervisor.call sup f));
+  check Alcotest.bool "healthy again" true
+    (Ksim.Supervisor.state sup = Ksim.Supervisor.Healthy);
+  check Alcotest.int "epoch bumped" 1 (Ksim.Supervisor.epoch sup);
+  check Alcotest.int "one oops" 1 (Ksim.Supervisor.oopses sup);
+  check Alcotest.int "one restart" 1 (Ksim.Supervisor.restarts sup);
+  check Alcotest.bool "recovery latency on the simulated clock" true
+    (Ksim.Supervisor.last_recovery_ns sup > 0)
+
+let test_supervisor_stale_epochs () =
+  let _, f = sup_module () in
+  let sup =
+    Ksim.Supervisor.create ~trace:(Ksim.Ktrace.create ()) ~restart:(fun () -> Ok ())
+      ~name:"mod" ()
+  in
+  let handle = Ksim.Supervisor.epoch sup in
+  check Alcotest.bool "fresh handle valid" true (Ksim.Supervisor.validate sup handle = Ok ());
+  (* Oops and recover. *)
+  check Alcotest.bool "oops" true
+    (Ksim.Supervisor.call sup (fun () -> raise Exit) = Error Ksim.Errno.EIO);
+  check Alcotest.bool "quiesce" true (Ksim.Supervisor.call sup f = Error Ksim.Errno.EINTR);
+  check Alcotest.bool "reboot" true (Ksim.Supervisor.call sup f = Ok "ok");
+  (* The pre-oops handle now belongs to a dead generation. *)
+  check Alcotest.bool "stale handle" true
+    (Ksim.Supervisor.validate sup handle = Error Ksim.Errno.ESTALE);
+  check Alcotest.bool "fresh handle ok" true
+    (Ksim.Supervisor.validate sup (Ksim.Supervisor.epoch sup) = Ok ());
+  check Alcotest.int "stale rejections counted" 1 (Ksim.Supervisor.stale_rejected sup)
+
+let test_supervisor_escalates_to_failed () =
+  let policy =
+    { Ksim.Supervisor.restart_budget = 2; backoff_base = 100; backoff_cap = 100; op_cost = 100 }
+  in
+  let trace = Ksim.Ktrace.create () in
+  let sup = Ksim.Supervisor.create ~policy ~trace ~restart:(fun () -> Ok ()) ~name:"mod" () in
+  let incidents_before = Ksim.Ktrace.count Ksim.Ktrace.global ~category:"incident" in
+  let transitions = ref [] in
+  Ksim.Supervisor.set_observer sup (fun _ to_ -> transitions := to_ :: !transitions);
+  let always_panics () = raise (Ksim.Supervisor.Module_panic "test.site") in
+  (* Drive it to budget exhaustion: every recovery immediately re-oopses.
+     No call may ever raise — containment holds through escalation. *)
+  let results = List.init 8 (fun _ -> Ksim.Supervisor.call sup always_panics) in
+  check Alcotest.bool "escalated" true (Ksim.Supervisor.state sup = Ksim.Supervisor.Failed);
+  check Alcotest.int "escalation counted" 1 (Ksim.Supervisor.escalations sup);
+  check Alcotest.int "budget spent exactly" 2 (Ksim.Supervisor.restarts sup);
+  (* Degraded mode answers EIO forever after. *)
+  check Alcotest.bool "degraded EIO" true
+    (Ksim.Supervisor.call sup (fun () -> Ok "up") = Error Ksim.Errno.EIO);
+  check Alcotest.bool "only errno results" true
+    (List.for_all
+       (fun r -> r = Error Ksim.Errno.EIO || r = Error Ksim.Errno.EINTR)
+       results);
+  check Alcotest.bool "escalation hit the audit trail" true
+    (Ksim.Ktrace.count Ksim.Ktrace.global ~category:"incident" > incidents_before);
+  check Alcotest.bool "observer saw Failed" true
+    (List.mem Ksim.Supervisor.Failed !transitions)
+
+let test_supervisor_failed_restart_burns_budget () =
+  let policy =
+    { Ksim.Supervisor.restart_budget = 1; backoff_base = 100; backoff_cap = 100; op_cost = 100 }
+  in
+  let sup =
+    Ksim.Supervisor.create ~policy ~trace:(Ksim.Ktrace.create ())
+      ~restart:(fun () -> Error "device gone") ~name:"mod" ()
+  in
+  check Alcotest.bool "oops" true
+    (Ksim.Supervisor.call sup (fun () -> raise Exit) = Error Ksim.Errno.EIO);
+  (* The restart itself fails: budget burns, escalation follows. *)
+  check Alcotest.bool "failed restart degrades" true
+    (Ksim.Supervisor.call sup (fun () -> Ok ()) = Error Ksim.Errno.EIO);
+  check Alcotest.bool "failed" true (Ksim.Supervisor.state sup = Ksim.Supervisor.Failed);
+  check Alcotest.int "budget spent" 1 (Ksim.Supervisor.restarts sup)
+
+let test_supervisor_replayable () =
+  (* The whole lifecycle is a function of the call sequence: two fresh
+     supervisors driven identically agree on every observable. *)
+  let drive () =
+    let bad, f = sup_module () in
+    let sup =
+      Ksim.Supervisor.create ~trace:(Ksim.Ktrace.create ()) ~restart:(fun () -> Ok ())
+        ~name:"mod" ()
+    in
+    let results =
+      List.init 12 (fun i ->
+          if i = 2 || i = 7 then bad := true;
+          Ksim.Supervisor.call sup f)
+    in
+    ( results,
+      Ksim.Supervisor.epoch sup,
+      Ksim.Supervisor.clock sup,
+      Ksim.Supervisor.oopses sup,
+      Ksim.Supervisor.total_recovery_ns sup )
+  in
+  let a = drive () in
+  let b = drive () in
+  check Alcotest.bool "bit-identical replay" true (a = b)
+
+let test_supervisor_publish () =
+  let stats = Ksim.Kstats.create () in
+  let sup =
+    Ksim.Supervisor.create ~trace:(Ksim.Ktrace.create ()) ~stats
+      ~restart:(fun () -> Ok ()) ~name:"fs" ()
+  in
+  check Alcotest.bool "oops" true
+    (Ksim.Supervisor.call sup (fun () -> raise Exit) = Error Ksim.Errno.EIO);
+  check Alcotest.int "live counter" 1 (Ksim.Kstats.get stats "supervisor.oopses");
+  Ksim.Supervisor.publish sup stats;
+  check Alcotest.int "named counter" 1 (Ksim.Kstats.get stats "supervisor.fs.oopses")
 
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
@@ -639,7 +848,28 @@ let () =
           Alcotest.test_case "interval and times" `Quick test_failpoint_interval_and_times;
           Alcotest.test_case "disabled and heal" `Quick test_failpoint_disabled_and_heal;
           Alcotest.test_case "probability replayable" `Quick test_failpoint_probability_replayable;
+          Alcotest.test_case "interval x times exhaustion" `Quick
+            test_failpoint_interval_times_exhaustion;
+          Alcotest.test_case "re-configure after disable_all" `Quick
+            test_failpoint_reconfigure_after_disable_all;
+          Alcotest.test_case "per-site streams vs registration order" `Quick
+            test_failpoint_streams_per_site;
           Alcotest.test_case "publish counters" `Quick test_failpoint_publish;
         ] );
-      ("kstats", [ Alcotest.test_case "counters" `Quick test_kstats ]);
+      ( "kstats",
+        [
+          Alcotest.test_case "counters" `Quick test_kstats;
+          Alcotest.test_case "snapshot diff" `Quick test_kstats_snapshot_diff;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "contains and microreboots" `Quick
+            test_supervisor_contains_and_reboots;
+          Alcotest.test_case "stale epochs -> ESTALE" `Quick test_supervisor_stale_epochs;
+          Alcotest.test_case "escalates to failed" `Quick test_supervisor_escalates_to_failed;
+          Alcotest.test_case "failed restart burns budget" `Quick
+            test_supervisor_failed_restart_burns_budget;
+          Alcotest.test_case "replayable" `Quick test_supervisor_replayable;
+          Alcotest.test_case "publish counters" `Quick test_supervisor_publish;
+        ] );
     ]

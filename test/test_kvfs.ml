@@ -341,6 +341,119 @@ let prop_fd_layer_matches_model =
               | _ -> false))
         script)
 
+(* Supervision -------------------------------------------------------------------
+   A supervised memfs mount: the remake factory builds a fresh (empty)
+   memfs, so a microreboot is observable as RAM state vanishing while
+   the mount itself stays up.  Timing is exact on the simulated clock:
+   op_cost 100 per call, backoff base 200 → one EINTR'd call between the
+   oops and the reboot under the default policy. *)
+
+let supervised_memfs ?policy () =
+  let fp = Ksim.Failpoint.create ~seed:3 () in
+  let make () = Kvfs.Iface.panicky ~fp (Kvfs.Iface.make (module Kfs.Memfs_typed) ()) in
+  let vfs = Kvfs.Vfs.create () in
+  (match Kvfs.Vfs.mount vfs ~at:[] ~remake:make ?policy (make ()) with
+  | Ok () -> ()
+  | Error e -> fail (Ksim.Errno.to_string e));
+  (fp, vfs)
+
+let arm_panic fp = Ksim.Failpoint.configure fp "module.panic" ~enabled:true ~times:1 ()
+
+let test_supervised_mount_lifecycle () =
+  let fp, vfs = supervised_memfs () in
+  check result_t "healthy create" (Ok Fs_spec.Unit) (Kvfs.Vfs.apply vfs (Create (p "/pre")));
+  arm_panic fp;
+  check result_t "oops contained to EIO" (Error Ksim.Errno.EIO)
+    (Kvfs.Vfs.apply vfs (Stat (p "/pre")));
+  check result_t "quiesce drains with EINTR" (Error Ksim.Errno.EINTR)
+    (Kvfs.Vfs.apply vfs (Stat (p "/pre")));
+  (* First call past the backoff deadline microreboots; memfs state is
+     RAM, so the new generation comes back empty. *)
+  check result_t "rebooted: RAM state gone" (Error Ksim.Errno.ENOENT)
+    (Kvfs.Vfs.apply vfs (Stat (p "/pre")));
+  check Alcotest.int "epoch bumped" 1 (Kvfs.Vfs.epoch_at vfs (p "/pre"));
+  check result_t "new generation works" (Ok Fs_spec.Unit)
+    (Kvfs.Vfs.apply vfs (Create (p "/post")));
+  match Kvfs.Vfs.supervisor_at vfs (p "/post") with
+  | None -> fail "mount is not supervised"
+  | Some sup ->
+      check Alcotest.bool "healthy again" true
+        (Ksim.Supervisor.state sup = Ksim.Supervisor.Healthy)
+
+let test_fd_epoch_stamping_estale () =
+  let fp, vfs = supervised_memfs () in
+  let t = Kvfs.File_ops.create vfs in
+  let fd =
+    match Kvfs.File_ops.openf t ~flags:[ Kvfs.File_ops.O_RDWR; Kvfs.File_ops.O_CREAT ] "/f" with
+    | Ok fd -> fd
+    | Error e -> fail (Ksim.Errno.to_string e)
+  in
+  check Alcotest.(option int) "fd minted at epoch 0" (Some 0) (Kvfs.File_ops.fd_epoch t fd);
+  check (errno_r Alcotest.int) "write through fd" (Ok 5) (Kvfs.File_ops.write t fd "hello");
+  arm_panic fp;
+  check (errno_r Alcotest.string) "oops through the fd is EIO" (Error Ksim.Errno.EIO)
+    (Kvfs.File_ops.read t fd ~len:5);
+  check (errno_r Alcotest.string) "quiesce through the fd is EINTR" (Error Ksim.Errno.EINTR)
+    (Kvfs.File_ops.read t fd ~len:5);
+  (* The critical ordering: this very call performs the deferred
+     microreboot, and the staleness check runs inside the containment
+     thunk — the dead-generation fd must answer ESTALE rather than read
+     the rebuilt instance. *)
+  check (errno_r Alcotest.string) "reboot-triggering read is ESTALE" (Error Ksim.Errno.ESTALE)
+    (Kvfs.File_ops.read t fd ~len:5);
+  check Alcotest.int "mount is at epoch 1" 1 (Kvfs.Vfs.epoch_at vfs (p "/f"));
+  check (errno_r Alcotest.int) "stale write is ESTALE" (Error Ksim.Errno.ESTALE)
+    (Kvfs.File_ops.write t fd "x");
+  check (errno_r Alcotest.unit) "stale epoch via validate_epoch" (Error Ksim.Errno.ESTALE)
+    (Kvfs.Vfs.validate_epoch vfs (p "/f") 0);
+  check (errno_r Alcotest.unit) "live epoch via validate_epoch" (Ok ())
+    (Kvfs.Vfs.validate_epoch vfs (p "/f") 1);
+  (* Reopening mints a handle against the live generation. *)
+  match Kvfs.File_ops.openf t ~flags:[ Kvfs.File_ops.O_RDWR; Kvfs.File_ops.O_CREAT ] "/f" with
+  | Error e -> fail (Ksim.Errno.to_string e)
+  | Ok fd2 ->
+      check Alcotest.(option int) "fresh fd at epoch 1" (Some 1) (Kvfs.File_ops.fd_epoch t fd2);
+      check (errno_r Alcotest.string) "fresh fd reads (empty new RAM)" (Ok "")
+        (Kvfs.File_ops.read t fd2 ~len:5)
+
+let test_degraded_reads_only () =
+  (* Budget 0: the first oops escalates straight to Failed.  No reboot
+     ever runs, so the last live instance still holds the data and the
+     degraded mount serves it — reads only. *)
+  let policy = { Ksim.Supervisor.default_policy with Ksim.Supervisor.restart_budget = 0 } in
+  let fp, vfs = supervised_memfs ~policy () in
+  let t = Kvfs.File_ops.create vfs in
+  check result_t "create" (Ok Fs_spec.Unit) (Kvfs.Vfs.apply vfs (Create (p "/keep")));
+  check result_t "write" (Ok Fs_spec.Unit)
+    (Kvfs.Vfs.apply vfs (Write { file = p "/keep"; off = 0; data = "safe" }));
+  let fd =
+    match Kvfs.File_ops.openf t "/keep" with
+    | Ok fd -> fd
+    | Error e -> fail (Ksim.Errno.to_string e)
+  in
+  arm_panic fp;
+  check result_t "oops" (Error Ksim.Errno.EIO) (Kvfs.Vfs.apply vfs (Stat (p "/keep")));
+  check result_t "quiesce" (Error Ksim.Errno.EINTR) (Kvfs.Vfs.apply vfs (Stat (p "/keep")));
+  check result_t "budget 0: escalation, not reboot" (Error Ksim.Errno.EIO)
+    (Kvfs.Vfs.apply vfs (Stat (p "/keep")));
+  (match Kvfs.Vfs.supervisor_at vfs (p "/keep") with
+  | None -> fail "mount is not supervised"
+  | Some sup ->
+      check Alcotest.bool "Failed" true (Ksim.Supervisor.state sup = Ksim.Supervisor.Failed));
+  check result_t "degraded read serves last live data" (Ok (Fs_spec.Data "safe"))
+    (Kvfs.Vfs.apply vfs (Read { file = p "/keep"; off = 0; len = 4 }));
+  check result_t "degraded stat works" (Ok (Fs_spec.Attr { kind = `File; size = 4 }))
+    (Kvfs.Vfs.apply vfs (Stat (p "/keep")));
+  check result_t "degraded mutation is EIO" (Error Ksim.Errno.EIO)
+    (Kvfs.Vfs.apply vfs (Write { file = p "/keep"; off = 0; data = "no" }));
+  check result_t "degraded unlink is EIO" (Error Ksim.Errno.EIO)
+    (Kvfs.Vfs.apply vfs (Unlink (p "/keep")));
+  (* The epoch never bumped (no successful reboot), so the pre-oops fd is
+     still the live generation and reads through the degraded mount. *)
+  check Alcotest.int "epoch still 0" 0 (Kvfs.Vfs.epoch_at vfs (p "/keep"));
+  check (errno_r Alcotest.string) "pre-oops fd reads in degraded mode" (Ok "safe")
+    (Kvfs.File_ops.read t fd ~len:4)
+
 (* Vtypes ----------------------------------------------------------------------- *)
 
 let test_inode_identity () =
@@ -385,6 +498,12 @@ let () =
           Alcotest.test_case "trunc/append" `Quick test_fd_trunc_append;
           Alcotest.test_case "lseek" `Quick test_fd_lseek;
           Alcotest.test_case "dir ops" `Quick test_fd_dir_ops;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "supervised mount lifecycle" `Quick test_supervised_mount_lifecycle;
+          Alcotest.test_case "fd epoch stamping / ESTALE" `Quick test_fd_epoch_stamping_estale;
+          Alcotest.test_case "degraded reads-only" `Quick test_degraded_reads_only;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
