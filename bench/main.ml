@@ -390,6 +390,8 @@ let bench_lint () =
     [
       Test.make ~name:"kracer-whole-tree"
         (staged (fun () -> ignore (Klint.Kracer.analyze_tree ~root)));
+      Test.make ~name:"kown-whole-tree"
+        (staged (fun () -> ignore (Klint.Kown.analyze_tree ~root)));
       Test.make ~name:"full-lint+kracer-tree"
         (staged (fun () -> ignore (Klint.Engine.lint_tree ~root)));
     ]
@@ -400,7 +402,7 @@ let bench_lint () =
 let find rows needle = List.assoc_opt needle rows |> Option.value ~default:nan
 
 let shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilience ~supervision
-    ~ablation =
+    ~ablation ~lint =
   Fmt.pr "@.%s@.shape checks (paper claim -> measured):@." (String.make 64 '=');
   let ratio a b = if Float.is_nan a || Float.is_nan b || b = 0. then nan else a /. b in
   let claim name ok detail = Fmt.pr "  [%s] %-52s %s@." (if ok then "ok" else "??") name detail in
@@ -461,7 +463,10 @@ let shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilien
     ratio (find ablation "ablation/bufferhead-checked-20blocks")
       (find ablation "ablation/bufferhead-unchecked-20blocks")
   in
-  claim "buffer_head validity checks are cheap" (ra < 2.0 || Float.is_nan ra) (Fmt.str "%.2fx" ra)
+  claim "buffer_head validity checks are cheap" (ra < 2.0 || Float.is_nan ra) (Fmt.str "%.2fx" ra);
+  let rl = ratio (find lint "lint/kown-whole-tree") (find lint "lint/kracer-whole-tree") in
+  claim "ownership lint costs the same order as the race lint" (rl < 5.0 || Float.is_nan rl)
+    (Fmt.str "kown/kracer %.2fx" rl)
 
 (* main ----------------------------------------------------------------------- *)
 
@@ -496,7 +501,7 @@ let () =
   let _ebpf = bench_ebpf () in
   let _mm = bench_mm () in
   let ablation = bench_ablation () in
-  let _lint = bench_lint () in
+  let lint = bench_lint () in
   shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilience ~supervision
-    ~ablation;
+    ~ablation ~lint;
   Fmt.pr "@.done.@."

@@ -7,7 +7,8 @@
 
 let ( / ) = Filename.concat
 
-let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges lock_graph_dot =
+let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges lock_graph_dot
+    kmem_events =
   let root =
     match root_opt with
     | Some r -> r
@@ -112,6 +113,40 @@ let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges l
                   missing;
                 1))
   in
+  (* Same closure for the ownership pass: every heap event the tests
+     observed must correspond to a static R8-R11 finding in that file. *)
+  let kown = tree.Klint.Engine.kown in
+  Fmt.pr "klint: ownership — %d functions, %d consuming, %d returning owned@."
+    kown.Klint.Kown.funcs kown.Klint.Kown.consuming kown.Klint.Kown.returning_owned;
+  let kmem_rc =
+    match kmem_events with
+    | None -> 0
+    | Some path -> (
+        match Klint.Kown.read_kmem_events path with
+        | Error msg ->
+            Fmt.epr "klint: %s@." msg;
+            2
+        | Ok events -> (
+            match
+              Klint.Kown.unflagged_kmem_events ~files:tree.Klint.Engine.files
+                ~findings:tree.Klint.Engine.findings events
+            with
+            | [] ->
+                Fmt.pr
+                  "klint: kmem reconciliation — %d runtime events, all flagged statically@."
+                  (List.length events);
+                0
+            | missing ->
+                List.iter
+                  (fun ((ev : Klint.Kown.kmem_event), file, rule) ->
+                    Fmt.epr
+                      "klint: UNSOUND — runtime %s event on heap %s (x%d) has no static %s finding in %s@."
+                      ev.Klint.Kown.kind ev.Klint.Kown.heap ev.Klint.Kown.count
+                      (Klint.Finding.rule_id rule) file)
+                  missing;
+                1))
+  in
+  let reconcile_rc = max reconcile_rc kmem_rc in
   if r.Klint.Engine.violations = [] then reconcile_rc
   else begin
     List.iter
@@ -153,11 +188,17 @@ let lock_graph_dot =
   Arg.(value & opt (some string) None & info [ "lock-graph-dot" ] ~docv:"FILE"
          ~doc:"Write the static lock-order graph as Graphviz dot")
 
+let kmem_events =
+  Arg.(value & opt (some string) None & info [ "kmem-events" ] ~docv:"FILE"
+         ~doc:"Reconcile kown's static R8-R11 findings against runtime heap events \
+               exported by Ksim.Kmem (KSIM_KMEM_EXPORT); exit 1 if any runtime event \
+               hit a linted file kown did not flag")
+
 let cmd =
   Cmd.v
     (Cmd.info "klint" ~version:"1.0.0"
        ~doc:"Static safety-ladder linter: enforce Registry level claims against the source tree")
     Term.(const run $ root $ baseline $ report $ update_baseline $ verbose $ lockdep_edges
-          $ lock_graph_dot)
+          $ lock_graph_dot $ kmem_events)
 
 let () = exit (Cmd.eval' cmd)

@@ -334,6 +334,93 @@ let audit_cmd =
     (Cmd.info "audit" ~doc:"Show the component registry and safety progress")
     Term.(const audit $ const ())
 
+(* explain ------------------------------------------------------------- *)
+
+(* One paragraph per klint rule: what fires, why the ladder forbids it at
+   the rung it names, and what the fix usually looks like. *)
+let rule_explanation : Klint.Finding.rule -> string = function
+  | Klint.Finding.R1_unchecked_cast ->
+      "An Obj.magic / unchecked cast: the value's runtime type is asserted, not \
+       proven.  Forbidden from Type_safe up — replace with a typed constructor, a \
+       variant, or Dyn's checked casts."
+  | Klint.Finding.R2_unchecked_errptr ->
+      "A value that may encode an error (Linux's ERR_PTR idiom) is dereferenced \
+       without checking.  Match on the result (Ok/Error) before use."
+  | Klint.Finding.R3_lock_balance ->
+      "A function acquires and releases unbalanced lock counts on some path, and \
+       its annotation (@acquires/@releases) does not declare that on purpose."
+  | Klint.Finding.R4_ownership_bypass ->
+      "Raw Bytes.unsafe_* access bypasses both bounds and ownership checks — the \
+       escape hatch the ownership rung exists to remove."
+  | Klint.Finding.R5_must_check ->
+      "A result carrying an error is silently dropped (ignore/discard).  Handle \
+       the Error arm or thread it out."
+  | Klint.Finding.R6_lockset_race ->
+      "A cell guarded by a lock (Klock.Guarded) is reached while the \
+       interprocedural lockset provably cannot contain the guard, or a call site \
+       violates a callee's @must_hold contract."
+  | Klint.Finding.R7_lock_annotation ->
+      "A lock annotation and the function body disagree — the contract says one \
+       thing, the walk observes another.  Fix whichever is wrong."
+  | Klint.Finding.R8_use_after_free ->
+      "kown (the ownership-lifetime analysis) found a path on which a freed or \
+       consumed allocation is read, written, lent, or stored: the static form of \
+       Kmem's Use_after_free event (CWE-416).  Ownership states are tracked per \
+       binding (Owned -> Freed/Moved) through branch joins and across calls via \
+       per-function summaries and @consumes annotations.  Fix by reordering the \
+       free to after the last use, or transferring ownership explicitly \
+       (Checker.transfer) so the new owner frees."
+  | Klint.Finding.R9_double_free ->
+      "kown found a path on which an allocation already Freed (or Moved into a \
+       consuming callee, per summary or @consumes) reaches Kmem.free / \
+       Checker.free again — the static form of Kmem's Double_free event \
+       (CWE-415).  Exactly one owner must free; make the other path borrow \
+       (@borrows) or drop its free."
+  | Klint.Finding.R10_error_leak ->
+      "An owned allocation is still live, unescaped, when the function \
+       constructs an Error return — the allocate-then-fail-then-forget shape \
+       (CWE-401) — or one branch of an if/else frees what its sibling, running \
+       the same teardown, forgets.  Free or transfer before returning the \
+       error; tx-style APIs want an explicit abort on the failure arm."
+  | Klint.Finding.R11_borrow_escape ->
+      "A capability lent via Checker.lend_shared/lend_exclusive escapes its lend \
+       scope (stored in a structure or returned from the closure), is freed \
+       while only borrowed, or a revoked capability is used (CWE-416).  Borrows \
+       must stay inside the ~f closure; take ownership via Checker.transfer if \
+       the value must outlive the lend."
+
+let explain ids =
+  let rules =
+    match ids with
+    | [] -> Klint.Finding.all_rules
+    | ids ->
+        List.filter_map
+          (fun id ->
+            match Klint.Finding.rule_of_id (String.uppercase_ascii id) with
+            | Some r -> Some r
+            | None ->
+                Fmt.epr "safeos explain: unknown rule %S (known: R1..R11)@." id;
+                exit 2)
+          ids
+  in
+  List.iter
+    (fun r ->
+      Fmt.pr "%s %s (CWE-%d, %s):@.  @[%a@]@.@."
+        (Klint.Finding.rule_id r) (Klint.Finding.rule_name r) (Klint.Finding.cwe_id r)
+        (Safeos_core.Level.bug_class_to_string (Klint.Finding.bug_class r))
+        Fmt.text (rule_explanation r))
+    rules;
+  0
+
+let explain_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"RULE"
+           ~doc:"Rule identifiers (R1..R11); all rules when omitted")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Explain klint rules: what fires, why, and the usual fix")
+    Term.(const explain $ ids)
+
 let main =
   Cmd.group
     (Cmd.info "safeos" ~version:"1.0.0"
@@ -347,6 +434,7 @@ let main =
       ebpf_cmd;
       supervise_cmd;
       audit_cmd;
+      explain_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

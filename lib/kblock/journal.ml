@@ -150,7 +150,19 @@ let format (io : Io.t) ~jblocks =
 
 (* Transactions ------------------------------------------------------------ *)
 
+(** Open a transaction.  Purely in-memory until {!commit}.  The caller
+    must hand it to {!commit} or {!abort}.
+    @returns_owned *)
 let tx_begin (_ : t) = { seq = 0; writes = []; committed = false }
+
+(** Discard an uncommitted transaction: drop its staged writes and poison
+    it against a later {!commit}.  Nothing reached the device, so there
+    is nothing to roll back.
+    @consumes: tx *)
+let abort (_ : t) tx =
+  if tx.committed then invalid_arg "Journal.abort: already committed";
+  tx.writes <- [];
+  tx.committed <- true (* poisoned: commit refuses committed txs *)
 
 let tx_write j tx ~blkno data =
   if blkno < j.jblocks || blkno >= nblocks j then Error Ksim.Errno.EINVAL

@@ -46,6 +46,9 @@ val data_start : t -> int
 (** First home block (= [jblocks]). *)
 
 val tx_begin : t -> tx
+(** Open a transaction, purely in-memory until {!commit}.  The caller
+    owns it and must hand it to {!commit} or {!abort}.
+    @returns_owned *)
 
 val tx_write : t -> tx -> blkno:int -> bytes -> unit Ksim.Errno.r
 (** Stage a whole-block write to home block [blkno] (must be in the home
@@ -56,8 +59,15 @@ val commit : t -> tx -> unit Ksim.Errno.r
     updated lazily at the next {!checkpoint} (one is forced automatically
     when the journal area fills).  On I/O failure the journal head rolls
     back over the partial records and the transaction stays uncommitted —
-    the error propagates and [aborted_commits] increments.
+    the error propagates and [aborted_commits] increments.  Either way
+    the transaction is finished with: it must not be reused.
+    @consumes: tx
     @raise Journal_full if the transaction alone exceeds the area. *)
+
+val abort : t -> tx -> unit
+(** Discard an uncommitted transaction without touching the device; the
+    transaction must not be reused afterwards.
+    @consumes: tx *)
 
 val checkpoint : t -> unit Ksim.Errno.r
 (** Apply committed transactions to their home locations, flush, advance

@@ -202,14 +202,20 @@ let batch_apply t (b : batch) =
             tx
       in
       stage_into_tx j tx blocks
-  | Some j ->
+  | Some j -> (
+      (* One transaction per batch.  The tx is owned from tx_begin on:
+         every path below must hand it back to commit or abort — a
+         staging failure that just dropped it was an R10 leak. *)
       let tx = Kblock.Journal.tx_begin j in
-      let staged = stage_into_tx j tx blocks in
-      Result.bind staged (fun () ->
+      match stage_into_tx j tx blocks with
+      | Error e ->
+          Kblock.Journal.abort j tx;
+          Error e
+      | Ok () -> (
           match Kblock.Journal.commit j tx with
           | Ok () -> Ok ()
           | Error Ksim.Errno.EOVERFLOW -> Error Ksim.Errno.ENOSPC
-          | Error e -> Error e)
+          | Error e -> Error e))
   | None ->
       List.fold_left
         (fun acc (blkno, data) ->

@@ -67,8 +67,10 @@ let basename_exn path =
 
 let initial_region = 64
 
-(* Read the whole logical content.  The FS lends the region shared to the
-   requesting client — model 3: nobody can mutate while it reads. *)
+(** Read the whole logical content.  The FS lends the region shared to the
+    requesting client — model 3: nobody can mutate while it reads.  The
+    file's capability stays with the FS throughout.
+    @borrows: f *)
 let content fs (f : file_data) =
   if f.size = 0 then ""
   else
@@ -77,8 +79,10 @@ let content fs (f : file_data) =
         | [ b ] -> Bytes.to_string (Ownership.Checker.read fs.ck b ~off:0 ~len:f.size)
         | _ -> assert false)
 
-(* Replace the whole logical content, growing the region when needed.
-   The write happens under an exclusive lend — model 2. *)
+(** Replace the whole logical content, growing the region when needed.
+    The write happens under an exclusive lend — model 2.  [f] is only
+    borrowed: the (possibly fresh) region ends up owned by the file.
+    @borrows: f *)
 let set_content fs (f : file_data) data =
   let needed = String.length data in
   let region = Ownership.Checker.size fs.ck f.cap in
@@ -92,6 +96,10 @@ let set_content fs (f : file_data) data =
       Ownership.Checker.write fs.ck b ~off:0 (Bytes.of_string data));
   f.size <- needed
 
+(** Allocate a fresh empty file: its region is owned by the returned
+    [file_data] and released by {!free_subtree} (or replaced wholesale by
+    {!set_content}).
+    @returns_owned *)
 let alloc_file fs =
   { cap = Ownership.Checker.alloc fs.ck ~holder:"memfs_owned" ~size:initial_region; size = 0 }
 

@@ -21,16 +21,40 @@
    (variable or record field, e.g. [i_lock] for [vnode.i_lock]) which by
    the naming convention is also the prefix of the runtime lock name
    before the [:instance] suffix ([i_lock:7]).  [lock_class] performs
-   both collapses. *)
+   both collapses.
+
+   kown's ownership contracts ride the same grammar:
+
+     @consumes: p [, p ...]    the named parameters are freed/moved by
+                               the call; the caller must not use them after
+     @borrows: p [, p ...]     the named parameters are only borrowed —
+                               ownership stays with the caller
+     @returns_owned            the result is a fresh owned object the
+                               caller must free or transfer *)
 
 type t = {
   must_hold : string list;  (** held at entry and exit *)
   acquires : string list;  (** net-acquired by the function *)
   releases : string list;  (** net-released by the function *)
+  consumes : string list;  (** parameters freed/moved by the call (kown) *)
+  borrows : string list;  (** parameters only borrowed, never consumed (kown) *)
+  returns_owned : bool;  (** result is a fresh owned object (kown) *)
 }
 
-let empty = { must_hold = []; acquires = []; releases = [] }
-let is_empty a = a.must_hold = [] && a.acquires = [] && a.releases = []
+let empty =
+  {
+    must_hold = [];
+    acquires = [];
+    releases = [];
+    consumes = [];
+    borrows = [];
+    returns_owned = false;
+  }
+
+let is_empty a =
+  a.must_hold = [] && a.acquires = [] && a.releases = [] && a.consumes = []
+  && a.borrows = []
+  && not a.returns_owned
 
 let dedup l = List.sort_uniq String.compare l
 
@@ -39,6 +63,9 @@ let union a b =
     must_hold = dedup (a.must_hold @ b.must_hold);
     acquires = dedup (a.acquires @ b.acquires);
     releases = dedup (a.releases @ b.releases);
+    consumes = dedup (a.consumes @ b.consumes);
+    borrows = dedup (a.borrows @ b.borrows);
+    returns_owned = a.returns_owned || b.returns_owned;
   }
 
 (* [lock_class "vnode.i_lock"] = ["i_lock"]; [lock_class "i_lock:7"] =
@@ -82,11 +109,24 @@ let markers =
     ("@must_hold", fun a names -> { a with must_hold = dedup (names @ a.must_hold) });
     ("@acquires", fun a names -> { a with acquires = dedup (names @ a.acquires) });
     ("@releases", fun a names -> { a with releases = dedup (names @ a.releases) });
+    ("@consumes", fun a names -> { a with consumes = dedup (names @ a.consumes) });
+    ("@borrows", fun a names -> { a with borrows = dedup (names @ a.borrows) });
   ]
 
-(* One line of doc text: "@marker: names..." (the colon is optional). *)
+(* One line of doc text: "@marker: names..." (the colon is optional).
+   [@returns_owned] is a boolean marker — no name list follows. *)
 let parse_line acc line =
   let line = String.trim line in
+  let acc =
+    let m = "@returns_owned" in
+    let ml = String.length m in
+    if
+      String.length line >= ml
+      && String.sub line 0 ml = m
+      && (String.length line = ml || not (is_ident_char line.[ml]))
+    then { acc with returns_owned = true }
+    else acc
+  in
   List.fold_left
     (fun acc (marker, apply) ->
       let ml = String.length marker in
@@ -127,6 +167,10 @@ let of_attributes (attrs : Parsetree.attributes) =
       | "must_hold", Some s -> { acc with must_hold = dedup (parse_names s @ acc.must_hold) }
       | "acquires", Some s -> { acc with acquires = dedup (parse_names s @ acc.acquires) }
       | "releases", Some s -> { acc with releases = dedup (parse_names s @ acc.releases) }
+      | "consumes", Some s -> { acc with consumes = dedup (parse_names s @ acc.consumes) }
+      | "borrows", Some s -> { acc with borrows = dedup (parse_names s @ acc.borrows) }
+      (* [@@returns_owned] carries no payload: an empty structure. *)
+      | "returns_owned", _ -> { acc with returns_owned = true }
       | _ -> acc)
     empty attrs
 
@@ -137,4 +181,7 @@ let pp ppf a =
   in
   field "must_hold" a.must_hold;
   field "acquires" a.acquires;
-  field "releases" a.releases
+  field "releases" a.releases;
+  field "consumes" a.consumes;
+  field "borrows" a.borrows;
+  if a.returns_owned then Fmt.pf ppf "@returns_owned "

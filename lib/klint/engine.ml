@@ -61,6 +61,7 @@ type tree_result = {
   files : string list;
   effective_loc : int; (* total effective lines linted *)
   kracer : Kracer.result; (* the interprocedural pass: lock graph + R6 *)
+  kown : Kown.result; (* the ownership pass: R8-R11 + summaries *)
 }
 
 let lint_tree ~root =
@@ -81,13 +82,15 @@ let lint_tree ~root =
       parsed
   in
   let kracer = Kracer.analyze ~root parsed in
+  let kown = Kown.analyze ~root parsed in
   {
-    findings = Finding.sort (kracer.Kracer.findings @ findings);
+    findings = Finding.sort (kown.Kown.findings @ kracer.Kracer.findings @ findings);
     parse_errors = List.rev parse_errors;
     files;
     effective_loc =
       List.fold_left (fun acc rel -> acc + Loc.count_file (Filename.concat root rel)) 0 files;
     kracer;
+    kown;
   }
 
 (* Reconciliation -------------------------------------------------------- *)

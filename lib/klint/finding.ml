@@ -10,10 +10,15 @@ type rule =
   | R5_must_check
   | R6_lockset_race
   | R7_lock_annotation
+  | R8_use_after_free
+  | R9_double_free
+  | R10_error_leak
+  | R11_borrow_escape
 
 let all_rules =
   [ R1_unchecked_cast; R2_unchecked_errptr; R3_lock_balance; R4_ownership_bypass;
-    R5_must_check; R6_lockset_race; R7_lock_annotation ]
+    R5_must_check; R6_lockset_race; R7_lock_annotation; R8_use_after_free;
+    R9_double_free; R10_error_leak; R11_borrow_escape ]
 
 let rule_id = function
   | R1_unchecked_cast -> "R1"
@@ -23,6 +28,10 @@ let rule_id = function
   | R5_must_check -> "R5"
   | R6_lockset_race -> "R6"
   | R7_lock_annotation -> "R7"
+  | R8_use_after_free -> "R8"
+  | R9_double_free -> "R9"
+  | R10_error_leak -> "R10"
+  | R11_borrow_escape -> "R11"
 
 let rule_of_id s = List.find_opt (fun r -> rule_id r = s) all_rules
 
@@ -34,6 +43,10 @@ let rule_name = function
   | R5_must_check -> "must-check"
   | R6_lockset_race -> "lockset-race"
   | R7_lock_annotation -> "lock-annotation"
+  | R8_use_after_free -> "use-after-free"
+  | R9_double_free -> "double-free"
+  | R10_error_leak -> "error-path-leak"
+  | R11_borrow_escape -> "borrow-escape"
 
 (* The bucket each rule polices — the mapping the reconciliation uses:
    a subsystem claiming level L must be clean of every rule whose bucket
@@ -46,6 +59,10 @@ let bug_class = function
   | R5_must_check -> Safeos_core.Level.Semantic
   | R6_lockset_race -> Safeos_core.Level.Data_race
   | R7_lock_annotation -> Safeos_core.Level.Data_race
+  | R8_use_after_free -> Safeos_core.Level.Use_after_free
+  | R9_double_free -> Safeos_core.Level.Double_free
+  | R10_error_leak -> Safeos_core.Level.Memory_leak
+  | R11_borrow_escape -> Safeos_core.Level.Use_after_free
 
 (* Anchor each rule in the paper's CWE study via the kbugs catalog. *)
 let cwe_id = function
@@ -56,6 +73,10 @@ let cwe_id = function
   | R5_must_check -> 754 (* improper check for unusual conditions *)
   | R6_lockset_race -> 362 (* concurrent execution with improper synchronization *)
   | R7_lock_annotation -> 667 (* improper locking: contract and body disagree *)
+  | R8_use_after_free -> 416 (* use after free *)
+  | R9_double_free -> 415 (* double free *)
+  | R10_error_leak -> 401 (* missing release of memory after effective lifetime *)
+  | R11_borrow_escape -> 416 (* use after free: borrow outlives its lend *)
 
 let cwe rule = Kbugs.Cwe.find (cwe_id rule)
 

@@ -14,6 +14,8 @@ module Annot = Annot
 module Callgraph = Callgraph
 module Lockset = Lockset
 module Kracer = Kracer
+module Ownset = Ownset
+module Kown = Kown
 module Kparse = Kparse
 module Loc = Loc
 module Subsystem = Subsystem

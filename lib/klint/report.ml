@@ -153,6 +153,32 @@ let to_json ?registry (tree : Engine.tree_result) (r : Engine.reconciliation) =
               json_arr
                 (List.map (fun cyc -> json_arr (List.map json_str cyc)) k.Kracer.cycles) );
           ] );
+      ( "ownership",
+        let o = tree.Engine.kown in
+        let own_findings =
+          List.filter
+            (fun a ->
+              match a.Engine.finding.Finding.rule with
+              | Finding.R8_use_after_free | Finding.R9_double_free
+              | Finding.R10_error_leak | Finding.R11_borrow_escape ->
+                  true
+              | _ -> false)
+            findings
+        in
+        json_obj
+          [
+            ("functions_analyzed", string_of_int o.Kown.funcs);
+            ("consuming_functions", string_of_int o.Kown.consuming);
+            ("returning_owned", string_of_int o.Kown.returning_owned);
+            ("findings", string_of_int (List.length own_findings));
+            ( "by_rule",
+              json_obj
+                (List.map
+                   (fun (k, n) -> (k, string_of_int n))
+                   (count_by
+                      (fun a -> Finding.rule_id a.Engine.finding.Finding.rule)
+                      own_findings)) );
+          ] );
     ]
 
 let write ~path json =

@@ -59,6 +59,13 @@ LOCKDEP_EDGES="$(pwd)/_build/lockdep-edges.txt"
 rm -f "$LOCKDEP_EDGES"
 export KSIM_LOCKDEP_EXPORT="$LOCKDEP_EDGES"
 
+# Likewise for heap events (use-after-free, double-free, leak sites):
+# kown checks at the end that everything the tests observed at runtime
+# was already flagged statically.
+KMEM_EVENTS="$(pwd)/_build/kmem-events.txt"
+rm -f "$KMEM_EVENTS"
+export KSIM_KMEM_EXPORT="$KMEM_EVENTS"
+
 echo "== ci: dune runtest =="
 dune runtest --force
 
@@ -76,6 +83,14 @@ if [ -s "$LOCKDEP_EDGES" ]; then
   dune exec bin/klint/main.exe -- --root . --lockdep-edges "$LOCKDEP_EDGES"
 else
   echo "ci: FAIL — no runtime lock edges were exported; the capture is broken" >&2
+  exit 1
+fi
+
+echo "== ci: kmem reconciliation (static vs runtime heap events) =="
+if [ -s "$KMEM_EVENTS" ]; then
+  dune exec bin/klint/main.exe -- --root . --kmem-events "$KMEM_EVENTS"
+else
+  echo "ci: FAIL — no runtime kmem events were exported; the capture is broken" >&2
   exit 1
 fi
 

@@ -1,9 +1,11 @@
 (* Tests for klint, the static safety-ladder linter: good/bad fixture
    snippets for each rule R1–R5, the domination and branch-join logic the
-   stateful passes depend on, reconciliation of findings against claimed
-   Registry levels (a Type_safe module with a cast_exn must fail), the
-   baseline round-trip, and a self-lint of the shipped tree whose report
-   must reconcile with the boot registry. *)
+   stateful passes depend on, the interprocedural passes (kracer's
+   lockset race rules, kown's ownership-lifetime rules R8–R11) with
+   their runtime reconciliations, reconciliation of findings against
+   claimed Registry levels (a Type_safe module with a cast_exn must
+   fail), the baseline round-trip, and a self-lint of the shipped tree
+   whose report must reconcile with the boot registry. *)
 
 let check = Alcotest.check
 
@@ -289,6 +291,264 @@ let test_kracer_mli_annotation () =
   in
   check ids "mli contract discharges the cell access" [] (rule_ids tree.E.findings)
 
+(* kown: the ownership-lifetime pass ------------------------------------- *)
+
+let is_own_rule = function
+  | F.R8_use_after_free | F.R9_double_free | F.R10_error_leak | F.R11_borrow_escape ->
+      true
+  | _ -> false
+
+let test_kown_r8_branch_join () =
+  (* A free on only one arm of a branch MAY have happened afterwards —
+     the join is a may-union, so the later write is a use-after-free. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/own.ml",
+          "let f p c =\n\
+          \  (if c then Ksim.Kmem.free p else ());\n\
+          \  Ksim.Kmem.write p 1\n\
+           let g p c =\n\
+          \  Ksim.Kmem.write p 1;\n\
+          \  if c then Ksim.Kmem.free p else ()\n" );
+      ]
+  in
+  check ids "use after a may-free is flagged, use before is not" [ "R8" ]
+    (rule_ids tree.E.findings);
+  check Alcotest.string "in the branching function" "Own.f"
+    (List.hd tree.E.findings).F.func
+
+let test_kown_interprocedural_consume () =
+  (* The consuming contract travels two call hops up the graph: [base]
+     frees its argument, so [mid] consumes, so [top]'s later read is a
+     use-after-move and [dbl]'s later free a double free. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/chain.ml",
+          "let base p = Ksim.Kmem.free p\n\
+           let mid p = base p\n\
+           let top p = mid p; Ksim.Kmem.read p\n\
+           let dbl p = base p; Ksim.Kmem.free p\n" );
+      ]
+  in
+  let rule r = List.filter (fun f -> f.F.rule = r) tree.E.findings in
+  (match rule F.R8_use_after_free with
+  | [ f ] -> check Alcotest.string "use-after-move in the caller" "Chain.top" f.F.func
+  | l -> Alcotest.fail (Fmt.str "expected one R8, got %d" (List.length l)));
+  (match rule F.R9_double_free with
+  | [ f ] -> check Alcotest.string "double free in the caller" "Chain.dbl" f.F.func
+  | l -> Alcotest.fail (Fmt.str "expected one R9, got %d" (List.length l)));
+  check Alcotest.int "consuming propagated to every function" 4
+    tree.E.kown.Klint.Kown.consuming
+
+let test_kown_r10_error_path () =
+  (* Trigger 1: a locally allocated, unescaped object still owned when an
+     [Error _] constructor is built leaks on that path; freeing first is
+     the fix. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/errpath.ml",
+          "let bad h c =\n\
+          \  let p = Ksim.Kmem.alloc h ~site:\"s\" 0 in\n\
+          \  if c then Error Enomem else Ok p\n\
+           let good h c =\n\
+          \  let p = Ksim.Kmem.alloc h ~site:\"s\" 0 in\n\
+          \  if c then begin Ksim.Kmem.free p; Error Enomem end else Ok p\n" );
+      ]
+  in
+  check ids "leak on the error arm only" [ "R10" ] (rule_ids tree.E.findings);
+  check Alcotest.string "in the leaking function" "Errpath.bad"
+    (List.hd tree.E.findings).F.func
+
+let test_kown_r10_sibling_arm () =
+  (* Trigger 2: both arms run the same Hashtbl.remove teardown but only
+     one frees — the forgot-the-kfree-in-one-arm shape. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/twoarm.ml",
+          "let unlink tbl ino p keep =\n\
+          \  if keep then Hashtbl.remove tbl ino\n\
+          \  else begin\n\
+          \    Ksim.Kmem.free p;\n\
+          \    Hashtbl.remove tbl ino\n\
+          \  end\n\
+           let both tbl ino p =\n\
+          \  if Hashtbl.mem tbl ino then begin\n\
+          \    Ksim.Kmem.free p;\n\
+          \    Hashtbl.remove tbl ino\n\
+          \  end\n\
+          \  else begin\n\
+          \    Ksim.Kmem.free p;\n\
+          \    Hashtbl.remove tbl ino\n\
+          \  end\n" );
+      ]
+  in
+  check ids "the arm missing the free is flagged" [ "R10" ] (rule_ids tree.E.findings);
+  check Alcotest.string "in the asymmetric function" "Twoarm.unlink"
+    (List.hd tree.E.findings).F.func
+
+let test_kown_r11_borrow_escape () =
+  (* Borrows must stay inside their lend closure: storing one, returning
+     one, freeing one, and touching a revoked capability are all R11;
+     reading through the borrow inside the closure is the blessed use. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/borrow.ml",
+          "let store_escape ck cap slot =\n\
+          \  Ownership.Checker.lend_exclusive ck cap ~to_:\"x\" ~f:(fun b ->\n\
+          \      slot.saved <- b)\n\
+           let ret_escape ck cap =\n\
+          \  Ownership.Checker.lend_shared ck cap ~to_:[ \"x\" ] ~f:(fun bs ->\n\
+          \      match bs with [ b ] -> b | _ -> assert false)\n\
+           let frees_borrow ck cap =\n\
+          \  Ownership.Checker.lend_exclusive ck cap ~to_:\"x\" ~f:(fun b ->\n\
+          \      Ownership.Checker.free ck b)\n\
+           let revoked ck c =\n\
+          \  Ownership.Cap.revoke c;\n\
+          \  Ownership.Checker.read ck c ~off:0 ~len:1\n" );
+        ( "lib/fixture/borrow_ok.ml",
+          "let fine ck cap n =\n\
+          \  Ownership.Checker.lend_shared ck cap ~to_:[ \"x\" ] ~f:(fun bs ->\n\
+          \      match bs with\n\
+          \      | [ b ] -> Bytes.to_string (Ownership.Checker.read ck b ~off:0 ~len:n)\n\
+          \      | _ -> assert false)\n" );
+      ]
+  in
+  check ids "every escape shape is R11, the in-scope read is clean"
+    [ "R11"; "R11"; "R11"; "R11" ]
+    (rule_ids tree.E.findings);
+  List.iter
+    (fun f -> check Alcotest.string "all in the bad file" "lib/fixture/borrow.ml" f.F.file)
+    tree.E.findings
+
+let test_kown_annotations () =
+  (* Attribute-form contracts override the inference: without them the
+     same bodies (opaque callees) lint clean; with them the caller's
+     use-after-consume and error-path leak surface. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/annotated.ml",
+          "let release p = dealloc p [@@consumes \"p\"]\n\
+           let make h = priv_alloc h [@@returns_owned]\n\
+           let f t = release t; Ksim.Kmem.read t\n\
+           let g h c =\n\
+          \  let q = make h in\n\
+          \  if c then Error Enomem else begin Ksim.Kmem.free q; Ok () end\n" );
+        ( "lib/fixture/unannotated.ml",
+          "let release p = dealloc p\n\
+           let make h = priv_alloc h\n\
+           let f t = release t; Ksim.Kmem.read t\n\
+           let g h c =\n\
+          \  let q = make h in\n\
+          \  if c then Error Enomem else begin Ksim.Kmem.free q; Ok () end\n" );
+      ]
+  in
+  check ids "annotated contracts fire, unannotated twins stay clean" [ "R8"; "R10" ]
+    (rule_ids tree.E.findings);
+  List.iter
+    (fun f ->
+      check Alcotest.string "only the annotated file" "lib/fixture/annotated.ml" f.F.file)
+    tree.E.findings
+
+let test_kown_mli_annotation () =
+  (* An ownership contract on the .mli val binds the .ml implementation,
+     like kracer's @must_hold. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/res.ml",
+          "let release r = dealloc r\nlet f r = release r; Ksim.Kmem.read r\n" );
+        ( "lib/fixture/res.mli",
+          "val f : 'a -> 'b\n(** @consumes: r *)\nval release : 'a -> unit\n" );
+      ]
+  in
+  check ids "mli @consumes drives the caller check" [ "R8" ] (rule_ids tree.E.findings);
+  check Alcotest.string "flagged at the use in the caller" "Res.f"
+    (List.hd tree.E.findings).F.func
+
+let test_kown_kmem_events () =
+  let write_tmp content =
+    let path = Filename.temp_file "kmem" ".events" in
+    let oc = open_out_bin path in
+    output_string oc content;
+    close_out oc;
+    path
+  in
+  (* parse: well-formed lines load, a malformed line is a hard error so a
+     truncated export cannot pass reconciliation by vacuity *)
+  (match
+     Klint.Kown.read_kmem_events
+       (write_tmp "uaf\town_ev\tsite-a\t2\n\nleak\town_ev\tsite-b\t1\n")
+   with
+  | Ok evs -> check Alcotest.int "events parsed, blank line skipped" 2 (List.length evs)
+  | Error msg -> Alcotest.fail msg);
+  (match Klint.Kown.read_kmem_events (write_tmp "uaf own_ev site-a 2\n") with
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error _ -> ());
+  (* subtraction: an event whose file already has a static finding of the
+     matching rule is covered; one without is the unsound residue; heaps
+     with no linted file (test scratch heaps) are skipped *)
+  let _, tree =
+    lint_tree_fixture
+      [ ("lib/fixture/own_ev.ml", "let f p = Ksim.Kmem.free p; Ksim.Kmem.read p\n") ]
+  in
+  check ids "fixture carries the R8" [ "R8" ] (rule_ids tree.E.findings);
+  let ev kind heap = { Klint.Kown.kind; heap; site = "s"; count = 1 } in
+  let survivors =
+    Klint.Kown.unflagged_kmem_events
+      ~files:[ "lib/fixture/own_ev.ml" ]
+      ~findings:tree.E.findings
+      [ ev "uaf" "own_ev"; ev "uaf" "own_ev"; ev "double_free" "own_ev"; ev "leak" "scratch" ]
+  in
+  match survivors with
+  | [ (e, file, rule) ] ->
+      check Alcotest.string "unflagged event attributed to the file" "lib/fixture/own_ev.ml"
+        file;
+      check Alcotest.string "double_free maps to R9" "R9" (F.rule_id rule);
+      check Alcotest.string "the surviving kind" "double_free" e.Klint.Kown.kind
+  | l -> Alcotest.fail (Fmt.str "expected one unflagged event, got %d" (List.length l))
+
+let test_kown_reconcile_ownership_claim () =
+  (* A subsystem claiming Ownership_safe must not carry a double free —
+     below that rung the finding is recorded but tolerated, and a
+     grandfathered entry stays a non-violation. *)
+  let _, tree =
+    lint_tree_fixture
+      [ ("lib/fixture/own_claim.ml", "let f p = Ksim.Kmem.free p; Ksim.Kmem.free p\n") ]
+  in
+  check ids "double free found" [ "R9" ] (rule_ids tree.E.findings);
+  check Alcotest.int "violation under the Ownership_safe claim" 1
+    (List.length (violations Level.Ownership_safe tree.E.findings));
+  check Alcotest.int "tolerated under Modular" 0
+    (List.length (violations Level.Modular tree.E.findings));
+  check Alcotest.int "baselined finding tolerated" 0
+    (List.length
+       (violations
+          ~baseline:(B.of_findings tree.E.findings)
+          Level.Ownership_safe tree.E.findings))
+
+let test_kown_baseline_renumbering () =
+  (* Baseline entries are line-anchored: an unrelated edit above the
+     finding renumbers it, the old entry goes stale and the finding
+     reappears as a violation.  The ci ratchet compares per
+     (rule, file, class) counts exactly so that this renumbering is not
+     mistaken for growth. *)
+  let fixture prefix =
+    [ ("lib/fixture/own_base.ml", prefix ^ "let f p = Ksim.Kmem.free p; Ksim.Kmem.free p\n") ]
+  in
+  let _, t1 = lint_tree_fixture (fixture "") in
+  let base = B.of_findings t1.E.findings in
+  let _, t2 = lint_tree_fixture (fixture "let unrelated = 0\n") in
+  let r = E.reconcile ~claim_of:(claiming Level.Ownership_safe) ~baseline:base t2.E.findings in
+  check Alcotest.int "renumbered finding is no longer grandfathered" 1
+    (List.length r.E.violations);
+  check Alcotest.int "its old entry is reported stale" 1 (List.length r.E.stale_baseline)
+
 (* Reconciliation -------------------------------------------------------- *)
 
 let test_reconcile_cast_violation () =
@@ -402,6 +662,28 @@ let test_shipped_tree_clean () =
           check Alcotest.bool ("subsystem row " ^ needle) true (contains needle))
         (Safeos_core.Registry.all registry))
 
+let test_kown_shipped_exhibits () =
+  (* The acceptance pair: every seeded lifetime exhibit in memfs_unsafe
+     is flagged (then baselined), and the ownership-safe twin carries
+     zero R8–R11 findings. *)
+  with_repo_root (fun root ->
+      let tree = E.lint_tree ~root in
+      let has rule =
+        List.exists
+          (fun f -> String.equal f.F.file "lib/kfs/memfs_unsafe.ml" && f.F.rule = rule)
+          tree.E.findings
+      in
+      check Alcotest.bool "memfs_unsafe dangling store caught (R8)" true
+        (has F.R8_use_after_free);
+      check Alcotest.bool "memfs_unsafe double free caught (R9)" true (has F.R9_double_free);
+      check Alcotest.bool "memfs_unsafe leak arm caught (R10)" true (has F.R10_error_leak);
+      let owned_findings =
+        List.filter
+          (fun f -> String.equal f.F.file "lib/kfs/memfs_owned.ml" && is_own_rule f.F.rule)
+          tree.E.findings
+      in
+      check Alcotest.int "memfs_owned is ownership-clean" 0 (List.length owned_findings))
+
 let test_loc_derivation () =
   with_repo_root (fun root ->
       match Klint.registry_loc ~root "tcp" with
@@ -454,6 +736,23 @@ let () =
           Alcotest.test_case "runtime reconciliation" `Quick test_kracer_runtime_reconciliation;
           Alcotest.test_case "mli-side contracts" `Quick test_kracer_mli_annotation;
         ] );
+      ( "kown",
+        [
+          Alcotest.test_case "r8 across a branch join" `Quick test_kown_r8_branch_join;
+          Alcotest.test_case "consumes through two call hops" `Quick
+            test_kown_interprocedural_consume;
+          Alcotest.test_case "r10 error-path leak" `Quick test_kown_r10_error_path;
+          Alcotest.test_case "r10 asymmetric sibling arm" `Quick test_kown_r10_sibling_arm;
+          Alcotest.test_case "r11 borrow escapes" `Quick test_kown_r11_borrow_escape;
+          Alcotest.test_case "attribute contracts override inference" `Quick
+            test_kown_annotations;
+          Alcotest.test_case "mli-side ownership contracts" `Quick test_kown_mli_annotation;
+          Alcotest.test_case "kmem-event reconciliation" `Quick test_kown_kmem_events;
+          Alcotest.test_case "ownership claim reconciliation" `Quick
+            test_kown_reconcile_ownership_claim;
+          Alcotest.test_case "baseline renumbering goes stale" `Quick
+            test_kown_baseline_renumbering;
+        ] );
       ( "reconcile",
         [
           Alcotest.test_case "cast under type-safe claim" `Quick test_reconcile_cast_violation;
@@ -465,6 +764,8 @@ let () =
       ( "tree",
         [
           Alcotest.test_case "shipped tree is violation-free" `Quick test_shipped_tree_clean;
+          Alcotest.test_case "ownership exhibits caught, owned twin clean" `Quick
+            test_kown_shipped_exhibits;
           Alcotest.test_case "registry loc derived from klint" `Quick test_loc_derivation;
           Alcotest.test_case "effective line counting" `Quick test_effective_loc;
         ] );
