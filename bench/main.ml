@@ -377,6 +377,56 @@ let bench_ablation () =
       Test.make ~name:"migration-validation-50ops" (staged validation);
     ]
 
+(* BENCH-LOAD: the multi-tenant load harness.  Two things happen here:
+   a bechamel timing of a small population (the harness must stay cheap
+   enough to live inside CI), and one full storm run whose report is
+   persisted as BENCH_6.json at the repo root — ops/sec, recovery-latency
+   percentiles and the shed-load rate, the per-PR trajectory ROADMAP
+   item 2 asks for. *)
+
+let bench_kload () =
+  let small =
+    { Kload.Spec.default with Kload.Spec.tenants = 60; ops_per_tenant = 6 }
+  in
+  let rows =
+    run_group "kload"
+      [
+        Test.make ~name:"360ops-60tenants-no-storm"
+          (staged (fun () -> Kload.Harness.run ~spec:small ~seed:11 ()));
+        Test.make ~name:"360ops-60tenants-panic-wave"
+          (staged (fun () ->
+               Kload.Harness.run ~spec:small ~storm:Kload.Harness.Panic_wave ~seed:11 ()));
+      ]
+  in
+  (* The persisted run: default population, full mixed storm. *)
+  let t0 = Sys.time () in
+  let { Kload.Harness.report; _ } =
+    Kload.Harness.run ~storm:Kload.Harness.Mixed ~seed:42 ()
+  in
+  let wall = Sys.time () -. t0 in
+  let shed_rate =
+    if report.Kload.Report.planned = 0 then 0.
+    else float_of_int report.Kload.Report.shed /. float_of_int report.Kload.Report.planned
+  in
+  Fmt.pr "@.kload storm run (persisted): %a@." Kload.Report.pp report;
+  let json =
+    Printf.sprintf
+      "{\n  \"issue\": 6,\n  \"wall_seconds\": %.4f,\n  \"wall_ops_per_sec\": %.0f,\n  \"report\": %s\n}\n"
+      wall
+      (if wall > 0. then float_of_int report.Kload.Report.executed /. wall else 0.)
+      (Kload.Report.to_json_string report)
+  in
+  let path =
+    match Klint.find_root () with
+    | Some root -> Filename.concat root "BENCH_6.json"
+    | None -> "BENCH_6.json"
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "kload: shed rate %.3f, report written to %s@." shed_rate path;
+  rows
+
 (* BENCH-LINT: the static analyses gate every CI run, so their cost is
    part of the developer loop; keep the whole-tree pass visibly cheap. ---- *)
 
@@ -500,6 +550,7 @@ let () =
   let supervision = bench_supervision () in
   let _ebpf = bench_ebpf () in
   let _mm = bench_mm () in
+  let _kload = bench_kload () in
   let ablation = bench_ablation () in
   let lint = bench_lint () in
   shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilience ~supervision

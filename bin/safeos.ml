@@ -261,6 +261,55 @@ let supervise () =
   Fmt.pr "@.incidents audited: %d@." (List.length (Safeos_core.Audit.incidents ()));
   if recovered && stale && failed then 0 else 1
 
+(* load --------------------------------------------------------------------- *)
+
+(* The multi-tenant load harness: thousands of tenant processes over the
+   supervised stack, a failpoint storm mid-run, the recovery SLO as the
+   exit code.  Everything is on the simulated clock, so the same seed
+   reproduces the same report byte for byte. *)
+let load tenants ops storm_name seed spec_dsl json out =
+  let storm =
+    match Kload.Harness.storm_of_string storm_name with
+    | Some s -> s
+    | None ->
+        Fmt.epr "safeos load: unknown storm %S (known: %s)@." storm_name
+          (String.concat ", " (List.map Kload.Harness.storm_name Kload.Harness.all_storms));
+        exit 2
+  in
+  let spec =
+    match spec_dsl with
+    | Some dsl -> (
+        match Kload.Spec.of_string dsl with
+        | Ok s -> s
+        | Error msg ->
+            Fmt.epr "safeos load: bad spec %S: %s@." dsl msg;
+            exit 2)
+    | None -> { Kload.Spec.default with Kload.Spec.tenants; ops_per_tenant = ops }
+  in
+  let t0 = Unix.gettimeofday () in
+  let { Kload.Harness.report; crashed_tenants; _ } =
+    Kload.Harness.run ~spec ~storm ~seed ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  if json then Fmt.pr "%s@." (Kload.Report.to_json_string report)
+  else begin
+    Fmt.pr "%a@." Kload.Report.pp report;
+    Fmt.pr "wall: %.3f s (%.0f ops/s real)@." dt
+      (if dt > 0. then float_of_int report.Kload.Report.executed /. dt else 0.)
+  end;
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Kload.Report.to_json_string report);
+      output_string oc "\n";
+      close_out oc;
+      Fmt.pr "report written to %s@." path
+  | None -> ());
+  let verdict = Kload.Slo.evaluate report in
+  Fmt.pr "%a@." Kload.Slo.pp_verdict verdict;
+  if crashed_tenants > 0 then Fmt.pr "UNCONTAINED: %d tenant(s) crashed@." crashed_tenants;
+  if verdict.Kload.Slo.passed && crashed_tenants = 0 then 0 else 1
+
 (* audit ------------------------------------------------------------------ *)
 
 let audit () =
@@ -322,6 +371,37 @@ let ebpf_cmd =
   Cmd.v
     (Cmd.info "ebpf" ~doc:"Demonstrate the verified extension VM (loads, filters, traces)")
     Term.(const ebpf $ packets)
+
+let load_cmd =
+  let tenants =
+    Arg.(value & opt int Kload.Spec.default.Kload.Spec.tenants
+         & info [ "tenants" ] ~docv:"N" ~doc:"simulated tenant processes")
+  in
+  let ops =
+    Arg.(value & opt int Kload.Spec.default.Kload.Spec.ops_per_tenant
+         & info [ "ops" ] ~docv:"N" ~doc:"operations per tenant")
+  in
+  let storm =
+    Arg.(value & opt string "mixed"
+         & info [ "storm" ] ~docv:"STORM" ~doc:"none, panic-wave, eio-wave, sock-storm, or mixed")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let spec =
+    Arg.(value & opt (some string) None
+         & info [ "spec" ] ~docv:"DSL"
+             ~doc:"full workload spec, e.g. \
+                   'tenants=1000; ops=8; classes=rpc:3:net=8,meta=1' (overrides \
+                   $(b,--tenants)/$(b,--ops))")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"print the report as JSON") in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"also write the JSON report to $(docv)")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Run the multi-tenant load harness with a failpoint storm and gate on the SLO")
+    Term.(const load $ tenants $ ops $ storm $ seed $ spec $ json $ out)
 
 let supervise_cmd =
   Cmd.v
@@ -432,6 +512,7 @@ let main =
       inject_cmd;
       workload_cmd;
       ebpf_cmd;
+      load_cmd;
       supervise_cmd;
       audit_cmd;
       explain_cmd;

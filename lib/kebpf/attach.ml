@@ -106,6 +106,76 @@ let trace_op tracer op =
 let bucket_counts tracer = Array.copy tracer.buckets
 let tracer_traps tracer = tracer.ttraps
 
+(* Generic counter probe ---------------------------------------------------- *)
+
+(* The tracer hook generalized to caller-encoded contexts: the load
+   harness attaches these and feeds one event per tenant operation, so
+   per-tenant / per-class counters are computed *by a verified program*
+   rather than privileged harness code — kebpf as the in-sim
+   observability plane. *)
+
+type probe = {
+  pprog : Vm.loaded;
+  pbuckets : int array;
+  mutable ptraps : int;
+}
+
+let attach_probe ?(buckets = 16) prog =
+  Result.map
+    (fun loaded -> { pprog = loaded; pbuckets = Array.make buckets 0; ptraps = 0 })
+    (Vm.load prog)
+
+let probe_event probe ctx =
+  match Vm.exec probe.pprog ~ctx with
+  | Ok bucket ->
+      let n = Array.length probe.pbuckets in
+      let b = ((bucket mod n) + n) mod n in
+      probe.pbuckets.(b) <- probe.pbuckets.(b) + 1
+  | Error _ -> probe.ptraps <- probe.ptraps + 1
+
+let probe_counts probe = Array.copy probe.pbuckets
+let probe_traps probe = probe.ptraps
+
+(* Load-event context layout (all single bytes):
+     ctx[0]  tenant id, low byte
+     ctx[1]  tenant id, high byte
+     ctx[2]  tenant class index
+     ctx[3]  operation kind
+     ctx[4]  payload size / 256, clamped to 255 *)
+let encode_load_event ~tenant ~class_id ~kind ~size =
+  let b = Bytes.create 5 in
+  Bytes.set b 0 (Char.chr (tenant land 0xff));
+  Bytes.set b 1 (Char.chr ((tenant lsr 8) land 0xff));
+  Bytes.set b 2 (Char.chr (class_id land 0xff));
+  Bytes.set b 3 (Char.chr (kind land 0xff));
+  Bytes.set b 4 (Char.chr (min 255 (size lsr 8)));
+  Bytes.unsafe_to_string b
+
+(* Bucket = tenant id (ctx[0] + 256 * ctx[1]); attach with a bucket
+   count covering the tenant population (the hook wraps modulo). *)
+let tenant_probe : Insn.program =
+  [|
+    Insn.Mov_imm (Insn.R2, 0);
+    Insn.Ld_ctx (Insn.R3, Insn.R2, 0);
+    Insn.Ld_ctx (Insn.R4, Insn.R2, 1);
+    Insn.Alu_imm (Insn.Mul, Insn.R4, 256);
+    Insn.Mov_reg (Insn.R0, Insn.R3);
+    Insn.Alu_reg (Insn.Add, Insn.R0, Insn.R4);
+    Insn.Exit;
+  |]
+
+(* Bucket = class * 8 + kind: the per-class op-mix matrix. *)
+let class_kind_probe : Insn.program =
+  [|
+    Insn.Mov_imm (Insn.R2, 0);
+    Insn.Ld_ctx (Insn.R3, Insn.R2, 2);
+    Insn.Alu_imm (Insn.Mul, Insn.R3, 8);
+    Insn.Ld_ctx (Insn.R4, Insn.R2, 3);
+    Insn.Mov_reg (Insn.R0, Insn.R3);
+    Insn.Alu_reg (Insn.Add, Insn.R0, Insn.R4);
+    Insn.Exit;
+  |]
+
 (* Canned programs ----------------------------------------------------------- *)
 
 (* Accept packets whose first byte equals [kind] and that are at least

@@ -34,6 +34,34 @@ val trace_op : tracer -> Kspec.Fs_spec.op -> unit
 val bucket_counts : tracer -> int array
 val tracer_traps : tracer -> int
 
+(** {1 Generic counter probe}
+
+    The tracer hook generalized to caller-encoded contexts: attach a
+    verified program, feed it events, and it buckets them.  The load
+    harness uses these as its per-tenant / per-class export plane. *)
+
+type probe
+
+val attach_probe : ?buckets:int -> Insn.program -> (probe, Verifier.rejection) result
+
+val probe_event : probe -> string -> unit
+(** Run the program on the raw context; r0 selects the bucket to count
+    (wrapped modulo the bucket array).  Traps are counted, not raised. *)
+
+val probe_counts : probe -> int array
+val probe_traps : probe -> int
+
+val encode_load_event : tenant:int -> class_id:int -> kind:int -> size:int -> string
+(** The load-event context layout: tenant id (two bytes, little-endian),
+    class index, operation kind, payload size divided by 256 and
+    clamped. *)
+
+val tenant_probe : Insn.program
+(** Bucket = tenant id; attach with enough buckets for the population. *)
+
+val class_kind_probe : Insn.program
+(** Bucket = class * 8 + kind: the per-class operation-mix matrix. *)
+
 (** {1 Canned programs} *)
 
 val packet_kind_filter : kind:int -> min_len:int -> Insn.program

@@ -1,0 +1,40 @@
+(** Heavy-tailed distributions for the load generator, all driven by an
+    explicit {!Ksim.Rng.t} so draws replay exactly from the seed.
+
+    Real multi-tenant traffic is not Poisson: think times and request
+    sizes are Pareto (a few giants dominate the mass) and key popularity
+    is Zipfian (a few keys take most of the traffic).  These are the
+    standard storage/tenant-workload shapes (cf. YCSB's zipfian request
+    distribution). *)
+
+val pareto : Ksim.Rng.t -> alpha:float -> xmin:float -> float
+(** One draw from a Pareto distribution with shape [alpha] and scale
+    [xmin] (so every draw is [>= xmin]).  Smaller [alpha] = heavier
+    tail; [alpha <= 1] has infinite mean.
+    @raise Invalid_argument on non-positive [alpha] or [xmin]. *)
+
+val bounded_pareto : Ksim.Rng.t -> alpha:float -> xmin:float -> xmax:float -> float
+(** Pareto truncated to [\[xmin, xmax\]] by inverse-CDF (not by
+    rejection), so one RNG draw per sample and the tail mass folds into
+    the bound deterministically. *)
+
+val pareto_int : Ksim.Rng.t -> alpha:float -> xmin:int -> xmax:int -> int
+(** {!bounded_pareto} rounded down to an integer — think times in
+    simulated ns, payload sizes in bytes. *)
+
+(** Zipfian ranks over a finite key space, by precomputed inverse CDF. *)
+module Zipf : sig
+  type t
+
+  val create : ?s:float -> n:int -> unit -> t
+  (** Ranks [0 .. n-1] with P(k) proportional to [1/(k+1)^s].  Default
+      [s = 1.01], the classic skew where the top rank takes a few
+      percent of all traffic.  @raise Invalid_argument on [n <= 0] or
+      negative [s]. *)
+
+  val n : t -> int
+
+  val draw : t -> Ksim.Rng.t -> int
+  (** One rank, by binary search over the cumulative table: O(log n),
+    one RNG draw. *)
+end

@@ -1,0 +1,64 @@
+(** The load harness: spin the whole stack up, run a {!Spec.t} population
+    of tenants as {!Kproc.Kernel} processes, compose a failpoint storm
+    over the run, and measure.
+
+    Topology per run, all sharing one {!Ksim.Failpoint} registry and one
+    {!Ksim.Kstats} table:
+
+    {v
+      Kproc.Kernel (cooperative scheduler, one process per tenant)
+        /      root memfs            — VFS metadata traffic (fault-free)
+        /dur   supervised journalfs  — over Resilient/Flakydev/Blockdev;
+                                       microreboot = journal-replay remount
+        /svc   supervised memfs      — panicky; churn target (RAM loss ok)
+        sock   Knet.Sock.Supervised  — request/response traffic
+    v}
+
+    Determinism: tenants draw from private seeded streams ({!Gen}), the
+    scheduler is deterministic round-robin, storms tick on the global
+    operation counter, and latencies live on a simulated clock — so one
+    [(spec, storm, seed)] triple fixes the entire run, byte for byte
+    (witnessed by {!Report.t.fingerprint}).
+
+    Durability acknowledgment: writers take a per-key try-lock (a
+    contended writer degrades to a read of the key — optimistic
+    concurrency — since two interleaved writers would leave the final
+    value schedule-dependent).  A durable write is {e acked} only when
+    its fsync succeeded and the [/dur] mount epoch is unchanged from
+    just before the write, so an ack never straddles a microreboot.
+    After the run (storm disabled) every acked key is read back and must
+    parse at or past its acked version; misses are
+    {!Report.t.lost_acked_writes}. *)
+
+type storm_preset =
+  | No_storm
+  | Panic_wave  (** module-panic volleys on [/svc], [/dur] and the socket layer *)
+  | Eio_wave  (** transient-EIO and torn-write bursts on the [/dur] device *)
+  | Sock_storm  (** two overlapping bursts on the socket panic site *)
+  | Mixed  (** all of the above *)
+
+val storm_name : storm_preset -> string
+val storm_of_string : string -> storm_preset option
+val all_storms : storm_preset list
+
+val bursts_for : storm_preset -> total_ticks:int -> Ksim.Storm.burst list
+(** The preset's schedule scaled to a run of [total_ticks] operations. *)
+
+type result = {
+  report : Report.t;
+  tenant_op_counts : int array;
+      (** executed ops per tenant, counted by the kebpf tenant probe *)
+  class_kind_counts : int array;
+      (** kebpf class/kind matrix: bucket [class * 8 + kind] *)
+  crashed_tenants : int;  (** processes that died uncontained (must be 0) *)
+  stats : Ksim.Kstats.t;
+}
+
+val run :
+  ?spec:Spec.t ->
+  ?storm:storm_preset ->
+  ?admission:Admission.config ->
+  seed:int ->
+  unit ->
+  result
+(** One full load run.  @raise Invalid_argument on an invalid spec. *)

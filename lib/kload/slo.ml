@@ -1,0 +1,45 @@
+type bounds = {
+  max_recovery_p99_ns : int;
+  max_consec_errors : int;
+  max_shed_fraction : float;
+  require_zero_lost_acks : bool;
+}
+
+let default_bounds =
+  {
+    max_recovery_p99_ns = 200_000;
+    max_consec_errors = 12;
+    max_shed_fraction = 0.6;
+    require_zero_lost_acks = true;
+  }
+
+type verdict = {
+  passed : bool;
+  violations : string list;
+}
+
+let evaluate ?(bounds = default_bounds) (r : Report.t) =
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let recovery_p99 = r.Report.recovery.Ksim.Hist.p99 in
+  if r.Report.recovery.Ksim.Hist.count > 0 && recovery_p99 > bounds.max_recovery_p99_ns then
+    violate "recovery p99 %d ns exceeds bound %d ns" recovery_p99 bounds.max_recovery_p99_ns;
+  if r.Report.max_consec_errors > bounds.max_consec_errors then
+    violate "worst tenant error streak %d exceeds bound %d" r.Report.max_consec_errors
+      bounds.max_consec_errors;
+  let shed_fraction =
+    if r.Report.planned = 0 then 0.0
+    else float_of_int r.Report.shed /. float_of_int r.Report.planned
+  in
+  if shed_fraction > bounds.max_shed_fraction then
+    violate "shed fraction %.3f exceeds bound %.3f" shed_fraction bounds.max_shed_fraction;
+  if bounds.require_zero_lost_acks && r.Report.lost_acked_writes > 0 then
+    violate "%d acknowledged writes lost (must be 0)" r.Report.lost_acked_writes;
+  { passed = !violations = []; violations = List.rev !violations }
+
+let pp_verdict fmt v =
+  if v.passed then Format.fprintf fmt "SLO: pass"
+  else
+    Format.fprintf fmt "@[<v>SLO: FAIL@,%a@]"
+      (Format.pp_print_list (fun fmt s -> Format.fprintf fmt "  - %s" s))
+      v.violations

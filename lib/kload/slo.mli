@@ -1,0 +1,37 @@
+(** Recovery SLOs: the pass/fail contract a load run is gated on.
+
+    Three obligations, from the issue's crash-safety bar:
+
+    - {b recovery latency}: p99 of oops-to-healthy microreboot latency
+      (on the supervisors' simulated clocks) under a bound;
+    - {b bounded staleness}: no tenant sees more than
+      [max_consec_errors] consecutive residual errors ([EIO]/[ESTALE]
+      after its retry policy) — recovery must be visible to every
+      tenant, not just on average;
+    - {b zero lost acknowledged writes}: every durable write
+      acknowledged (fsync succeeded, mount epoch unchanged) must be
+      readable afterwards at (or past) the acknowledged version.
+
+    Plus an overload bound: admission may shed at most
+    [max_shed_fraction] of planned operations — backpressure is graceful
+    degradation, not an outage. *)
+
+type bounds = {
+  max_recovery_p99_ns : int;
+  max_consec_errors : int;
+  max_shed_fraction : float;  (** in [0,1] *)
+  require_zero_lost_acks : bool;
+}
+
+val default_bounds : bounds
+(** p99 recovery under 200 us (simulated), at most 12 consecutive errors
+    per tenant, at most 60% shed, zero lost acks. *)
+
+type verdict = {
+  passed : bool;
+  violations : string list;  (** one line per violated obligation *)
+}
+
+val evaluate : ?bounds:bounds -> Report.t -> verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit

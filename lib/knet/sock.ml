@@ -259,6 +259,18 @@ module Supervised = struct
   let received_at_peer t h =
     guarded t h ~label:"received" (fun pair -> Ok (Typed.received_at_peer pair))
 
+  (* One request/response round trip as a single supervised operation:
+     the shape a load-generating tenant drives in a tight loop.  Running
+     send+deliver+readback inside one containment thunk means an oops
+     anywhere in the exchange is one EIO (and one epoch check), not
+     three. *)
+  let rpc t h data =
+    guarded t h ~label:"rpc" (fun pair ->
+        let ( let* ) = Ksim.Errno.( let* ) in
+        let* _sent = Typed.send pair data in
+        Typed.deliver pair;
+        Ok (Typed.received_at_peer pair))
+
   let is_connected t h =
     guarded t h ~label:"is_connected" (fun pair -> Ok (Typed.is_connected pair))
 end

@@ -96,5 +96,13 @@ module Supervised : sig
   val send : t -> handle -> string -> int Ksim.Errno.r
   val deliver : t -> handle -> unit Ksim.Errno.r
   val received_at_peer : t -> handle -> string Ksim.Errno.r
+
+  val rpc : t -> handle -> string -> string Ksim.Errno.r
+  (** One request/response round trip (send, deliver, read back the
+      peer's accumulated bytes) as a single supervised operation — the
+      request/response primitive the load harness drives.  [ESTALE] on a
+      dead-generation handle, [EIO]/[EINTR] under containment like every
+      other operation. *)
+
   val is_connected : t -> handle -> bool Ksim.Errno.r
 end

@@ -81,7 +81,7 @@ type sys = {
    panic is contained to an errno, the fs microreboots (a root memfs
    comes back empty — it is RAM), and fds minted before the reboot
    answer [ESTALE]. *)
-let boot ?(frames = 1024) ?(page_size = 256) ?root_fp ?root_policy ?stats
+let boot ?(frames = 1024) ?(page_size = 256) ?max_steps ?root_fp ?root_policy ?stats
     ?(supervise_root = false) () =
   let vfs = Kvfs.Vfs.create () in
   let make_root () =
@@ -99,7 +99,7 @@ let boot ?(frames = 1024) ?(page_size = 256) ?root_fp ?root_policy ?stats
   {
     vfs;
     phys = Kmm.Phys.create ~nframes:frames ~page_size;
-    sched = Ksim.Kthread.create ();
+    sched = Ksim.Kthread.create ?max_steps ();
     procs = Hashtbl.create 8;
     pipe_fds = Hashtbl.create 8;
     next_pipe_fd = 10_000;

@@ -48,6 +48,7 @@ type sys = {
 val boot :
   ?frames:int ->
   ?page_size:int ->
+  ?max_steps:int ->
   ?root_fp:Ksim.Failpoint.t ->
   ?root_policy:Ksim.Supervisor.policy ->
   ?stats:Ksim.Kstats.t ->
@@ -55,6 +56,8 @@ val boot :
   unit ->
   t
 (** A kernel with a root memfs and [frames] physical frames.
+    [max_steps] raises the scheduler's livelock bound for very large
+    process populations (the load harness runs tens of thousands).
 
     [root_fp] wraps the root fs in {!Kvfs.Iface.panicky} (failpoint site
     ["module.panic"]); without supervision such a panic escapes the

@@ -1,25 +1,61 @@
-(* Named counters, used by benches and the audit tooling. *)
+(* Named counters and latency histograms, used by benches, the load
+   harness, and the audit tooling. *)
 
-type t = (string, int ref) Hashtbl.t
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, Hist.t) Hashtbl.t;
+}
 
-let create () : t = Hashtbl.create 16
+let create () : t = { counters = Hashtbl.create 16; hists = Hashtbl.create 4 }
 
 let counter t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.counters name with
   | Some r -> r
   | None ->
       let r = ref 0 in
-      Hashtbl.replace t name r;
+      Hashtbl.replace t.counters name r;
       r
 
 let incr ?(by = 1) t name =
   let r = counter t name in
   r := !r + by
 
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let hist t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = Hist.create () in
+      Hashtbl.replace t.hists name h;
+      h
+
+let observe t name v = Hist.record (hist t name) v
+
+let hists t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Histograms flatten into the counter namespace as derived entries, so
+   snapshots (and their diffs) carry percentile aggregates without a
+   second representation. *)
+let hist_entries t =
+  List.concat_map
+    (fun (name, h) ->
+      let s = Hist.summarize h in
+      [
+        (name ^ "#count", s.Hist.count);
+        (name ^ "#min", s.Hist.min);
+        (name ^ "#mean", int_of_float s.Hist.mean);
+        (name ^ "#p50", s.Hist.p50);
+        (name ^ "#p99", s.Hist.p99);
+        (name ^ "#max", s.Hist.max);
+      ])
+    (hists t)
 
 let to_list t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  let counters = Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters [] in
+  counters @ hist_entries t
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* A snapshot is just the sorted counter list; [diff] pairs two of them
@@ -41,7 +77,9 @@ let delta ~before ~after name =
   let get l = match List.assoc_opt name l with Some v -> v | None -> 0 in
   get after - get before
 
-let reset t = Hashtbl.reset t
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.hists
 
 let pp ppf t =
   List.iter (fun (name, v) -> Fmt.pf ppf "%-32s %d@." name v) (to_list t)

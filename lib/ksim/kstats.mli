@@ -1,4 +1,5 @@
-(** Named monotonic counters for instrumentation and audits. *)
+(** Named monotonic counters and latency histograms for instrumentation
+    and audits. *)
 
 type t
 
@@ -7,8 +8,19 @@ val incr : ?by:int -> t -> string -> unit
 val get : t -> string -> int
 (** 0 for counters never incremented. *)
 
+val hist : t -> string -> Hist.t
+(** Find-or-create the named histogram. *)
+
+val observe : t -> string -> int -> unit
+(** Record one value into the named histogram. *)
+
+val hists : t -> (string * Hist.t) list
+(** All histograms, sorted by name. *)
+
 val to_list : t -> (string * int) list
-(** All counters, sorted by name. *)
+(** All counters, sorted by name.  Histograms appear as derived entries
+    ([<name>#count], [#min], [#mean], [#p50], [#p99], [#max]) so
+    snapshots carry percentile aggregates. *)
 
 type snapshot = (string * int) list
 (** A point-in-time copy of every counter, sorted by name. *)

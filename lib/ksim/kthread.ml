@@ -30,7 +30,7 @@ type failure = {
 
 type t = {
   rng : Rng.t option;
-  mutable queue : (int * string * job) list; (* runnable, FIFO order *)
+  queue : (int * string * job) Queue.t; (* runnable, FIFO order *)
   mutable next_tid : int;
   mutable failures : failure list;
   mutable steps : int;
@@ -41,32 +41,37 @@ exception Livelock of { steps : int }
 
 let create ?seed ?(max_steps = 1_000_000) () =
   let rng = Option.map Rng.of_int seed in
-  { rng; queue = []; next_tid = 0; failures = []; steps = 0; max_steps }
+  { rng; queue = Queue.create (); next_tid = 0; failures = []; steps = 0; max_steps }
 
 let spawn t ~name f =
   t.next_tid <- t.next_tid + 1;
   let tid = t.next_tid in
-  t.queue <- t.queue @ [ (tid, name, Start f) ];
+  Queue.push (tid, name, Start f) t.queue;
   tid
 
-let enqueue t entry = t.queue <- t.queue @ [ entry ]
+let enqueue t entry = Queue.push entry t.queue
 
+(* Round-robin is the hot path (the load harness runs tens of thousands
+   of tenant threads): O(1) pop, no list rebuilding.  The seeded-random
+   scheduler used by interleaving exploration removes the i-th runnable
+   entry while preserving the relative order of the rest — identical
+   semantics (and pick sequence) to the original list implementation. *)
 let dequeue t =
-  match t.queue with
-  | [] -> None
-  | entries -> (
-      match t.rng with
-      | None ->
-          (* round-robin *)
-          let hd = List.hd entries in
-          t.queue <- List.tl entries;
-          Some hd
-      | Some rng ->
-          let n = List.length entries in
-          let i = Rng.int rng n in
-          let picked = List.nth entries i in
-          t.queue <- List.filteri (fun j _ -> j <> i) entries;
-          Some picked)
+  if Queue.is_empty t.queue then None
+  else
+    match t.rng with
+    | None -> Some (Queue.pop t.queue)
+    | Some rng ->
+        let n = Queue.length t.queue in
+        let i = Rng.int rng n in
+        let picked = ref None in
+        let rest = Queue.create () in
+        for j = 0 to n - 1 do
+          let e = Queue.pop t.queue in
+          if j = i then picked := Some e else Queue.push e rest
+        done;
+        Queue.transfer rest t.queue;
+        !picked
 
 let run t =
   let outer = !current in

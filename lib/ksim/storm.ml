@@ -1,0 +1,90 @@
+(* Storm composition over a Failpoint registry.
+
+   The storm is pure bookkeeping: all randomness stays inside the
+   registry's per-site seeded streams, so a storm adds no
+   nondeterminism — it only decides *when* each site is armed and with
+   what composed knobs.  [tick] re-applies a site's configuration only
+   when its set of covering bursts changes (a "window boundary"); in
+   between, the site's live [times] countdown drains undisturbed. *)
+
+type burst = {
+  site : string;
+  start : int;
+  stop : int;
+  probability : float;
+  times : int;
+}
+
+type t = {
+  fp : Failpoint.t;
+  mutable bursts : burst list;
+  (* site -> indices (into [bursts]) of the window last applied; [] for
+     "disabled by us".  Absent = never touched. *)
+  applied : (string, int list) Hashtbl.t;
+}
+
+let create ~fp () = { fp; bursts = []; applied = Hashtbl.create 8 }
+
+let add t schedule =
+  List.iter
+    (fun b ->
+      if b.stop <= b.start then invalid_arg "Storm.add: empty window";
+      if b.probability < 0.0 || b.probability > 1.0 then invalid_arg "Storm.add: probability")
+    schedule;
+  t.bursts <-
+    List.stable_sort
+      (fun a b ->
+        match String.compare a.site b.site with
+        | 0 -> ( match compare a.start b.start with 0 -> compare a.stop b.stop | c -> c)
+        | c -> c)
+      (t.bursts @ schedule)
+
+let bursts t = t.bursts
+
+let sites t =
+  List.sort_uniq String.compare (List.map (fun b -> b.site) t.bursts)
+
+let covering t site now =
+  List.mapi (fun i b -> (i, b)) t.bursts
+  |> List.filter (fun (_, b) -> String.equal b.site site && b.start <= now && now < b.stop)
+
+(* Composed knobs for a covering set: independent fault sources, so
+   probabilities combine as 1 - prod(1-p); finite budgets sum, an
+   unlimited burst makes the window unlimited. *)
+let compose cover =
+  let prob = 1.0 -. List.fold_left (fun acc (_, b) -> acc *. (1.0 -. b.probability)) 1.0 cover in
+  let times =
+    if List.exists (fun (_, b) -> b.times < 0) cover then -1
+    else List.fold_left (fun acc (_, b) -> acc + b.times) 0 cover
+  in
+  (prob, times)
+
+let tick t now =
+  List.iter
+    (fun site ->
+      let cover = covering t site now in
+      let signature = List.map fst cover in
+      let last = Hashtbl.find_opt t.applied site in
+      if last <> Some signature then begin
+        Hashtbl.replace t.applied site signature;
+        match cover with
+        | [] -> Failpoint.configure t.fp site ~enabled:false ()
+        | _ ->
+            let probability, times = compose cover in
+            Failpoint.configure t.fp site ~enabled:true ~probability ~times ()
+      end)
+    (sites t)
+
+let disable t =
+  List.iter (fun site -> Failpoint.configure t.fp site ~enabled:false ()) (sites t);
+  Hashtbl.reset t.applied
+
+let active t now =
+  List.filter_map
+    (fun site ->
+      match covering t site now with
+      | [] -> None
+      | cover ->
+          let probability, times = compose cover in
+          Some (site, probability, times))
+    (sites t)

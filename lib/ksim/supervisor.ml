@@ -59,6 +59,7 @@ type t = {
   mutable oops_time : int; (* clock at the last oops *)
   mutable last_recovery_ns : int;
   mutable total_recovery_ns : int;
+  recovery : Hist.t; (* oops -> healthy latency of every completed microreboot *)
 }
 
 let create ?(policy = default_policy) ?(trace = Ktrace.global) ?stats ?restart ~name () =
@@ -85,6 +86,7 @@ let create ?(policy = default_policy) ?(trace = Ktrace.global) ?stats ?restart ~
     oops_time = 0;
     last_recovery_ns = 0;
     total_recovery_ns = 0;
+    recovery = Hist.create ();
   }
 
 let set_restart t f = t.restart_fn <- Some f
@@ -101,6 +103,8 @@ let eintr_aborted t = t.eintr_aborted
 let clock t = t.clock
 let last_recovery_ns t = t.last_recovery_ns
 let total_recovery_ns t = t.total_recovery_ns
+let recovery t = Hist.summarize t.recovery
+let recovery_hist t = t.recovery
 
 let bump t counter = Option.iter (fun s -> Kstats.incr s counter) t.stats
 
@@ -158,6 +162,8 @@ let try_restart t =
             let latency = t.clock - t.oops_time in
             t.last_recovery_ns <- latency;
             t.total_recovery_ns <- t.total_recovery_ns + latency;
+            Hist.record t.recovery latency;
+            Option.iter (fun s -> Kstats.observe s "supervisor.recovery_ns" latency) t.stats;
             bump t "supervisor.restarts";
             Ktrace.emitf t.trace ~category:"supervisor"
               "%s: microreboot complete (restart %d, epoch %d, recovery %d ns)" t.name
@@ -228,7 +234,8 @@ let publish t stats =
   p "escalations" t.escalations;
   p "stale_handles" t.stale_rejected;
   p "eintr_aborted" t.eintr_aborted;
-  p "degraded_calls" t.degraded_calls
+  p "degraded_calls" t.degraded_calls;
+  Hist.merge_into ~dst:(Kstats.hist stats ("supervisor." ^ t.name ^ ".recovery_ns")) t.recovery
 
 let pp ppf t =
   Fmt.pf ppf "%s: %s epoch=%d oopses=%d restarts=%d/%d stale=%d eintr=%d clock=%dns" t.name

@@ -110,8 +110,19 @@ val last_recovery_ns : t -> int
 
 val total_recovery_ns : t -> int
 
+val recovery : t -> Hist.summary
+(** Min/mean/max/percentile aggregation of the oops-to-healthy latency
+    over {e all} completed microreboots (empty summary if none yet).
+    Each latency is also observed live into the [stats] table's
+    ["supervisor.recovery_ns"] histogram, so {!Kstats.snapshot} carries
+    the aggregates. *)
+
+val recovery_hist : t -> Hist.t
+(** The underlying histogram (e.g. to merge across supervisors). *)
+
 val publish : t -> Kstats.t -> unit
 (** Add lifecycle counters into a {!Kstats} table under
-    ["supervisor.<name>."] prefixed names. *)
+    ["supervisor.<name>."] prefixed names, and merge the recovery-latency
+    histogram in as ["supervisor.<name>.recovery_ns"]. *)
 
 val pp : Format.formatter -> t -> unit

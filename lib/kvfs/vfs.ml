@@ -77,6 +77,9 @@ let resolve t path =
 let supervisor_at t path =
   match resolve t path with Some (m, _) -> m.sup | None -> None
 
+let supervisors t =
+  List.filter_map (fun m -> Option.map (fun s -> (m.mount_point, s)) m.sup) t.mounts
+
 let epoch_at t path =
   match resolve t path with
   | Some ({ sup = Some s; _ }, _) -> Ksim.Supervisor.epoch s

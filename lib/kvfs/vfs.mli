@@ -37,6 +37,10 @@ val mounts : t -> (Kspec.Fs_spec.path * string) list
 val supervisor_at : t -> Kspec.Fs_spec.path -> Ksim.Supervisor.t option
 (** The supervisor of the mount [path] resolves to, if supervised. *)
 
+val supervisors : t -> (Kspec.Fs_spec.path * Ksim.Supervisor.t) list
+(** Every supervised mount with its supervisor (longest mount point
+    first) — e.g. to aggregate recovery-latency SLOs across mounts. *)
+
 val epoch_at : t -> Kspec.Fs_spec.path -> int
 (** Current epoch of the mount [path] resolves to (0 when unsupervised
     or unresolved) — what open handles record at mint time. *)

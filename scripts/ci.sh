@@ -78,6 +78,18 @@ echo "== ci: torture extra seeds (supervision escalation gate) =="
 # into an unexpected Failed escalation instead of a clean microreboot.
 KSIM_TORTURE_SEEDS="101,202,303" dune exec test/test_torture.exe
 
+echo "== ci: kload smoke (multi-tenant storm, recovery-SLO gate) =="
+# ~500 tenants of mixed traffic with a mid-run panic storm.  The SLO
+# gate is the exit code: p99 oops->healthy within bound, bounded error
+# streaks, zero lost acknowledged writes, no uncontained tenant crash.
+dune exec bin/safeos.exe -- load --tenants 500 --storm mixed --seed 42 > /dev/null \
+  || { echo "ci: FAIL — kload smoke violated the recovery SLO" >&2; exit 1; }
+
+echo "== ci: kload extra seeds =="
+# KSIM_KLOAD_SEEDS / KSIM_KLOAD_TENANTS widen the seeded population the
+# alcotest kload suite runs (same hook style as KSIM_TORTURE_SEEDS).
+KSIM_KLOAD_SEEDS="${KSIM_KLOAD_SEEDS:-7,101}" dune exec test/test_kload.exe -- test harness 3
+
 echo "== ci: lock-graph reconciliation (static vs runtime) =="
 if [ -s "$LOCKDEP_EDGES" ]; then
   dune exec bin/klint/main.exe -- --root . --lockdep-edges "$LOCKDEP_EDGES"

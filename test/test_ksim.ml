@@ -775,6 +775,159 @@ let test_supervisor_publish () =
   Ksim.Supervisor.publish sup stats;
   check Alcotest.int "named counter" 1 (Ksim.Kstats.get stats "supervisor.fs.oopses")
 
+(* Hist: the HdrHistogram-lite percentile sketch ------------------------- *)
+
+let test_hist_percentiles () =
+  let h = Ksim.Hist.create () in
+  for v = 1 to 1000 do
+    Ksim.Hist.record h v
+  done;
+  check Alcotest.int "count" 1000 (Ksim.Hist.count h);
+  check Alcotest.int "min exact" 1 (Ksim.Hist.min_value h);
+  check Alcotest.int "max exact" 1000 (Ksim.Hist.max_value h);
+  let within pct want got =
+    let err = abs (got - want) in
+    if float_of_int err > (0.035 *. float_of_int want) +. 1.0 then
+      fail (Printf.sprintf "%s: want ~%d got %d" pct want got)
+  in
+  within "p50" 500 (Ksim.Hist.percentile h 50.0);
+  within "p95" 950 (Ksim.Hist.percentile h 95.0);
+  within "p99" 990 (Ksim.Hist.percentile h 99.0);
+  check Alcotest.int "p100 clamps to observed max" 1000 (Ksim.Hist.percentile h 100.0);
+  within "mean" 500 (int_of_float (Ksim.Hist.mean h));
+  let s = Ksim.Hist.summarize h in
+  check Alcotest.bool "summary ordered" true
+    (s.Ksim.Hist.p50 <= s.Ksim.Hist.p95 && s.p95 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max)
+
+let test_hist_merge () =
+  let a = Ksim.Hist.create () and b = Ksim.Hist.create () in
+  List.iter (Ksim.Hist.record a) [ 10; 20; 30 ];
+  List.iter (Ksim.Hist.record b) [ 40; 50000 ];
+  Ksim.Hist.merge_into ~dst:a b;
+  check Alcotest.int "merged count" 5 (Ksim.Hist.count a);
+  check Alcotest.int "merged min" 10 (Ksim.Hist.min_value a);
+  check Alcotest.int "merged max" 50000 (Ksim.Hist.max_value a);
+  check Alcotest.int "merged total" 50100 (Ksim.Hist.total a)
+
+let test_kstats_hist_snapshot () =
+  let stats = Ksim.Kstats.create () in
+  List.iter (Ksim.Kstats.observe stats "lat") [ 100; 200; 300 ];
+  let l = Ksim.Kstats.to_list stats in
+  check Alcotest.int "derived count entry" 3 (List.assoc "lat#count" l);
+  check Alcotest.int "derived min entry" 100 (List.assoc "lat#min" l);
+  check Alcotest.bool "derived p99 entry present" true (List.mem_assoc "lat#p99" l)
+
+(* Supervisor recovery aggregation (over all microreboots) ---------------- *)
+
+let test_supervisor_recovery_aggregation () =
+  let bad, f = sup_module () in
+  let stats = Ksim.Kstats.create () in
+  let sup =
+    Ksim.Supervisor.create ~trace:(Ksim.Ktrace.create ()) ~stats
+      ~restart:(fun () -> Ok ()) ~name:"mod" ()
+  in
+  (* Three oops/recover cycles; each recovery waits out a longer backoff,
+     so the histogram sees three distinct latencies. *)
+  for _ = 1 to 3 do
+    bad := true;
+    let rec drain n =
+      if n > 200 then fail "never recovered";
+      match Ksim.Supervisor.call sup f with Ok _ -> () | Error _ -> drain (n + 1)
+    in
+    drain 0
+  done;
+  let s = Ksim.Supervisor.recovery sup in
+  check Alcotest.int "three recoveries aggregated" 3 s.Ksim.Hist.count;
+  check Alcotest.bool "min positive" true (s.Ksim.Hist.min > 0);
+  check Alcotest.bool "ordered" true
+    (s.Ksim.Hist.min <= s.Ksim.Hist.p50 && s.Ksim.Hist.p50 <= s.Ksim.Hist.p99
+   && s.Ksim.Hist.p99 <= s.Ksim.Hist.max);
+  check Alcotest.bool "max saw the longest backoff" true
+    (s.Ksim.Hist.max > s.Ksim.Hist.min);
+  (* Live observation into the stats table, and publish under the name. *)
+  check Alcotest.int "live hist entry" 3
+    (List.assoc "supervisor.recovery_ns#count" (Ksim.Kstats.to_list stats));
+  Ksim.Supervisor.publish sup stats;
+  check Alcotest.int "published hist entry" 3
+    (List.assoc "supervisor.mod.recovery_ns#count" (Ksim.Kstats.to_list stats))
+
+(* Storm composition (satellite: composed failpoint schedules) ------------ *)
+
+let test_storm_overlap_composition () =
+  let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:1 () in
+  let storm = Ksim.Storm.create ~fp () in
+  Ksim.Storm.add storm
+    [ { Ksim.Storm.site = "s"; start = 0; stop = 10; probability = 0.5; times = 3 } ];
+  Ksim.Storm.add storm
+    [ { Ksim.Storm.site = "s"; start = 5; stop = 15; probability = 0.5; times = 4 } ];
+  (* In the overlap: union probability, summed finite budgets. *)
+  (match Ksim.Storm.active storm 7 with
+  | [ ("s", p, budget) ] ->
+      check (Alcotest.float 1e-9) "union probability" 0.75 p;
+      check Alcotest.int "summed budget" 7 budget
+  | l -> fail (Printf.sprintf "overlap: %d active sites" (List.length l)));
+  (* Outside the overlap only the second burst covers. *)
+  (match Ksim.Storm.active storm 12 with
+  | [ ("s", p, budget) ] ->
+      check (Alcotest.float 1e-9) "single probability" 0.5 p;
+      check Alcotest.int "single budget" 4 budget
+  | _ -> fail "post-overlap");
+  check Alcotest.int "past the storm: nothing active" 0
+    (List.length (Ksim.Storm.active storm 20));
+  (* tick applies the composition to the registry. *)
+  Ksim.Storm.tick storm 7;
+  let site = List.find (fun s -> s.Ksim.Failpoint.name = "s") (Ksim.Failpoint.sites fp) in
+  check Alcotest.bool "site enabled in window" true site.Ksim.Failpoint.enabled;
+  check (Alcotest.float 1e-9) "site probability composed" 0.75
+    site.Ksim.Failpoint.probability;
+  Ksim.Storm.tick storm 20;
+  check Alcotest.bool "site disabled past the storm" false site.Ksim.Failpoint.enabled;
+  (* Unlimited wins over finite budgets. *)
+  Ksim.Storm.add storm
+    [ { Ksim.Storm.site = "s"; start = 0; stop = 10; probability = 0.1; times = -1 } ];
+  match Ksim.Storm.active storm 7 with
+  | [ ("s", _, budget) ] -> check Alcotest.int "unlimited wins" (-1) budget
+  | _ -> fail "unlimited compose"
+
+let test_storm_disable_mid_burst () =
+  let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:2 () in
+  let storm = Ksim.Storm.create ~fp () in
+  Ksim.Storm.add storm
+    [ { Ksim.Storm.site = "s"; start = 0; stop = 100; probability = 1.0; times = -1 } ];
+  Ksim.Storm.tick storm 10;
+  check Alcotest.bool "armed mid-burst" true (Ksim.Failpoint.should_fail fp "s");
+  Ksim.Storm.disable storm;
+  check Alcotest.bool "disable kills the site" false (Ksim.Failpoint.should_fail fp "s");
+  (* A later tick re-arms whatever its window says: permanent shutdown is
+     simply not ticking again. *)
+  Ksim.Storm.tick storm 11;
+  check Alcotest.bool "tick re-arms inside the window" true
+    (Ksim.Failpoint.should_fail fp "s")
+
+let test_storm_replay_determinism () =
+  let drive () =
+    let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:77 () in
+    let storm = Ksim.Storm.create ~fp () in
+    Ksim.Storm.add storm
+      [
+        { Ksim.Storm.site = "a"; start = 5; stop = 40; probability = 0.4; times = -1 };
+        { Ksim.Storm.site = "b"; start = 20; stop = 60; probability = 0.3; times = 5 };
+      ];
+    Ksim.Storm.add storm
+      [ { Ksim.Storm.site = "a"; start = 30; stop = 50; probability = 0.4; times = -1 } ];
+    let hits = ref [] in
+    for now = 0 to 70 do
+      Ksim.Storm.tick storm now;
+      hits := Ksim.Failpoint.should_fail fp "a" :: Ksim.Failpoint.should_fail fp "b" :: !hits
+    done;
+    (!hits, Ksim.Failpoint.schedule fp, Ksim.Failpoint.total_injected fp)
+  in
+  let a = drive () and b = drive () in
+  check Alcotest.bool "same seed, same tick sequence: identical injections" true (a = b);
+  let _, schedule, injected = a in
+  check Alcotest.bool "the storm actually injected" true (injected > 0);
+  check Alcotest.int "schedule records every injection" injected (List.length schedule)
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -871,5 +1024,20 @@ let () =
             test_supervisor_failed_restart_burns_budget;
           Alcotest.test_case "replayable" `Quick test_supervisor_replayable;
           Alcotest.test_case "publish counters" `Quick test_supervisor_publish;
+          Alcotest.test_case "recovery aggregation over all reboots" `Quick
+            test_supervisor_recovery_aggregation;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "percentiles within resolution" `Quick test_hist_percentiles;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+          Alcotest.test_case "kstats derived entries" `Quick test_kstats_hist_snapshot;
+        ] );
+      ( "storm",
+        [
+          Alcotest.test_case "overlapping schedules compose" `Quick
+            test_storm_overlap_composition;
+          Alcotest.test_case "disable mid-burst" `Quick test_storm_disable_mid_burst;
+          Alcotest.test_case "replay determinism" `Quick test_storm_replay_determinism;
         ] );
     ]
