@@ -436,15 +436,40 @@ let bench_lint () =
     | Some r -> r
     | None -> failwith "bench: cannot locate dune-project root"
   in
-  run_group "lint"
-    [
-      Test.make ~name:"kracer-whole-tree"
-        (staged (fun () -> ignore (Klint.Kracer.analyze_tree ~root)));
-      Test.make ~name:"kown-whole-tree"
-        (staged (fun () -> ignore (Klint.Kown.analyze_tree ~root)));
-      Test.make ~name:"full-lint+kracer-tree"
-        (staged (fun () -> ignore (Klint.Engine.lint_tree ~root)));
-    ]
+  let rows =
+    run_group "lint"
+      [
+        Test.make ~name:"kracer-whole-tree"
+          (staged (fun () -> ignore (Klint.Kracer.analyze_tree ~root)));
+        Test.make ~name:"kown-whole-tree"
+          (staged (fun () -> ignore (Klint.Kown.analyze_tree ~root)));
+        Test.make ~name:"ktcb-whole-tree"
+          (staged (fun () -> ignore (Klint.Ktcb.analyze_tree ~root)));
+        Test.make ~name:"full-lint+kracer-tree"
+          (staged (fun () -> ignore (Klint.Engine.lint_tree ~root)));
+      ]
+  in
+  (* The persisted TCB snapshot: one wall-clocked whole-tree ktcb pass
+     plus the metric object itself, the per-PR trajectory the ratchet
+     walks downward. *)
+  let t0 = Sys.time () in
+  let tcb = Klint.Ktcb.analyze_tree ~root in
+  let wall = Sys.time () -. t0 in
+  Fmt.pr "@.ktcb (persisted): %d/%d unsafe lines (%.1f%%), frame %d files/%d lines@."
+    tcb.Klint.Ktcb.unsafe_loc tcb.Klint.Ktcb.total_loc (Klint.Ktcb.ratio tcb)
+    tcb.Klint.Ktcb.frame_files tcb.Klint.Ktcb.frame_loc;
+  let json =
+    Printf.sprintf
+      "{\n  \"issue\": 7,\n  \"ktcb_wall_seconds\": %.4f,\n  \"tcb\": %s\n}\n"
+      wall
+      (Klint.Report.tcb_json tcb)
+  in
+  let path = Filename.concat root "BENCH_7.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "ktcb: tcb snapshot written to %s@." path;
+  rows
 
 (* Shape checks: turn the measured rows into the paper's qualitative
    claims, so bench output is self-judging. ------------------------------- *)
@@ -516,7 +541,11 @@ let shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilien
   claim "buffer_head validity checks are cheap" (ra < 2.0 || Float.is_nan ra) (Fmt.str "%.2fx" ra);
   let rl = ratio (find lint "lint/kown-whole-tree") (find lint "lint/kracer-whole-tree") in
   claim "ownership lint costs the same order as the race lint" (rl < 5.0 || Float.is_nan rl)
-    (Fmt.str "kown/kracer %.2fx" rl)
+    (Fmt.str "kown/kracer %.2fx" rl);
+  let rt = ratio (find lint "lint/ktcb-whole-tree") (find lint "lint/kracer-whole-tree") in
+  claim "frame-confinement lint costs the same order as the race lint"
+    (rt < 5.0 || Float.is_nan rt)
+    (Fmt.str "ktcb/kracer %.2fx" rt)
 
 (* main ----------------------------------------------------------------------- *)
 

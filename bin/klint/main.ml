@@ -8,7 +8,7 @@
 let ( / ) = Filename.concat
 
 let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges lock_graph_dot
-    kmem_events =
+    kmem_events tcb_baseline_opt update_tcb_baseline allow_tcb_growth =
   let root =
     match root_opt with
     | Some r -> r
@@ -24,6 +24,9 @@ let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges l
     exit 2
   end;
   let baseline_path = match baseline_opt with Some p -> p | None -> root / "klint.baseline" in
+  let tcb_baseline_path =
+    match tcb_baseline_opt with Some p -> p | None -> root / "tcb.baseline"
+  in
   let report_path =
     match report_opt with Some p -> p | None -> root / "_build" / "klint-report.json"
   in
@@ -96,14 +99,44 @@ let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges l
             Fmt.epr "klint: %s@." msg;
             2
         | Ok runtime -> (
+            let tcb_lock_rc =
+              (* Frame-confinement attribution: a runtime lock class the
+                 static graph has never seen, created by a module the
+                 TCB metric classifies as frame-free, is a confinement
+                 hole, not just a kracer gap. *)
+              let static_classes =
+                List.sort_uniq String.compare
+                  (List.concat_map
+                     (fun (a, b) -> [ a; b ])
+                     kracer.Klint.Kracer.edges
+                  @ List.map snd kracer.Klint.Kracer.guards)
+              in
+              match
+                Klint.Ktcb.unsound_lock_edges ~result:tree.Klint.Engine.ktcb
+                  ~static_classes runtime
+              with
+              | [] -> 0
+              | unsound ->
+                  List.iter
+                    (fun (cls, file) ->
+                      Fmt.epr
+                        "klint: UNSOUND — runtime lock class %s is created in %s, which the \
+                         TCB metric classifies as frame-free, and is absent from the static \
+                         lock graph@."
+                        cls file)
+                    unsound;
+                  1
+            in
             match
               Klint.Kracer.missing_runtime_edges ~static:kracer.Klint.Kracer.edges runtime
             with
             | [] ->
-                Fmt.pr
-                  "klint: lockdep reconciliation — %d runtime edges, all covered statically@."
-                  (List.length runtime);
-                0
+                if tcb_lock_rc = 0 then
+                  Fmt.pr
+                    "klint: lockdep reconciliation — %d runtime edges, all covered \
+                     statically and TCB-confined@."
+                    (List.length runtime);
+                tcb_lock_rc
             | missing ->
                 List.iter
                   (fun (a, b) ->
@@ -118,6 +151,7 @@ let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges l
   let kown = tree.Klint.Engine.kown in
   Fmt.pr "klint: ownership — %d functions, %d consuming, %d returning owned@."
     kown.Klint.Kown.funcs kown.Klint.Kown.consuming kown.Klint.Kown.returning_owned;
+  let ktcb = tree.Klint.Engine.ktcb in
   let kmem_rc =
     match kmem_events with
     | None -> 0
@@ -127,15 +161,36 @@ let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges l
             Fmt.epr "klint: %s@." msg;
             2
         | Ok events -> (
+            let tcb_rc =
+              (* The frame-confinement half of the same contract: raw
+                 heap traffic must originate from the frame or a module
+                 the TCB metric already prices as unsafe. *)
+              match
+                Klint.Ktcb.unsound_kmem_events ~files:tree.Klint.Engine.files ~result:ktcb
+                  events
+              with
+              | [] -> 0
+              | unsound ->
+                  List.iter
+                    (fun ((ev : Klint.Kown.kmem_event), file) ->
+                      Fmt.epr
+                        "klint: UNSOUND — runtime %s event on heap %s (x%d) originates from \
+                         %s, which the TCB metric classifies as frame-free@."
+                        ev.Klint.Kown.kind ev.Klint.Kown.heap ev.Klint.Kown.count file)
+                    unsound;
+                  1
+            in
             match
               Klint.Kown.unflagged_kmem_events ~files:tree.Klint.Engine.files
                 ~findings:tree.Klint.Engine.findings events
             with
             | [] ->
-                Fmt.pr
-                  "klint: kmem reconciliation — %d runtime events, all flagged statically@."
-                  (List.length events);
-                0
+                if tcb_rc = 0 then
+                  Fmt.pr
+                    "klint: kmem reconciliation — %d runtime events, all flagged statically \
+                     and TCB-confined@."
+                    (List.length events);
+                tcb_rc
             | missing ->
                 List.iter
                   (fun ((ev : Klint.Kown.kmem_event), file, rule) ->
@@ -147,6 +202,51 @@ let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges l
                 1))
   in
   let reconcile_rc = max reconcile_rc kmem_rc in
+  (* The TCB metric and its downward-only count ratchet. *)
+  Fmt.pr "klint: tcb — %d/%d unsafe lines (%.1f%%), frame %d files/%d lines, surface %d vals@."
+    ktcb.Klint.Ktcb.unsafe_loc ktcb.Klint.Ktcb.total_loc (Klint.Ktcb.ratio ktcb)
+    ktcb.Klint.Ktcb.frame_files ktcb.Klint.Ktcb.frame_loc ktcb.Klint.Ktcb.surface_vals;
+  if update_tcb_baseline then begin
+    let entries = Klint.Ktcb.counts_of_findings ktcb.Klint.Ktcb.findings in
+    Klint.Ktcb.save tcb_baseline_path entries;
+    Fmt.pr "klint: wrote %d tcb baseline entries to %s@." (List.length entries)
+      tcb_baseline_path
+  end;
+  let tcb_ratchet_rc =
+    match Klint.Ktcb.load tcb_baseline_path with
+    | Error msg ->
+        Fmt.epr "klint: bad tcb baseline %s: %s@." tcb_baseline_path msg;
+        2
+    | Ok baseline -> (
+        let current = Klint.Ktcb.counts_of_findings ktcb.Klint.Ktcb.findings in
+        let regressions, progress = Klint.Ktcb.compare_counts ~baseline current in
+        if progress <> [] then
+          Fmt.pr
+            "klint: tcb ratchet progress — %d (rule, file) counts below baseline; \
+             regenerate with --update-tcb-baseline@."
+            (List.length progress);
+        match regressions with
+        | [] -> 0
+        | _ when allow_tcb_growth ->
+            List.iter
+              (fun (d : Klint.Ktcb.delta) ->
+                Fmt.pr "klint: tcb growth (allowed) — %s %s: %d > baseline %d@."
+                  (Klint.Finding.rule_id d.Klint.Ktcb.d_rule) d.Klint.Ktcb.d_file
+                  d.Klint.Ktcb.d_have d.Klint.Ktcb.d_allowed)
+              regressions;
+            0
+        | _ ->
+            List.iter
+              (fun (d : Klint.Ktcb.delta) ->
+                Fmt.epr
+                  "klint: TCB REGRESSION — %s %s: %d finding(s) > baseline %d (the unsafe \
+                   TCB only shrinks; ALLOW_TCB_GROWTH=1 to override)@."
+                  (Klint.Finding.rule_id d.Klint.Ktcb.d_rule) d.Klint.Ktcb.d_file
+                  d.Klint.Ktcb.d_have d.Klint.Ktcb.d_allowed)
+              regressions;
+            1)
+  in
+  let reconcile_rc = max reconcile_rc tcb_ratchet_rc in
   if r.Klint.Engine.violations = [] then reconcile_rc
   else begin
     List.iter
@@ -194,11 +294,26 @@ let kmem_events =
                exported by Ksim.Kmem (KSIM_KMEM_EXPORT); exit 1 if any runtime event \
                hit a linted file kown did not flag")
 
+let tcb_baseline =
+  Arg.(value & opt (some string) None & info [ "tcb-baseline" ] ~docv:"FILE"
+         ~doc:"TCB count-ratchet file (default: ROOT/tcb.baseline)")
+
+let update_tcb_baseline =
+  Arg.(value & flag & info [ "update-tcb-baseline" ]
+         ~doc:"Rewrite the tcb baseline from the current R12-R14 counts, then ratchet \
+               against it")
+
+let allow_tcb_growth =
+  Arg.(value & flag & info [ "allow-tcb-growth" ]
+         ~doc:"Report TCB count regressions without failing (the ALLOW_TCB_GROWTH=1 CI \
+               escape)")
+
 let cmd =
   Cmd.v
     (Cmd.info "klint" ~version:"1.0.0"
        ~doc:"Static safety-ladder linter: enforce Registry level claims against the source tree")
     Term.(const run $ root $ baseline $ report $ update_baseline $ verbose $ lockdep_edges
-          $ lock_graph_dot $ kmem_events)
+          $ lock_graph_dot $ kmem_events $ tcb_baseline $ update_tcb_baseline
+          $ allow_tcb_growth)
 
 let () = exit (Cmd.eval' cmd)

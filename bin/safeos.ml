@@ -468,6 +468,25 @@ let rule_explanation : Klint.Finding.rule -> string = function
        while only borrowed, or a revoked capability is used (CWE-416).  Borrows \
        must stay inside the ~f closure; take ownership via Checker.transfer if \
        the value must outlive the lend."
+  | Klint.Finding.R12_unsafe_primitive ->
+      "ktcb (the frame-confinement pass) found a direct use of the raw substrate \
+       — Dyn.*, Kmem alloc/free, Bytes.unsafe_*, or bare Klock.acquire/release — \
+       outside the declared lib/ksim frame: unsafe-TCB bloat (CWE-1120).  \
+       Services reach the substrate only through the audited Ksim.Frame wrappers \
+       (Priv slots, Handle decoding, Buf.freeze, Cell.peek); migrate the call \
+       site or, for an intentional specimen, grandfather it in tcb.baseline."
+  | Klint.Finding.R13_frame_bypass ->
+      "A call resolves, over the whole-tree call graph, to a frame symbol that \
+       is not on the blessed .mli surface — or to a non-frame helper that \
+       transitively launders one, the depth->=2 pattern a per-site grep misses \
+       (CWE-653).  Route the operation through Ksim.Frame, or bless the symbol \
+       if it genuinely belongs on the audited boundary."
+  | Klint.Finding.R14_unsound_export ->
+      "A frame function returns a fresh owned raw capability (per kown's \
+       ownership summaries) to at least one non-frame caller: the resource \
+       crosses the boundary unwrapped (CWE-668) and the service inherits an \
+       ownership obligation the frame never priced.  Return it wrapped in a \
+       Frame handle, or keep the allocation inside the frame."
 
 let explain ids =
   let rules =
@@ -479,7 +498,7 @@ let explain ids =
             match Klint.Finding.rule_of_id (String.uppercase_ascii id) with
             | Some r -> Some r
             | None ->
-                Fmt.epr "safeos explain: unknown rule %S (known: R1..R11)@." id;
+                Fmt.epr "safeos explain: unknown rule %S (known: R1..R14)@." id;
                 exit 2)
           ids
   in
@@ -492,10 +511,60 @@ let explain ids =
     rules;
   0
 
+(* tcb -------------------------------------------------------------------- *)
+
+(* The per-subsystem unsafe-TCB table the framekernel refactor ratchets:
+   full frame LOC plus distinct R12/R13 lines outside it, over total
+   effective LOC.  [--json] prints the same [tcb] object the klint
+   report persists. *)
+let tcb json =
+  match Klint.find_root () with
+  | None ->
+      Fmt.epr "safeos tcb: cannot find dune-project above %s@." (Sys.getcwd ());
+      2
+  | Some root ->
+      let t = Klint.Ktcb.analyze_tree ~root in
+      if json then begin
+        Fmt.pr "%s@." (Klint.Report.tcb_json t);
+        0
+      end
+      else begin
+        Fmt.pr "unsafe TCB: %d / %d effective lines (%.1f%%), frame surface %d vals@."
+          t.Klint.Ktcb.unsafe_loc t.Klint.Ktcb.total_loc (Klint.Ktcb.ratio t)
+          t.Klint.Ktcb.surface_vals;
+        Fmt.pr "frame: %d files, %d lines (lib/ksim)@.@." t.Klint.Ktcb.frame_files
+          t.Klint.Ktcb.frame_loc;
+        Fmt.pr "%-16s %8s %8s %7s %7s %9s  %s@." "subsystem" "loc" "unsafe" "ratio"
+          "direct" "indirect" "kind";
+        List.iter
+          (fun (r : Klint.Ktcb.row) ->
+            Fmt.pr "%-16s %8d %8d %6.1f%% %7d %9d  %s@." r.Klint.Ktcb.sub r.Klint.Ktcb.loc
+              r.Klint.Ktcb.unsafe_loc
+              (if r.Klint.Ktcb.loc = 0 then 0.0
+               else
+                 100.0
+                 *. float_of_int r.Klint.Ktcb.unsafe_loc
+                 /. float_of_int r.Klint.Ktcb.loc)
+              r.Klint.Ktcb.direct r.Klint.Ktcb.indirect
+              (if r.Klint.Ktcb.in_frame then "frame"
+               else if r.Klint.Ktcb.exhibit then "exhibit"
+               else if r.Klint.Ktcb.unsafe_loc = 0 then "clean"
+               else "unsafe"))
+          t.Klint.Ktcb.rows;
+        0
+      end
+
+let tcb_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"print the tcb report object as JSON") in
+  Cmd.v
+    (Cmd.info "tcb"
+       ~doc:"Show the per-subsystem unsafe-TCB table the framekernel ratchet enforces")
+    Term.(const tcb $ json)
+
 let explain_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"RULE"
-           ~doc:"Rule identifiers (R1..R11); all rules when omitted")
+           ~doc:"Rule identifiers (R1..R14); all rules when omitted")
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Explain klint rules: what fires, why, and the usual fix")
@@ -516,6 +585,7 @@ let main =
       supervise_cmd;
       audit_cmd;
       explain_cmd;
+      tcb_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

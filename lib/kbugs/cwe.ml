@@ -38,6 +38,10 @@ let catalog =
     v 284 "Improper Access Control" Safeos_core.Level.Design;
     v 264 "Permissions, Privileges, and Access Controls" Safeos_core.Level.Design;
     v 400 "Uncontrolled Resource Consumption" Safeos_core.Level.Design;
+    (* framekernel TCB-confinement causes (klint R12-R14) *)
+    v 1120 "Excessive Code Complexity" Safeos_core.Level.Design;
+    v 653 "Improper Isolation or Compartmentalization" Safeos_core.Level.Design;
+    v 668 "Exposure of Resource to Wrong Sphere" Safeos_core.Level.Design;
   ]
 
 let find cwe_id = List.find_opt (fun c -> c.cwe_id = cwe_id) catalog

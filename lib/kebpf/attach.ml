@@ -149,7 +149,7 @@ let encode_load_event ~tenant ~class_id ~kind ~size =
   Bytes.set b 2 (Char.chr (class_id land 0xff));
   Bytes.set b 3 (Char.chr (kind land 0xff));
   Bytes.set b 4 (Char.chr (min 255 (size lsr 8)));
-  Bytes.unsafe_to_string b
+  Ksim.Frame.Buf.freeze b
 
 (* Bucket = tenant id (ctx[0] + 256 * ctx[1]); attach with a bucket
    count covering the tenant population (the hook wraps modulo). *)

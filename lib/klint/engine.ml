@@ -62,6 +62,10 @@ type tree_result = {
   effective_loc : int; (* total effective lines linted *)
   kracer : Kracer.result; (* the interprocedural pass: lock graph + R6 *)
   kown : Kown.result; (* the ownership pass: R8-R11 + summaries *)
+  ktcb : Ktcb.result;
+      (* the frame-confinement pass: R12-R14 + the TCB metric.  Kept out
+         of [findings] — its ratchet is the tcb.baseline count file, not
+         the line-anchored ladder baseline. *)
 }
 
 let lint_tree ~root =
@@ -83,6 +87,7 @@ let lint_tree ~root =
   in
   let kracer = Kracer.analyze ~root parsed in
   let kown = Kown.analyze ~root parsed in
+  let ktcb = Ktcb.analyze ~root parsed ~summaries:kown.Kown.summaries in
   {
     findings = Finding.sort (kown.Kown.findings @ kracer.Kracer.findings @ findings);
     parse_errors = List.rev parse_errors;
@@ -91,6 +96,7 @@ let lint_tree ~root =
       List.fold_left (fun acc rel -> acc + Loc.count_file (Filename.concat root rel)) 0 files;
     kracer;
     kown;
+    ktcb;
   }
 
 (* Reconciliation -------------------------------------------------------- *)

@@ -14,11 +14,15 @@ type rule =
   | R9_double_free
   | R10_error_leak
   | R11_borrow_escape
+  | R12_unsafe_primitive
+  | R13_frame_bypass
+  | R14_unsound_export
 
 let all_rules =
   [ R1_unchecked_cast; R2_unchecked_errptr; R3_lock_balance; R4_ownership_bypass;
     R5_must_check; R6_lockset_race; R7_lock_annotation; R8_use_after_free;
-    R9_double_free; R10_error_leak; R11_borrow_escape ]
+    R9_double_free; R10_error_leak; R11_borrow_escape; R12_unsafe_primitive;
+    R13_frame_bypass; R14_unsound_export ]
 
 let rule_id = function
   | R1_unchecked_cast -> "R1"
@@ -32,6 +36,9 @@ let rule_id = function
   | R9_double_free -> "R9"
   | R10_error_leak -> "R10"
   | R11_borrow_escape -> "R11"
+  | R12_unsafe_primitive -> "R12"
+  | R13_frame_bypass -> "R13"
+  | R14_unsound_export -> "R14"
 
 let rule_of_id s = List.find_opt (fun r -> rule_id r = s) all_rules
 
@@ -47,6 +54,9 @@ let rule_name = function
   | R9_double_free -> "double-free"
   | R10_error_leak -> "error-path-leak"
   | R11_borrow_escape -> "borrow-escape"
+  | R12_unsafe_primitive -> "unsafe-primitive-outside-frame"
+  | R13_frame_bypass -> "frame-api-bypass"
+  | R14_unsound_export -> "unsound-frame-export"
 
 (* The bucket each rule polices — the mapping the reconciliation uses:
    a subsystem claiming level L must be clean of every rule whose bucket
@@ -63,6 +73,12 @@ let bug_class = function
   | R9_double_free -> Safeos_core.Level.Double_free
   | R10_error_leak -> Safeos_core.Level.Memory_leak
   | R11_borrow_escape -> Safeos_core.Level.Use_after_free
+  (* TCB confinement is a design property: no ladder rung structurally
+     prevents it, so R12-R14 never become level violations — their
+     ratchet is the tcb.baseline count, not the claim reconciliation. *)
+  | R12_unsafe_primitive -> Safeos_core.Level.Design
+  | R13_frame_bypass -> Safeos_core.Level.Design
+  | R14_unsound_export -> Safeos_core.Level.Design
 
 (* Anchor each rule in the paper's CWE study via the kbugs catalog. *)
 let cwe_id = function
@@ -77,6 +93,9 @@ let cwe_id = function
   | R9_double_free -> 415 (* double free *)
   | R10_error_leak -> 401 (* missing release of memory after effective lifetime *)
   | R11_borrow_escape -> 416 (* use after free: borrow outlives its lend *)
+  | R12_unsafe_primitive -> 1120 (* excessive complexity: unsafe TCB bloat *)
+  | R13_frame_bypass -> 653 (* improper isolation or compartmentalization *)
+  | R14_unsound_export -> 668 (* exposure of resource to wrong sphere *)
 
 let cwe rule = Kbugs.Cwe.find (cwe_id rule)
 

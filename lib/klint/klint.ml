@@ -16,6 +16,8 @@ module Lockset = Lockset
 module Kracer = Kracer
 module Ownset = Ownset
 module Kown = Kown
+module Frame = Frame
+module Ktcb = Ktcb
 module Kparse = Kparse
 module Loc = Loc
 module Subsystem = Subsystem

@@ -22,9 +22,13 @@ type result = {
   funcs : int;  (** functions analyzed *)
   consuming : int;  (** functions with a non-empty consumes set *)
   returning_owned : int;  (** functions whose result is owned *)
+  summaries : (string * Ownset.summary) list;
+      (** the converged per-function summaries, keyed by qualified name —
+          ktcb's R14 reads ownership facts straight from these *)
 }
 
-let empty = { findings = []; funcs = 0; consuming = 0; returning_owned = 0 }
+let empty =
+  { findings = []; funcs = 0; consuming = 0; returning_owned = 0; summaries = [] }
 
 (* The allocators' own implementations free and resurrect their internal
    state by design — analyzing the mechanism would only flag itself. *)
@@ -76,6 +80,9 @@ let analyze ~root files =
     funcs = List.length cg.Callgraph.funcs;
     consuming;
     returning_owned;
+    summaries =
+      Hashtbl.fold (fun name s acc -> (name, s) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
   }
 
 (* Standalone entry (bench, tests): parse the tree itself. *)

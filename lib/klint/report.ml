@@ -95,6 +95,53 @@ let subsystem_rows (r : Engine.reconciliation) registry =
              );
            ])
 
+(* The TCB metric object — also what [safeos tcb --json] prints, so the
+   CLI and the persisted report can never disagree on shape. *)
+let tcb_json (t : Ktcb.result) =
+  let rule_count rule =
+    List.length (List.filter (fun (f : Finding.t) -> f.Finding.rule = rule) t.Ktcb.findings)
+  in
+  json_obj
+    [
+      ( "frame",
+        json_obj
+          [
+            ("files", string_of_int t.Ktcb.frame_files);
+            ("loc", string_of_int t.Ktcb.frame_loc);
+            ("surface_vals", string_of_int t.Ktcb.surface_vals);
+          ] );
+      ( "total",
+        json_obj
+          [
+            ("loc", string_of_int t.Ktcb.total_loc);
+            ("unsafe_loc", string_of_int t.Ktcb.unsafe_loc);
+            ("ratio_pct", Fmt.str "%.1f" (Ktcb.ratio t));
+          ] );
+      ( "by_rule",
+        json_obj
+          [
+            ("R12", string_of_int (rule_count Finding.R12_unsafe_primitive));
+            ("R13", string_of_int (rule_count Finding.R13_frame_bypass));
+            ("R14", string_of_int (rule_count Finding.R14_unsound_export));
+          ] );
+      ( "subsystems",
+        json_arr
+          (List.map
+             (fun (r : Ktcb.row) ->
+               json_obj
+                 [
+                   ("name", json_str r.Ktcb.sub);
+                   ("loc", string_of_int r.Ktcb.loc);
+                   ("unsafe_loc", string_of_int r.Ktcb.unsafe_loc);
+                   ("ratio_pct", Fmt.str "%.1f" (pct r.Ktcb.unsafe_loc r.Ktcb.loc));
+                   ("direct_uses", string_of_int r.Ktcb.direct);
+                   ("indirect_uses", string_of_int r.Ktcb.indirect);
+                   ("in_frame", string_of_bool r.Ktcb.in_frame);
+                   ("exhibit", string_of_bool r.Ktcb.exhibit);
+                 ])
+             t.Ktcb.rows) );
+    ]
+
 let to_json ?registry (tree : Engine.tree_result) (r : Engine.reconciliation) =
   let findings = r.Engine.attributed in
   let by_rule =
@@ -179,6 +226,7 @@ let to_json ?registry (tree : Engine.tree_result) (r : Engine.reconciliation) =
                       (fun a -> Finding.rule_id a.Engine.finding.Finding.rule)
                       own_findings)) );
           ] );
+      ("tcb", tcb_json tree.Engine.ktcb);
     ]
 
 let write ~path json =

@@ -6,9 +6,9 @@
    protocol is a first-class module behind the PROTO interface, and the
    generic layer cannot see its state.  [Dyn_style] is the C shape: the
    per-socket state is a void pointer every operation must project back —
-   nowadays through the checked [Dyn.project] (a mismatch is an [EPROTO],
-   not an oops), the representation the type-safety bench prices against
-   [Typed]. *)
+   nowadays through the checked [Frame.Priv] slots (a mismatch is an
+   [EPROTO], not an oops), the representation the type-safety bench
+   prices against [Typed]. *)
 
 module type PROTO = sig
   type conn
@@ -102,41 +102,43 @@ end
 
 module Dyn_style = struct
   type ops = {
-    o_send : Ksim.Dyn.t -> string -> int Ksim.Errno.r;
-    o_received : Ksim.Dyn.t -> string;
-    o_is_connected : Ksim.Dyn.t -> bool;
+    o_send : Ksim.Frame.Priv.t -> string -> int Ksim.Errno.r;
+    o_received : Ksim.Frame.Priv.t -> string;
+    o_is_connected : Ksim.Frame.Priv.t -> bool;
   }
 
   type socket = {
     proto_name : string;
     ops : ops;
-    private_data : Ksim.Dyn.t;
+    private_data : Ksim.Frame.Priv.t;
   }
 
-  let tcp_key : Tcp.t Ksim.Dyn.Key.t = Ksim.Dyn.Key.create ~name:"sock.tcp_conn"
-  let dgram_key : string Queue.t Ksim.Dyn.Key.t = Ksim.Dyn.Key.create ~name:"sock.dgram_conn"
+  let tcp_slot : Tcp.t Ksim.Frame.Priv.slot = Ksim.Frame.Priv.slot ~name:"sock.tcp_conn"
 
-  (* Every operation projects the void pointer back through the checked
-     [Dyn.project] path (this subsystem is fully migrated off [cast_exn],
-     clearing its four klint R1 baseline entries): a socket whose ops and
-     private data disagree fails with [EPROTO] — the driver-returned-
-     garbage errno — or reads as empty/disconnected, instead of oopsing
-     the way the step-0 cast did. *)
+  let dgram_slot : string Queue.t Ksim.Frame.Priv.slot =
+    Ksim.Frame.Priv.slot ~name:"sock.dgram_conn"
+
+  (* Every operation unwraps the void pointer back through the checked
+     [Frame.Priv] slot (this subsystem is fully migrated off [cast_exn]
+     and, since the framekernel refactor, off direct [Dyn] too): a socket
+     whose ops and private data disagree fails with [EPROTO] — the
+     driver-returned-garbage errno — or reads as empty/disconnected,
+     instead of oopsing the way the step-0 cast did. *)
   let tcp_ops =
     {
       o_send =
         (fun d data ->
-          match Ksim.Dyn.project tcp_key d with
+          match Ksim.Frame.Priv.unwrap tcp_slot d with
           | Some conn -> Tcp.send conn data
           | None -> Error Ksim.Errno.EPROTO);
       o_received =
         (fun d ->
-          match Ksim.Dyn.project tcp_key d with
+          match Ksim.Frame.Priv.unwrap tcp_slot d with
           | Some conn -> Tcp.received conn
           | None -> "");
       o_is_connected =
         (fun d ->
-          match Ksim.Dyn.project tcp_key d with
+          match Ksim.Frame.Priv.unwrap tcp_slot d with
           | Some conn -> Tcp.state conn = Tcp.Established
           | None -> false);
     }
@@ -145,14 +147,14 @@ module Dyn_style = struct
     {
       o_send =
         (fun d data ->
-          match Ksim.Dyn.project dgram_key d with
+          match Ksim.Frame.Priv.unwrap dgram_slot d with
           | Some q ->
               Queue.push data q;
               Ok (String.length data)
           | None -> Error Ksim.Errno.EPROTO);
       o_received =
         (fun d ->
-          match Ksim.Dyn.project dgram_key d with
+          match Ksim.Frame.Priv.unwrap dgram_slot d with
           | Some q -> String.concat "" (List.of_seq (Queue.to_seq q))
           | None -> "");
       o_is_connected = (fun _ -> true);
@@ -161,33 +163,46 @@ module Dyn_style = struct
   let socket proto_name =
     match proto_name with
     | "tcp" ->
-        Ok { proto_name; ops = tcp_ops; private_data = Ksim.Dyn.inject tcp_key (Tcp.create ()) }
+        Ok
+          {
+            proto_name;
+            ops = tcp_ops;
+            private_data = Ksim.Frame.Priv.wrap tcp_slot (Tcp.create ());
+          }
     | "dgram" ->
         Ok
           {
             proto_name;
             ops = dgram_ops;
-            private_data = Ksim.Dyn.inject dgram_key (Queue.create ());
+            private_data = Ksim.Frame.Priv.wrap dgram_slot (Queue.create ());
           }
     | _ -> Error Ksim.Errno.EINVAL
 
   (* The bug generator: build a socket whose ops and private data
      disagree, as happens when generic code copies fields around. *)
   let mismatched_socket () =
-    { proto_name = "tcp"; ops = tcp_ops; private_data = Ksim.Dyn.inject dgram_key (Queue.create ()) }
+    {
+      proto_name = "tcp";
+      ops = tcp_ops;
+      private_data = Ksim.Frame.Priv.wrap dgram_slot (Queue.create ());
+    }
 
   let send sock data = sock.ops.o_send sock.private_data data
   let received sock = sock.ops.o_received sock.private_data
   let is_connected sock = sock.ops.o_is_connected sock.private_data
 
   let connect_tcp_pair a b =
-    match (Ksim.Dyn.project tcp_key a.private_data, Ksim.Dyn.project tcp_key b.private_data) with
+    match
+      ( Ksim.Frame.Priv.unwrap tcp_slot a.private_data,
+        Ksim.Frame.Priv.unwrap tcp_slot b.private_data )
+    with
     | Some ca, Some cb -> Tcp_proto.connect_pair ca cb
     | _ -> Error Ksim.Errno.EINVAL
 
   let deliver_tcp ~src ~dst =
     match
-      (Ksim.Dyn.project tcp_key src.private_data, Ksim.Dyn.project tcp_key dst.private_data)
+      ( Ksim.Frame.Priv.unwrap tcp_slot src.private_data,
+        Ksim.Frame.Priv.unwrap tcp_slot dst.private_data )
     with
     | Some ca, Some cb -> Tcp_proto.deliver ~src:ca ~dst:cb
     | _ -> ()

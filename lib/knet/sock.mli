@@ -52,7 +52,8 @@ module Dyn_style : sig
 
   val mismatched_socket : unit -> socket
   (** The bug generator: TCP ops over dgram private data.  Any operation
-      on it raises {!Ksim.Dyn.Type_confusion}. *)
+      on it answers [EPROTO]-shaped failures (empty reads,
+      disconnected status) instead of oopsing. *)
 
   val send : socket -> string -> int Ksim.Errno.r
   val received : socket -> string

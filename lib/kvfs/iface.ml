@@ -66,15 +66,15 @@ module type FS_OPS_LEGACY = sig
   val fs_name : string
   val mkfs : unit -> fs
 
-  val lookup : fs -> string -> Ksim.Dyn.Errptr.t
+  val lookup : fs -> string -> Ksim.Frame.Handle.t
   (** Returns an inode handle, or an error encoded in pointer space. *)
 
-  val create : fs -> string -> kind:Vtypes.file_kind -> Ksim.Dyn.Errptr.t
+  val create : fs -> string -> kind:Vtypes.file_kind -> Ksim.Frame.Handle.t
 
-  val write_begin : fs -> string -> off:int -> Ksim.Dyn.Errptr.t
+  val write_begin : fs -> string -> off:int -> Ksim.Frame.Handle.t
   (** Returns fs-private void* state to be passed back to [write_end]. *)
 
-  val write_end : fs -> Ksim.Dyn.t -> data:string -> int
+  val write_end : fs -> Ksim.Frame.Priv.t -> data:string -> int
   (** Casts the private state back; returns bytes written or a negative
       errno, C style. *)
 
@@ -114,17 +114,17 @@ module Of_legacy (L : FS_OPS_LEGACY) : FS_OPS with type fs = L.fs = struct
     let path p = path_to_string p in
     match op with
     | Create p -> (
-        match L.create fs (path p) ~kind:Vtypes.Regular with
-        | Ksim.Dyn.Errptr.Ptr _ -> Ok Unit
-        | Ksim.Dyn.Errptr.Err e -> Error e)
+        match Ksim.Frame.Handle.result (L.create fs (path p) ~kind:Vtypes.Regular) with
+        | Ok _ -> Ok Unit
+        | Error e -> Error e)
     | Mkdir p -> (
-        match L.create fs (path p) ~kind:Vtypes.Directory with
-        | Ksim.Dyn.Errptr.Ptr _ -> Ok Unit
-        | Ksim.Dyn.Errptr.Err e -> Error e)
+        match Ksim.Frame.Handle.result (L.create fs (path p) ~kind:Vtypes.Directory) with
+        | Ok _ -> Ok Unit
+        | Error e -> Error e)
     | Write { file; off; data } -> (
-        match L.write_begin fs (path file) ~off with
-        | Ksim.Dyn.Errptr.Err e -> Error e
-        | Ksim.Dyn.Errptr.Ptr private_data ->
+        match Ksim.Frame.Handle.result (L.write_begin fs (path file) ~off) with
+        | Error e -> Error e
+        | Ok private_data ->
             let ret = L.write_end fs private_data ~data in
             if ret >= 0 then Ok Unit else Error (errno_of_neg ret))
     | Read { file; off; len } -> (

@@ -47,10 +47,10 @@ module type FS_OPS_LEGACY = sig
   val fs_name : string
   val mkfs : unit -> fs
 
-  val lookup : fs -> string -> Ksim.Dyn.Errptr.t
-  val create : fs -> string -> kind:Vtypes.file_kind -> Ksim.Dyn.Errptr.t
-  val write_begin : fs -> string -> off:int -> Ksim.Dyn.Errptr.t
-  val write_end : fs -> Ksim.Dyn.t -> data:string -> int
+  val lookup : fs -> string -> Ksim.Frame.Handle.t
+  val create : fs -> string -> kind:Vtypes.file_kind -> Ksim.Frame.Handle.t
+  val write_begin : fs -> string -> off:int -> Ksim.Frame.Handle.t
+  val write_end : fs -> Ksim.Frame.Priv.t -> data:string -> int
   val read : fs -> string -> off:int -> len:int -> (string, int) Stdlib.result
   val unlink : fs -> string -> int
   val rmdir : fs -> string -> int

@@ -19,7 +19,7 @@ type inode = {
   i_size : int Ksim.Klock.Guarded.cell;
   mutable i_nlink : int;
   mutable i_version : int;
-  mutable i_private : Ksim.Dyn.t;
+  mutable i_private : Ksim.Frame.Priv.t;
 }
 
 let next_ino = ref 1
@@ -46,7 +46,7 @@ let make_inode ?(ino = -1) kind =
     i_size = Ksim.Klock.Guarded.create ~lock:i_lock ~name:(Printf.sprintf "i_size:%d" ino) 0;
     i_nlink = 1;
     i_version = 0;
-    i_private = Ksim.Dyn.null;
+    i_private = Ksim.Frame.Priv.none;
   }
 
 (* The annotated i_size accessors — the checked counterpart of the
@@ -67,7 +67,7 @@ let read_size i = Ksim.Klock.with_lock i.i_lock (fun () -> size_locked i)
 
 let pp_inode ppf i =
   Fmt.pf ppf "inode %d (%s, size %d, nlink %d)" i.ino (file_kind_to_string i.kind)
-    (Ksim.Klock.Guarded.unsafe_get i.i_size)
+    (Ksim.Frame.Cell.peek i.i_size)
     i.i_nlink
 
 type dentry = {

@@ -18,7 +18,7 @@ type inode = {
   i_size : int Ksim.Klock.Guarded.cell;
   mutable i_nlink : int;
   mutable i_version : int;
-  mutable i_private : Ksim.Dyn.t;  (** fs-private data, void*-style *)
+  mutable i_private : Ksim.Frame.Priv.t;  (** fs-private data, void*-style *)
 }
 
 val make_inode : ?ino:int -> file_kind -> inode

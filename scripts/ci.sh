@@ -52,6 +52,17 @@ else
   echo "ci: no HEAD baseline to ratchet against (first commit?); skipping"
 fi
 
+echo "== ci: tcb ratchet (unsafe-TCB counts may only shrink) =="
+# The framekernel ratchet: R12-R14 counts per (rule, file) are compared
+# against tcb.baseline inside klint itself — count-based, so renumbering
+# from unrelated edits is never growth.  A genuine new exhibit must be
+# acknowledged with ALLOW_TCB_GROWTH=1 (and then --update-tcb-baseline).
+if [ "${ALLOW_TCB_GROWTH:-0}" = "1" ]; then
+  dune exec bin/klint/main.exe -- --root . --tcb-baseline tcb.baseline --allow-tcb-growth
+else
+  dune exec bin/klint/main.exe -- --root . --tcb-baseline tcb.baseline
+fi
+
 # Every test binary from here on appends the lock-order edges it
 # observed to this file; kracer checks them against its static graph at
 # the end.  --force so cached (skipped) tests cannot leave holes.

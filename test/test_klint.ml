@@ -612,6 +612,170 @@ let test_baseline_roundtrip () =
   let fixed = List.filter (fun f -> f.F.rule <> F.R1_unchecked_cast) findings in
   check Alcotest.int "fixed entry is stale" 1 (List.length (B.stale base fixed))
 
+(* ktcb: frame confinement (R12-R14) and the TCB metric ------------------ *)
+
+module K = Klint.Ktcb
+module Fr = Klint.Frame
+
+let ktcb_ids (k : K.result) = List.map (fun f -> F.rule_id f.F.rule) k.K.findings
+
+let test_ktcb_r12_direct () =
+  (* Direct Dyn access from a service module: R12, kept out of the
+     ladder findings — its ratchet is tcb.baseline, not klint.baseline. *)
+  let _, tree =
+    lint_tree_fixture
+      [ ("lib/fixture/svc.ml", "let lookup key d = Ksim.Dyn.project key d\n") ]
+  in
+  let k = tree.E.ktcb in
+  check ids "direct Dyn use is R12" [ "R12" ] (ktcb_ids k);
+  check Alcotest.string "in the service file" "lib/fixture/svc.ml"
+    (List.hd k.K.findings).F.file;
+  check Alcotest.bool "ktcb findings stay out of the ladder findings" false
+    (List.exists (fun f -> f.F.rule = F.R12_unsafe_primitive) tree.E.findings);
+  (* the same code *inside* the frame is the frame's business *)
+  let _, frame_tree =
+    lint_tree_fixture
+      [ ("lib/ksim/helper.ml", "let lookup key d = Ksim.Dyn.project key d\n") ]
+  in
+  check ids "frame-internal use is allowed" [] (ktcb_ids frame_tree.E.ktcb);
+  let row = List.find (fun r -> r.K.in_frame) frame_tree.E.ktcb.K.rows in
+  check Alcotest.int "every frame line counts as unsafe TCB" row.K.loc row.K.unsafe_loc
+
+let test_ktcb_r13_depth2 () =
+  (* Laundering: a helper wraps the raw primitive, a user calls the
+     helper, a second hop calls the user.  R12 prices the primitive's
+     use site once; every hop of the laundering chain is R13. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ("lib/fixture/helper.ml", "let steal key d = Ksim.Dyn.project key d\n");
+        ( "lib/fixture/user.ml",
+          "let get key d = Helper.steal key d\nlet top key d = get key d\n" );
+      ]
+  in
+  let k = tree.E.ktcb in
+  let in_file rel rule =
+    List.length
+      (List.filter
+         (fun (f : F.t) -> String.equal f.F.file rel && f.F.rule = rule)
+         k.K.findings)
+  in
+  check Alcotest.int "R12 at the primitive" 1
+    (in_file "lib/fixture/helper.ml" F.R12_unsafe_primitive);
+  check Alcotest.int "R13 at both laundering hops" 2
+    (in_file "lib/fixture/user.ml" F.R13_frame_bypass);
+  check Alcotest.int "no R13 where R12 already priced" 0
+    (in_file "lib/fixture/helper.ml" F.R13_frame_bypass)
+
+let test_ktcb_r13_frame_surface () =
+  (* Resolving into the frame is fine through blessed modules only: an
+     unexported frame helper is a bypass even with no raw primitive in
+     sight. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ("lib/ksim/errno.ml", "let eio = 5\n");
+        ("lib/ksim/rawhelp.ml", "let poke b = b\n");
+        ( "lib/fixture/user.ml",
+          "let ok () = Errno.eio\nlet bad b = Rawhelp.poke b\n" );
+      ]
+  in
+  let k = tree.E.ktcb in
+  check ids "only the unexported helper is a bypass" [ "R13" ] (ktcb_ids k);
+  let f = List.hd k.K.findings in
+  check Alcotest.string "flagged in the caller" "lib/fixture/user.ml" f.F.file;
+  check Alcotest.string "at the laundering function" "User.bad" f.F.func
+
+let test_ktcb_r14_unsound_export () =
+  (* A blessed frame function whose result is a fresh owned object: fine
+     consumed frame-internally, R14 once a service can reach it. *)
+  let frame = "(** @returns_owned *)\nlet snapshot () = make_raw ()\n" in
+  let _, bad =
+    lint_tree_fixture
+      [
+        ("lib/ksim/hist.ml", frame);
+        ("lib/fixture/user.ml", "let get () = Hist.snapshot ()\n");
+      ]
+  in
+  check ids "owned raw capability escapes the frame" [ "R14" ] (ktcb_ids bad.E.ktcb);
+  check Alcotest.string "flagged at the frame definition" "lib/ksim/hist.ml"
+    (List.hd bad.E.ktcb.K.findings).F.file;
+  let _, good =
+    lint_tree_fixture
+      [
+        ("lib/ksim/hist.ml", frame);
+        ("lib/ksim/other.ml", "let get () = Hist.snapshot ()\n");
+      ]
+  in
+  check ids "frame-internal consumption is clean" [] (ktcb_ids good.E.ktcb)
+
+let test_ktcb_baseline_ratchet () =
+  let e rule file count = { K.b_rule = rule; b_file = file; b_count = count } in
+  let base =
+    List.sort K.compare_entry
+      [
+        e F.R12_unsafe_primitive "lib/kfs/memfs_unsafe.ml" 2;
+        e F.R13_frame_bypass "lib/knet/amp.ml" 1;
+      ]
+  in
+  (match K.of_string (K.to_string base) with
+  | Ok base' -> check Alcotest.bool "to_string/of_string round-trip" true (base = base')
+  | Error msg -> Alcotest.fail msg);
+  (match K.of_string "R99 lib/foo.ml 1\n" with
+  | Ok _ -> Alcotest.fail "unknown rule id parsed?"
+  | Error _ -> ());
+  (* counts, not lines: one more finding in a priced file is a
+     regression, a vanished entry is ratchet progress *)
+  let current = [ e F.R12_unsafe_primitive "lib/kfs/memfs_unsafe.ml" 3 ] in
+  let regressions, progress = K.compare_counts ~baseline:base current in
+  (match regressions with
+  | [ r ] ->
+      check Alcotest.int "regression live count" 3 r.K.d_have;
+      check Alcotest.int "regression grandfathered count" 2 r.K.d_allowed
+  | _ -> Alcotest.fail "expected exactly one regression");
+  (match progress with
+  | [ p ] -> check Alcotest.string "vanished entry is progress" "lib/knet/amp.ml" p.K.d_file
+  | _ -> Alcotest.fail "expected exactly one progress entry");
+  (* identical counts are neither growth nor progress *)
+  let regressions, progress = K.compare_counts ~baseline:base base in
+  check Alcotest.int "self-compare: no regressions" 0 (List.length regressions);
+  check Alcotest.int "self-compare: no progress" 0 (List.length progress)
+
+let test_ktcb_runtime_reconciliation () =
+  (* Attribution for the runtime reconciliations: a frame-free module
+     that creates a lock class and owns a heap is UNSOUND the moment
+     runtime traffic lands on it; priced modules are covered. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/locker.ml",
+          "let l = Ksim.Klock.create ~name:\"fix_lock\" ()\n" );
+        ("lib/fixture/svc.ml", "let f key d = Ksim.Dyn.project key d\n");
+      ]
+  in
+  let k = tree.E.ktcb in
+  let pairs = Alcotest.(list (pair string string)) in
+  check pairs "lock creator attributed to its file"
+    [ ("fix_lock", "lib/fixture/locker.ml") ]
+    k.K.lock_creators;
+  check pairs "runtime edge on a frame-free class is unsound"
+    [ ("fix_lock", "lib/fixture/locker.ml") ]
+    (K.unsound_lock_edges ~result:k ~static_classes:[] [ ("fix_lock", "other_lock") ]);
+  check pairs "statically known class is covered" []
+    (K.unsound_lock_edges ~result:k ~static_classes:[ "fix_lock" ]
+       [ ("fix_lock", "other_lock") ]);
+  let files = [ "lib/fixture/locker.ml"; "lib/fixture/svc.ml" ] in
+  let ev heap = { Klint.Kown.kind = "leak"; heap; site = "s"; count = 1 } in
+  (match K.unsound_kmem_events ~files ~result:k [ ev "locker" ] with
+  | [ (_, file) ] ->
+      check Alcotest.string "heap event attributed to the frame-free file"
+        "lib/fixture/locker.ml" file
+  | other -> Alcotest.fail (Fmt.str "expected one unsound event, got %d" (List.length other)));
+  check Alcotest.int "the priced module's events are covered" 0
+    (List.length (K.unsound_kmem_events ~files ~result:k [ ev "svc" ]));
+  check Alcotest.int "a scratch heap with no module is skipped" 0
+    (List.length (K.unsound_kmem_events ~files ~result:k [ ev "scratch" ]))
+
 (* The shipped tree ------------------------------------------------------ *)
 
 let with_repo_root f =
@@ -683,6 +847,51 @@ let test_kown_shipped_exhibits () =
           tree.E.findings
       in
       check Alcotest.int "memfs_owned is ownership-clean" 0 (List.length owned_findings))
+
+let test_ktcb_shipped_tree () =
+  (* The framekernel acceptance self-lint: on the shipped tree every
+     R12/R13 lands in a declared exhibit, no frame export leaks an owned
+     capability, the unsafe TCB is a strict minority of the kernel, and
+     the checked-in count ratchet matches the live findings exactly. *)
+  with_repo_root (fun root ->
+      let tree = E.lint_tree ~root in
+      let k = tree.E.ktcb in
+      List.iter
+        (fun (f : F.t) ->
+          match f.F.rule with
+          | F.R12_unsafe_primitive | F.R13_frame_bypass ->
+              check Alcotest.bool (f.F.file ^ " is a declared exhibit") true
+                (Fr.is_exhibit f.F.file)
+          | F.R14_unsound_export ->
+              Alcotest.fail ("unsound frame export shipped: " ^ f.F.file)
+          | _ -> Alcotest.fail "foreign rule in ktcb findings")
+        k.K.findings;
+      check Alcotest.bool "the exhibits keep their specimens" true (k.K.findings <> []);
+      check Alcotest.bool "memfs_unsafe stays an R12 specimen" true
+        (List.exists
+           (fun (f : F.t) ->
+             f.F.rule = F.R12_unsafe_primitive
+             && String.equal f.F.file "lib/kfs/memfs_unsafe.ml")
+           k.K.findings);
+      check Alcotest.bool "the frame exists" true (k.K.frame_files > 0);
+      check Alcotest.bool "the frame surface is measured" true (k.K.surface_vals > 0);
+      check Alcotest.bool "unsafe TCB is a strict minority" true
+        (k.K.unsafe_loc * 2 < k.K.total_loc);
+      let baseline =
+        match K.load (Filename.concat root "tcb.baseline") with
+        | Ok b -> b
+        | Error msg -> Alcotest.fail msg
+      in
+      let regressions, progress =
+        K.compare_counts ~baseline (K.counts_of_findings k.K.findings)
+      in
+      check Alcotest.int "no tcb regressions" 0 (List.length regressions);
+      check Alcotest.int "checked-in tcb baseline is not stale" 0 (List.length progress);
+      (* runtime heap traffic from the frame's own allocator is priced *)
+      let files = Klint.Loc.ml_files_under ~root "lib" in
+      let ev = { Klint.Kown.kind = "free"; heap = "kmem"; site = "s"; count = 1 } in
+      check Alcotest.int "frame heap traffic is priced" 0
+        (List.length (K.unsound_kmem_events ~files ~result:k [ ev ])))
 
 let test_loc_derivation () =
   with_repo_root (fun root ->
@@ -761,11 +970,27 @@ let () =
         ] );
       ( "baseline",
         [ Alcotest.test_case "round-trip and ratchet" `Quick test_baseline_roundtrip ] );
+      ( "ktcb",
+        [
+          Alcotest.test_case "r12 direct primitive outside the frame" `Quick
+            test_ktcb_r12_direct;
+          Alcotest.test_case "r13 laundering through two hops" `Quick test_ktcb_r13_depth2;
+          Alcotest.test_case "r13 blessed vs unexported frame surface" `Quick
+            test_ktcb_r13_frame_surface;
+          Alcotest.test_case "r14 owned capability export" `Quick
+            test_ktcb_r14_unsound_export;
+          Alcotest.test_case "tcb count ratchet round-trip" `Quick
+            test_ktcb_baseline_ratchet;
+          Alcotest.test_case "runtime reconciliation attribution" `Quick
+            test_ktcb_runtime_reconciliation;
+        ] );
       ( "tree",
         [
           Alcotest.test_case "shipped tree is violation-free" `Quick test_shipped_tree_clean;
           Alcotest.test_case "ownership exhibits caught, owned twin clean" `Quick
             test_kown_shipped_exhibits;
+          Alcotest.test_case "frame confinement on the shipped tree" `Quick
+            test_ktcb_shipped_tree;
           Alcotest.test_case "registry loc derived from klint" `Quick test_loc_derivation;
           Alcotest.test_case "effective line counting" `Quick test_effective_loc;
         ] );
