@@ -471,13 +471,116 @@ let bench_lint () =
   Fmt.pr "ktcb: tcb snapshot written to %s@." path;
   rows
 
+(* BENCH-REFINE: the krefine enumerator.  A bechamel timing of a short
+   lockstep-only pass (the inner loop CI's refine smoke stage pays per
+   op), plus one persisted full run — states/sec and crash-images/sec
+   over a kload-recorded trace, written as BENCH_8.json so the
+   enumerator's throughput is a per-PR trajectory like the kload and tcb
+   snapshots before it. *)
+
+let bench_refine () =
+  let trace = Kharness.recorded_trace ~target_ops:400 ~seed:11 () in
+  let lockstep_only =
+    { Kspec.Krefine.default_config with Kspec.Krefine.crash_every = 0 }
+  in
+  let crashing =
+    { Kspec.Krefine.default_config with Kspec.Krefine.images_per_op = 2; crash_every = 8 }
+  in
+  (* The un-checked baseline the lockstep claim compares against: the
+     same trace applied to journalfs-on-blockdev with no spec, no
+     interp, no invariant. *)
+  let geometry =
+    { Kfs.Journalfs.nblocks = 4096; block_size = 512; jblocks = 96; ninodes = 128 }
+  in
+  let bare_run () =
+    let dev =
+      Kblock.Blockdev.create ~nblocks:geometry.Kfs.Journalfs.nblocks
+        ~block_size:geometry.Kfs.Journalfs.block_size
+    in
+    let fs = Kfs.Journalfs.mkfs_on ~geometry Kfs.Journalfs.Journaled dev in
+    List.iter (fun op -> ignore (Kfs.Journalfs.apply fs op)) trace
+  in
+  let rows =
+    run_group "refine"
+      [
+        Test.make ~name:"journalfs-bare-400ops" (staged bare_run);
+        Test.make ~name:"journalfs-lockstep-400ops"
+          (staged (fun () ->
+               ignore (Kharness.run ~config:lockstep_only Kharness.journalfs trace)));
+        Test.make ~name:"journalfs-crash-enum-400ops"
+          (staged (fun () ->
+               ignore (Kharness.run ~config:crashing Kharness.journalfs trace)));
+        Test.make ~name:"cowfs-lockstep-400ops"
+          (staged (fun () ->
+               ignore (Kharness.run ~config:lockstep_only Kharness.cowfs trace)));
+      ]
+  in
+  rows
+
+(* The persisted refine run: every registered harness over a longer
+   trace with crash enumeration on, wall-clocked.  Runs *before* the
+   timing groups — the process-global simulator state (lockdep classes,
+   kmem site tables) the other benches accumulate across thousands of
+   mounts would otherwise tax this measurement. *)
+let refine_snapshot () =
+  let long = Kharness.recorded_trace ~target_ops:2_000 ~seed:11 () in
+  let config =
+    { Kspec.Krefine.default_config with Kspec.Krefine.images_per_op = 4; crash_every = 4 }
+  in
+  let t0 = Sys.time () in
+  let covs = List.map (fun e -> (e, Kharness.run ~config e long)) (Kharness.all ()) in
+  let wall = Sys.time () -. t0 in
+  let sum f = List.fold_left (fun a (_, c) -> a + f c) 0 covs in
+  let states = sum (fun c -> c.Kspec.Krefine.states_explored) in
+  let images = sum (fun c -> c.Kspec.Krefine.crash_images) in
+  let divergences = sum (fun c -> List.length c.Kspec.Krefine.divergences) in
+  let per_sec n = if wall > 0. then float_of_int n /. wall else 0. in
+  let harness_json =
+    String.concat ",\n    "
+      (List.map
+         (fun ((e : Kharness.entry), (c : Kspec.Krefine.coverage)) ->
+           Printf.sprintf
+             "{\"harness\": \"%s\", \"ops\": %d, \"states\": %d, \"crash_images\": %d, \
+              \"divergences\": %d, \"fingerprint\": \"%s\"}"
+             e.Kharness.hname c.Kspec.Krefine.ops c.Kspec.Krefine.states_explored
+             c.Kspec.Krefine.crash_images
+             (List.length c.Kspec.Krefine.divergences)
+             (Kspec.Krefine.coverage_fingerprint c))
+         covs)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"issue\": 8,\n\
+      \  \"trace_ops\": %d,\n\
+      \  \"wall_seconds\": %.4f,\n\
+      \  \"states_per_sec\": %.0f,\n\
+      \  \"crash_images_per_sec\": %.0f,\n\
+      \  \"divergences\": %d,\n\
+      \  \"harnesses\": [\n    %s\n  ]\n\
+       }\n"
+      (List.length long) wall (per_sec states) (per_sec images) divergences harness_json
+  in
+  let path =
+    match Klint.find_root () with
+    | Some root -> Filename.concat root "BENCH_8.json"
+    | None -> "BENCH_8.json"
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr
+    "@.krefine (persisted): %d states (%.0f/s), %d crash images (%.0f/s), %d divergences, \
+     written to %s@."
+    states (per_sec states) images (per_sec images) divergences path
+
 (* Shape checks: turn the measured rows into the paper's qualitative
    claims, so bench output is self-judging. ------------------------------- *)
 
 let find rows needle = List.assoc_opt needle rows |> Option.value ~default:nan
 
 let shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilience ~supervision
-    ~ablation ~lint =
+    ~ablation ~lint ~refine =
   Fmt.pr "@.%s@.shape checks (paper claim -> measured):@." (String.make 64 '=');
   let ratio a b = if Float.is_nan a || Float.is_nan b || b = 0. then nan else a /. b in
   let claim name ok detail = Fmt.pr "  [%s] %-52s %s@." (if ok then "ok" else "??") name detail in
@@ -545,7 +648,25 @@ let shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilien
   let rt = ratio (find lint "lint/ktcb-whole-tree") (find lint "lint/kracer-whole-tree") in
   claim "frame-confinement lint costs the same order as the race lint"
     (rt < 5.0 || Float.is_nan rt)
-    (Fmt.str "ktcb/kracer %.2fx" rt)
+    (Fmt.str "ktcb/kracer %.2fx" rt);
+  let rf =
+    ratio
+      (find refine "refine/journalfs-lockstep-400ops")
+      (find refine "refine/journalfs-bare-400ops")
+  in
+  claim "lockstep refinement costs a bounded factor over bare execution"
+    (rf < 50.0 || Float.is_nan rf)
+    (Fmt.str "lockstep/bare %.2fx" rf);
+  (* crash enumeration is reported, not claimed flat: every crash point
+     pays a full remount + interp, so its cost scales with images, not
+     with the lockstep pass *)
+  let rc =
+    ratio
+      (find refine "refine/journalfs-crash-enum-400ops")
+      (find refine "refine/journalfs-lockstep-400ops")
+  in
+  Fmt.pr "  [--] %-52s %s@." "crash enumeration (remount+interp per image, info only)"
+    (Fmt.str "crash-enum/lockstep %.1fx" rc)
 
 (* main ----------------------------------------------------------------------- *)
 
@@ -570,6 +691,7 @@ let () =
   Kcve.Figures.all std (boot_registry ());
   Format.pp_print_flush std ();
   Fmt.pr "@.================ timing benchmarks ================@.";
+  refine_snapshot ();
   let modularity = bench_modularity () in
   let typesafety = bench_typesafety () in
   let ownership = bench_ownership () in
@@ -582,6 +704,7 @@ let () =
   let _kload = bench_kload () in
   let ablation = bench_ablation () in
   let lint = bench_lint () in
+  let refine = bench_refine () in
   shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilience ~supervision
-    ~ablation ~lint;
+    ~ablation ~lint ~refine;
   Fmt.pr "@.done.@."

@@ -8,7 +8,8 @@
 let ( / ) = Filename.concat
 
 let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges lock_graph_dot
-    kmem_events tcb_baseline_opt update_tcb_baseline allow_tcb_growth =
+    kmem_events tcb_baseline_opt update_tcb_baseline allow_tcb_growth refine_coverage
+    refine_baseline_opt update_refine_baseline allow_refine_regress =
   let root =
     match root_opt with
     | Some r -> r
@@ -26,6 +27,9 @@ let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges l
   let baseline_path = match baseline_opt with Some p -> p | None -> root / "klint.baseline" in
   let tcb_baseline_path =
     match tcb_baseline_opt with Some p -> p | None -> root / "tcb.baseline"
+  in
+  let refine_baseline_path =
+    match refine_baseline_opt with Some p -> p | None -> root / "refine.baseline"
   in
   let report_path =
     match report_opt with Some p -> p | None -> root / "_build" / "klint-report.json"
@@ -52,8 +56,26 @@ let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges l
         Fmt.epr "klint: bad baseline %s: %s@." baseline_path msg;
         exit 2
   in
-  let r = Klint.Engine.reconcile ~registry ~baseline tree.Klint.Engine.findings in
-  Klint.Report.write ~path:report_path (Klint.Report.to_json ~registry tree r);
+  (* R15 (unverified-functional-claim) needs the live registry, so it is
+     synthesized here and fed through the same reconciliation as the
+     per-file rules.  It is deliberately not baselineable: the baseline
+     is regenerated from the tree findings alone, so a Verified claim
+     without a harness can never be grandfathered in. *)
+  let r15_findings = Klint.Kverify.r15 ~registry tree.Klint.Engine.kverify in
+  let all_findings = Klint.Finding.sort (tree.Klint.Engine.findings @ r15_findings) in
+  let r = Klint.Engine.reconcile ~registry ~baseline all_findings in
+  let refine_rows =
+    match refine_coverage with
+    | None -> None
+    | Some path -> (
+        match Klint.Kverify.load_coverage path with
+        | Ok rows -> Some rows
+        | Error msg ->
+            Fmt.epr "klint: bad refine coverage %s: %s@." path msg;
+            exit 2)
+  in
+  Klint.Report.write ~path:report_path
+    (Klint.Report.to_json ~registry ?refine:refine_rows tree r);
   let attributed = r.Klint.Engine.attributed in
   if verbose then
     List.iter
@@ -247,6 +269,73 @@ let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges l
             1)
   in
   let reconcile_rc = max reconcile_rc tcb_ratchet_rc in
+  (* The refinement-coverage ratchet: harnesses registered statically,
+     and — when [safeos refine] handed us its coverage file — the
+     enumerator's aggregate numbers, which may only grow. *)
+  let kv = tree.Klint.Engine.kverify in
+  Fmt.pr "klint: kverify — %d harness registrations covering %d subsystems%s@."
+    (List.length kv.Klint.Kverify.registrations)
+    (List.length
+       (List.sort_uniq String.compare
+          (List.map
+             (fun (reg : Klint.Kverify.registration) -> reg.Klint.Kverify.reg_subsystem)
+             kv.Klint.Kverify.registrations)))
+    (if r15_findings = [] then ""
+     else Fmt.str "; %d Verified claim(s) UNCHECKED" (List.length r15_findings));
+  let refine_rc =
+    match refine_rows with
+    | None -> 0
+    | Some rows -> (
+        let diverged =
+          List.filter (fun r -> r.Klint.Kverify.cov_divergences > 0) rows
+        in
+        List.iter
+          (fun (row : Klint.Kverify.coverage_row) ->
+            Fmt.epr "klint: REFINEMENT DIVERGENCE — harness %s reported %d divergence(s) \
+                     (deepest at step %d)@."
+              row.Klint.Kverify.cov_harness row.Klint.Kverify.cov_divergences
+              row.Klint.Kverify.cov_deepest)
+          diverged;
+        let current = Klint.Kverify.floor_of_rows rows in
+        if update_refine_baseline then begin
+          Klint.Kverify.save_floor refine_baseline_path current;
+          Fmt.pr "klint: wrote refine baseline to %s@." refine_baseline_path
+        end;
+        match Klint.Kverify.load_floor refine_baseline_path with
+        | Error msg ->
+            Fmt.epr "klint: bad refine baseline %s: %s@." refine_baseline_path msg;
+            2
+        | Ok floor -> (
+            let regressions, progress = Klint.Kverify.compare_floor ~baseline:floor current in
+            if progress <> [] then
+              Fmt.pr
+                "klint: refine ratchet progress — %s above baseline; regenerate with \
+                 --update-refine-baseline@."
+                (String.concat ", "
+                   (List.map (fun (m, have, want) -> Fmt.str "%s %d>%d" m have want) progress));
+            let regress_rc =
+              match regressions with
+              | [] -> 0
+              | _ when allow_refine_regress ->
+                  List.iter
+                    (fun (m, have, want) ->
+                      Fmt.pr "klint: refine coverage regression (allowed) — %s: %d < baseline %d@."
+                        m have want)
+                    regressions;
+                  0
+              | _ ->
+                  List.iter
+                    (fun (m, have, want) ->
+                      Fmt.epr
+                        "klint: REFINE REGRESSION — %s: %d < baseline %d (refinement coverage \
+                         only grows; ALLOW_REFINE_REGRESS=1 to override)@."
+                        m have want)
+                    regressions;
+                  1
+            in
+            max regress_rc (if diverged = [] then 0 else 1)))
+  in
+  let reconcile_rc = max reconcile_rc refine_rc in
   if r.Klint.Engine.violations = [] then reconcile_rc
   else begin
     List.iter
@@ -308,12 +397,33 @@ let allow_tcb_growth =
          ~doc:"Report TCB count regressions without failing (the ALLOW_TCB_GROWTH=1 CI \
                escape)")
 
+let refine_coverage =
+  Arg.(value & opt (some string) None & info [ "refine-coverage" ] ~docv:"FILE"
+         ~doc:"Ratchet the krefine coverage file written by 'safeos refine --coverage-out' \
+               against the refine baseline, and embed it in the JSON report; exit 1 on \
+               reported divergences or coverage regressions")
+
+let refine_baseline =
+  Arg.(value & opt (some string) None & info [ "refine-baseline" ] ~docv:"FILE"
+         ~doc:"Refinement-coverage ratchet file (default: ROOT/refine.baseline)")
+
+let update_refine_baseline =
+  Arg.(value & flag & info [ "update-refine-baseline" ]
+         ~doc:"Rewrite the refine baseline from the supplied coverage, then ratchet \
+               against it")
+
+let allow_refine_regress =
+  Arg.(value & flag & info [ "allow-refine-regress" ]
+         ~doc:"Report refinement-coverage regressions without failing (the \
+               ALLOW_REFINE_REGRESS=1 CI escape)")
+
 let cmd =
   Cmd.v
     (Cmd.info "klint" ~version:"1.0.0"
        ~doc:"Static safety-ladder linter: enforce Registry level claims against the source tree")
     Term.(const run $ root $ baseline $ report $ update_baseline $ verbose $ lockdep_edges
           $ lock_graph_dot $ kmem_events $ tcb_baseline $ update_tcb_baseline
-          $ allow_tcb_growth)
+          $ allow_tcb_growth $ refine_coverage $ refine_baseline $ update_refine_baseline
+          $ allow_refine_regress)
 
 let () = exit (Cmd.eval' cmd)

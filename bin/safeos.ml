@@ -310,6 +310,119 @@ let load tenants ops storm_name seed spec_dsl json out =
   if crashed_tenants > 0 then Fmt.pr "UNCONTAINED: %d tenant(s) crashed@." crashed_tenants;
   if verdict.Kload.Slo.passed && crashed_tenants = 0 then 0 else 1
 
+(* refine ----------------------------------------------------------------- *)
+
+(* Drive the registered kharness machines (journalfs-as-IOSystem, cowfs,
+   the supervised microreboot path) through a kload-recorded trace,
+   checking invariant + refinement at every step and enumerating crash
+   images.  The coverage file this writes is what klint's
+   --refine-coverage ratchet consumes, so "verified" stays an executable
+   claim. *)
+let refine harnesses all_h trace_path seed images ops crash_every json out coverage_out =
+  let entries =
+    if all_h || harnesses = [] then Kharness.all ()
+    else
+      List.map
+        (fun name ->
+          match Kharness.find name with
+          | Some e -> e
+          | None ->
+              Fmt.epr "safeos refine: unknown harness %S (known: %s)@." name
+                (String.concat ", " (List.map (fun e -> e.Kharness.hname) (Kharness.all ())));
+              exit 2)
+        harnesses
+  in
+  let trace =
+    match trace_path with
+    | Some path -> (
+        match Kload.Trace.load ~path with
+        | Ok t -> t
+        | Error msg ->
+            Fmt.epr "safeos refine: bad trace %s: %s@." path msg;
+            exit 2)
+    | None -> Kharness.recorded_trace ~target_ops:ops ~seed ()
+  in
+  Fmt.pr "refine: %d ops (%s), seed %d, %d crash images per point, crash every %d op(s)@."
+    (List.length trace)
+    (match trace_path with Some p -> p | None -> "kload-recorded")
+    seed images crash_every;
+  let config =
+    {
+      Kspec.Krefine.default_config with
+      Kspec.Krefine.seed;
+      images_per_op = images;
+      crash_every;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    List.map
+      (fun (e : Kharness.entry) ->
+        let cov = Kharness.run ~config e trace in
+        (e, cov))
+      entries
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let rows =
+    List.map
+      (fun ((e : Kharness.entry), (cov : Kspec.Krefine.coverage)) ->
+        {
+          Klint.Kverify.cov_harness = e.Kharness.hname;
+          cov_subsystem = e.Kharness.subsystem;
+          cov_ops = cov.Kspec.Krefine.ops;
+          cov_states = cov.Kspec.Krefine.states_explored;
+          cov_crash_points = cov.Kspec.Krefine.crash_points;
+          cov_crash_images = cov.Kspec.Krefine.crash_images;
+          cov_skipped = cov.Kspec.Krefine.skipped_images;
+          cov_divergences = List.length cov.Kspec.Krefine.divergences;
+          cov_deepest = cov.Kspec.Krefine.deepest_divergence;
+          cov_fingerprint = Kspec.Krefine.coverage_fingerprint cov;
+        })
+      results
+  in
+  let row_json (r : Klint.Kverify.coverage_row) =
+    Printf.sprintf
+      "{\"harness\": \"%s\", \"subsystem\": \"%s\", \"ops\": %d, \"states\": %d, \
+       \"crash_points\": %d, \"crash_images\": %d, \"skipped\": %d, \"divergences\": %d, \
+       \"deepest\": %d, \"fingerprint\": \"%s\"}"
+      r.Klint.Kverify.cov_harness r.Klint.Kverify.cov_subsystem r.Klint.Kverify.cov_ops
+      r.Klint.Kverify.cov_states r.Klint.Kverify.cov_crash_points
+      r.Klint.Kverify.cov_crash_images r.Klint.Kverify.cov_skipped
+      r.Klint.Kverify.cov_divergences r.Klint.Kverify.cov_deepest
+      r.Klint.Kverify.cov_fingerprint
+  in
+  let json_doc = "[" ^ String.concat ", " (List.map row_json rows) ^ "]" in
+  if json then Fmt.pr "%s@." json_doc
+  else
+    List.iter
+      (fun ((_ : Kharness.entry), cov) ->
+        Fmt.pr "  %a@." Kspec.Krefine.pp_coverage cov;
+        List.iter
+          (fun d -> Fmt.pr "    %a@." Kspec.Krefine.pp_divergence d)
+          cov.Kspec.Krefine.divergences)
+      results;
+  Fmt.pr "wall: %.3f s@." dt;
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (json_doc ^ "\n");
+      close_out oc;
+      Fmt.pr "results written to %s@." path
+  | None -> ());
+  (match coverage_out with
+  | Some path ->
+      Klint.Kverify.save_coverage path rows;
+      Fmt.pr "coverage written to %s@." path
+  | None -> ());
+  let diverged =
+    List.filter (fun (_, cov) -> not (Kspec.Krefine.is_clean cov)) results
+  in
+  List.iter
+    (fun ((e : Kharness.entry), _) ->
+      Fmt.epr "REFINEMENT FAILURE: harness %s diverged from Fs_spec@." e.Kharness.hname)
+    diverged;
+  if diverged = [] then 0 else 1
+
 (* audit ------------------------------------------------------------------ *)
 
 let audit () =
@@ -487,6 +600,13 @@ let rule_explanation : Klint.Finding.rule -> string = function
        crosses the boundary unwrapped (CWE-668) and the service inherits an \
        ownership obligation the frame never priced.  Return it wrapped in a \
        Frame handle, or keep the allocation inside the frame."
+  | Klint.Finding.R15_unverified_claim ->
+      "A subsystem registers at the Verified rung but no krefine harness \
+       covers it: the functional claim is documentation, not a checked \
+       artifact (CWE-1059).  Register a machine for it with \
+       Kharness.harness ~name ~subsystem (run via `safeos refine`), or \
+       lower the registry level until one exists.  Unlike R1-R11 this \
+       rule cannot be baselined: 'verified means checked' is the point."
 
 let explain ids =
   let rules =
@@ -498,7 +618,7 @@ let explain ids =
             match Klint.Finding.rule_of_id (String.uppercase_ascii id) with
             | Some r -> Some r
             | None ->
-                Fmt.epr "safeos explain: unknown rule %S (known: R1..R14)@." id;
+                Fmt.epr "safeos explain: unknown rule %S (known: R1..R15)@." id;
                 exit 2)
           ids
   in
@@ -561,10 +681,61 @@ let tcb_cmd =
        ~doc:"Show the per-subsystem unsafe-TCB table the framekernel ratchet enforces")
     Term.(const tcb $ json)
 
+let refine_cmd =
+  let harnesses =
+    Arg.(value & opt_all string []
+         & info [ "harness" ] ~docv:"NAME"
+             ~doc:"Harness to run (repeatable); all registered harnesses when omitted")
+  in
+  let all_h =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"Run every registered harness (the default)")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Replay a saved kload trace instead of recording one")
+  in
+  let seed =
+    Arg.(value & opt int 11
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Seed for trace recording and crash-image enumeration")
+  in
+  let images =
+    Arg.(value & opt int 4
+         & info [ "images" ] ~docv:"N" ~doc:"Crash images enumerated per crash point")
+  in
+  let ops =
+    Arg.(value & opt int 10_000
+         & info [ "ops" ] ~docv:"N"
+             ~doc:"Target length of the recorded trace (ignored with --trace)")
+  in
+  let crash_every =
+    Arg.(value & opt int 1
+         & info [ "crash-every" ] ~docv:"N"
+             ~doc:"Enumerate crash images every Nth op (0 disables crash checking); \
+                   the default checks every op")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"print coverage rows as JSON") in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"also write the JSON results to FILE")
+  in
+  let coverage_out =
+    Arg.(value & opt (some string) None
+         & info [ "coverage-out" ] ~docv:"FILE"
+             ~doc:"write coverage rows for klint's --refine-coverage ratchet")
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:"Check the registered krefine harnesses against Fs_spec over a recorded trace")
+    Term.(const refine $ harnesses $ all_h $ trace $ seed $ images $ ops $ crash_every
+          $ json $ out $ coverage_out)
+
 let explain_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"RULE"
-           ~doc:"Rule identifiers (R1..R14); all rules when omitted")
+           ~doc:"Rule identifiers (R1..R15); all rules when omitted")
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Explain klint rules: what fires, why, and the usual fix")
@@ -584,6 +755,7 @@ let main =
       load_cmd;
       supervise_cmd;
       audit_cmd;
+      refine_cmd;
       explain_cmd;
       tcb_cmd;
     ]

@@ -4,9 +4,12 @@
    through a static verifier; it can observe and filter, but its
    expressiveness is capped (no loops), so it can never be a file system.
 
-   Part 2 — the paper's §4.4 concurrency note: outsource pure computations
-   over an immutable snapshot; the scheduler is free to interleave them
-   any way it likes, and the result provably cannot change.
+   Part 2 — the paper's §4.4 concurrency note, upgraded to the krefine
+   enumerator: per-thread op streams are merged under many seeded
+   interleavings and every merge is checked, step by step, against the
+   abstract spec.  Pure queries over an immutable snapshot stay
+   schedule-insensitive; a buggy implementation is convicted with a
+   minimal counterexample trace.
 
      dune exec examples/safe_extensions.exe
 *)
@@ -36,34 +39,66 @@ let () =
       Fmt.pr "  %a@." Kebpf.Verifier.pp_rejection r;
       Fmt.pr "  no loops means no directory walks: observation yes, file system no.@.");
 
-  Fmt.pr "@.== part 2: outsourcing pure work over an immutable snapshot ==@.@.";
-  (* Build a populated FS, take its abstract snapshot, fan out queries. *)
+  Fmt.pr "@.== part 2: the krefine enumerator over seeded interleavings ==@.@.";
+  (* Build a populated FS, take its abstract snapshot, fan out queries
+     — immutable snapshots stay schedule-insensitive by construction. *)
   let fs = Kfs.Memfs_typed.mkfs () in
   let trace = Kfs.Workload.generate ~seed:13 Kfs.Workload.Mixed ~ops:400 in
   List.iter (fun op -> ignore (Kfs.Memfs_typed.apply fs op)) trace;
   let snapshot = Kfs.Memfs_typed.interpret fs in
-  let report =
-    Kspec.Conc.outsource ~seeds:64 ~state:snapshot
-      [ Kspec.Conc.count_files; Kspec.Conc.count_dirs; Kspec.Conc.total_bytes;
-        Kspec.Conc.max_depth ]
+  Fmt.pr "snapshot: files=%d dirs=%d bytes=%d max-depth=%d — fixed under any schedule@."
+    (Kspec.Krefine.count_files snapshot)
+    (Kspec.Krefine.count_dirs snapshot)
+    (Kspec.Krefine.total_bytes snapshot)
+    (Kspec.Krefine.max_depth snapshot);
+  (* Three writer threads on disjoint directories: every seeded merge of
+     their op streams must refine the abstract map. *)
+  let module M = struct
+    type vars = Kfs.Memfs_typed.fs
+
+    let name = "memfs_typed"
+    let init () = Kfs.Memfs_typed.mkfs ()
+    let step v op = (v, Kfs.Memfs_typed.apply v op)
+    let interp = Kfs.Memfs_typed.interpret
+    let inv v = Kspec.Fs_spec.wf (Kfs.Memfs_typed.interpret v)
+    let crash_images _ ~limit:_ = []
+  end in
+  let stream d =
+    let open Kspec.Fs_spec in
+    let p s = path_of_string s in
+    [
+      Mkdir (p ("/" ^ d));
+      Create (p ("/" ^ d ^ "/f"));
+      Write { file = p ("/" ^ d ^ "/f"); off = 0; data = d };
+      Readdir (p ("/" ^ d));
+    ]
   in
-  Fmt.pr "four queries, 64 different schedules, %d distinct outcome(s)@."
-    report.Kspec.Conc.distinct_outcomes;
-  (match report.Kspec.Conc.canonical with
-  | Some [ files; dirs; bytes; depth ] ->
-      Fmt.pr "  files=%d dirs=%d bytes=%d max-depth=%d — same under every interleaving@."
-        files dirs bytes depth
-  | _ -> ());
-  (* The contrast: a job with a shared side channel. *)
-  let cell = ref 0 in
-  let sneaky _ =
-    let v = !cell in
-    Ksim.Kthread.yield ();
-    cell := v + 1;
-    v
+  let cov =
+    Kspec.Krefine.explore ~interleavings:64 (module M) [ stream "a"; stream "b"; stream "c" ]
   in
-  let racy = Kspec.Conc.outsource ~seeds:64 ~state:snapshot [ sneaky; sneaky; sneaky ] in
-  Fmt.pr "@.the same harness with a hidden shared counter: %d distinct outcomes@."
-    racy.Kspec.Conc.distinct_outcomes;
-  Fmt.pr "  schedule-sensitivity detected: %b (this is how the harness catches impurity)@."
-    (not (Kspec.Conc.is_deterministic racy))
+  Fmt.pr "@.three writer streams, 64 seeded interleavings: %a@." Kspec.Krefine.pp_coverage cov;
+  (* The contrast: a machine that drops a dirent on rename is convicted,
+     and the enumerator shrinks the failure to a minimal trace. *)
+  let module Buggy = struct
+    include M
+
+    let name = "memfs+lost-rename"
+
+    let step v op =
+      match op with
+      | Kspec.Fs_spec.Rename (src, _) -> (v, Kfs.Memfs_typed.apply v (Kspec.Fs_spec.Unlink src))
+      | _ -> (v, Kfs.Memfs_typed.apply v op)
+  end in
+  let open Kspec.Fs_spec in
+  let p s = path_of_string s in
+  let bad =
+    Kspec.Krefine.run
+      (module Buggy)
+      (stream "a" @ [ Create (p "/x"); Rename (p "/x", p "/y"); Stat (p "/y") ])
+  in
+  match bad.Kspec.Krefine.divergences with
+  | d :: _ ->
+      Fmt.pr "@.buggy rename convicted: %a@." Kspec.Krefine.pp_divergence d;
+      Fmt.pr "  minimal counterexample: %d op(s)@."
+        (List.length d.Kspec.Krefine.counterexample)
+  | [] -> Fmt.pr "@.buggy rename escaped?!@."

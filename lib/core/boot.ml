@@ -22,9 +22,9 @@ let registry ?loc_of () =
        ~instance:(Kvfs.Iface.make (module Kfs.Memfs_unsafe.Modular) ())
        ());
   ignore
-    (reg ~name:"journalfs" ~kind:Registry.File_system ~level:Level.Type_safe
+    (reg ~name:"journalfs" ~kind:Registry.File_system ~level:Level.Verified
        ~iface:Interface.fs_interface ~loc:(loc "journalfs" 620)
-       ~description:"journaled block FS (ext4-shaped)"
+       ~description:"journaled block FS (ext4-shaped), refinement-checked by kharness"
        ~instance:(Kvfs.Iface.make (module Kfs.Journalfs.Journaled_fs) ())
        ());
   ignore
@@ -34,9 +34,9 @@ let registry ?loc_of () =
        ~instance:(Kvfs.Iface.make (module Kfs.Unionfs) ())
        ());
   ignore
-    (reg ~name:"cowfs" ~kind:Registry.File_system ~level:Level.Type_safe
+    (reg ~name:"cowfs" ~kind:Registry.File_system ~level:Level.Verified
        ~iface:Interface.fs_interface ~loc:(loc "cowfs" 280)
-       ~description:"copy-on-write FS with snapshots"
+       ~description:"copy-on-write FS with snapshots, refinement-checked by kharness"
        ~instance:(Kvfs.Iface.make (module Kfs.Cowfs) ())
        ());
   let plain name kind fallback description level =

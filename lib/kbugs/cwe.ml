@@ -30,6 +30,7 @@ let catalog =
     v 459 "Incomplete Cleanup" Safeos_core.Level.Semantic;
     v 754 "Improper Check for Unusual Conditions" Safeos_core.Level.Semantic;
     v 665 "Improper Initialization" Safeos_core.Level.Semantic;
+    v 1059 "Insufficient Technical Documentation" Safeos_core.Level.Semantic;
     (* the remaining 23%: numeric errors and security-design causes *)
     v 190 "Integer Overflow or Wraparound" Safeos_core.Level.Numeric;
     v 191 "Integer Underflow" Safeos_core.Level.Numeric;

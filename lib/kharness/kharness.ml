@@ -1,0 +1,236 @@
+(* The refinement-harness registry (see kharness.mli).  Registration is
+   the [harness ~name ~subsystem] call below — the literal shape klint's
+   R15 pass scans for, so a Verified registry claim with no registered
+   harness is a lint violation, not a convention. *)
+
+module Krefine = Kspec.Krefine
+module Fs = Kspec.Fs_spec
+
+type packed = Packed : (module Krefine.MACHINE with type vars = 'a) -> packed
+
+type entry = { hname : string; subsystem : string; machine : packed }
+
+let registered : entry list ref = ref []
+
+let harness ~name ~subsystem machine =
+  let e = { hname = name; subsystem; machine } in
+  registered := !registered @ [ e ];
+  e
+
+let all () = !registered
+let find name = List.find_opt (fun e -> e.hname = name) !registered
+let subsystems_covered () = List.sort_uniq String.compare (List.map (fun e -> e.subsystem) !registered)
+
+let run ?config (e : entry) trace =
+  let (Packed (module M)) = e.machine in
+  Krefine.run ?config (module M) trace
+
+(* Journalfs as an IOSystem ---------------------------------------------- *)
+
+(* The kload device geometry: the recorded key space must fit
+   payload-ceiling files with headroom, so [ENOSPC] can only mean a real
+   refinement bug, never an under-provisioned harness. *)
+let geometry =
+  { Kfs.Journalfs.nblocks = 4096; block_size = 512; jblocks = 96; ninodes = 128 }
+
+module Journalfs_prog = struct
+  type program = Kfs.Journalfs.t
+  type disk = Kblock.Blockdev.t
+
+  let name = "journalfs"
+
+  let fresh_dev () =
+    Kblock.Blockdev.create ~nblocks:geometry.Kfs.Journalfs.nblocks
+      ~block_size:geometry.Kfs.Journalfs.block_size
+
+  let init () =
+    let dev = fresh_dev () in
+    (Kfs.Journalfs.mkfs_on ~geometry Kfs.Journalfs.Journaled dev, dev)
+
+  let step fs _dev op = Kfs.Journalfs.apply fs op
+
+  let interp fs _dev = Kfs.Journalfs.interpret fs
+
+  let inv fs _dev =
+    (not (Kfs.Journalfs.is_corrupt fs))
+    && (not (Kfs.Journalfs.is_readonly fs))
+    && Fs.wf (Kfs.Journalfs.interpret fs)
+
+  let crash_disks dev ~limit = Kblock.Blockdev.crash_states dev ~limit
+  let recover dev = (Kfs.Journalfs.mount ~geometry Kfs.Journalfs.Journaled dev, dev)
+end
+
+module Journalfs_machine = Krefine.Io_system (Journalfs_prog)
+
+(* Cowfs ----------------------------------------------------------------- *)
+
+module Cowfs_machine = struct
+  type vars = Kfs.Cowfs.fs
+
+  let name = "cowfs"
+  let init () = Kfs.Cowfs.mkfs ()
+  let step v op = (v, Kfs.Cowfs.apply v op)
+  let interp = Kfs.Cowfs.interpret
+  let inv v = Fs.wf (Kfs.Cowfs.interpret v)
+
+  (* The tree is a persistent value: there is no volatile/durable split
+     to crash across, so crash checking is vacuous by construction. *)
+  let crash_images _ ~limit:_ = []
+end
+
+(* Supervised microreboot ------------------------------------------------ *)
+
+let panic_cadence = 64
+
+(* The kload supervisor policy: a budget that cannot exhaust (a [Failed]
+   mount is a degraded-mode study, not a refinement subject) and the
+   default backoff curve, so recovery completes within a few retries. *)
+let sup_policy =
+  {
+    Ksim.Supervisor.restart_budget = 1_000_000;
+    backoff_base = 200;
+    backoff_cap = 5_000;
+    op_cost = 100;
+  }
+
+module Microreboot_base = struct
+  type vars = {
+    vfs : Kvfs.Vfs.t;
+    dev : Kblock.Blockdev.t;
+    fp : Ksim.Failpoint.t;
+    panic_every : int;
+    mutable handle_epoch : int;  (* the epoch our "open handle" was minted at *)
+    mutable ops_done : int;
+    mutable panics_injected : int;
+    mutable estale_remints : int;
+  }
+
+  let name = "journalfs.microreboot"
+
+  let make ~sabotage ~panic_every () =
+    let dev = Journalfs_prog.fresh_dev () in
+    let fs0 = Kfs.Journalfs.mkfs_on ~geometry Kfs.Journalfs.Journaled dev in
+    let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:1 () in
+    let vfs = Kvfs.Vfs.create () in
+    let wrap fs =
+      Kvfs.Iface.panicky ~site:"dur.panic" ~fp
+        (Kvfs.Iface.instance (module Kfs.Journalfs.Journaled_fs) fs)
+    in
+    let remake () =
+      if sabotage then begin
+        (* The seeded replay-skip fault: zero the journal record blocks
+           (the header survives), so the recovery scan finds only torn
+           records and silently replays nothing.  Committed-but-
+           unfsynced operations vanish — the lockstep check must see the
+           state regress across the microreboot. *)
+        let zero = Bytes.make geometry.Kfs.Journalfs.block_size '\000' in
+        for b = 1 to geometry.Kfs.Journalfs.jblocks - 1 do
+          let (_ : unit Ksim.Errno.r) = Kblock.Blockdev.write dev b zero in
+          ()
+        done
+      end;
+      wrap (Kfs.Journalfs.mount ~geometry Kfs.Journalfs.Journaled dev)
+    in
+    (match Kvfs.Vfs.mount vfs ~at:[] ~remake ~policy:sup_policy (wrap fs0) with
+    | Ok () -> ()
+    | Error _ -> invalid_arg "Kharness.Microreboot: root mount failed");
+    {
+      vfs;
+      dev;
+      fp;
+      panic_every;
+      handle_epoch = Kvfs.Vfs.epoch_at vfs [];
+      ops_done = 0;
+      panics_injected = 0;
+      estale_remints = 0;
+    }
+
+  (* The tenant retry discipline from the load harness: EIO is a
+     contained oops (there is no other EIO source here — the device is
+     fault-free), EINTR is the quiesce window (each retry advances the
+     supervisor clock towards its backoff deadline), ESTALE means our
+     handle's generation died with the old instance, so re-mint it at
+     the current epoch and retry.  The op itself is applied at most once:
+     the panic fires before the module delegates.
+
+     The retry budget must outlast the worst quiesce window: backoff is
+     capped at [backoff_cap] ns and the clock advances [op_cost] ns per
+     call, so [backoff_cap / op_cost] (= 50) retries always reach the
+     deadline; the rest is slack for the ESTALE re-mint round-trip. *)
+  let retry_budget = (sup_policy.Ksim.Supervisor.backoff_cap / sup_policy.Ksim.Supervisor.op_cost) + 10
+
+  let step v op =
+    v.ops_done <- v.ops_done + 1;
+    if v.ops_done mod v.panic_every = 0 then begin
+      v.panics_injected <- v.panics_injected + 1;
+      Ksim.Failpoint.configure v.fp "dur.panic" ~enabled:true ~probability:1.0 ~interval:1
+        ~times:1 ()
+    end;
+    let rec go tries =
+      match Kvfs.Vfs.apply_stamped v.vfs ~epoch:v.handle_epoch op with
+      | Error Ksim.Errno.ESTALE when tries > 0 ->
+          v.estale_remints <- v.estale_remints + 1;
+          v.handle_epoch <- Kvfs.Vfs.epoch_at v.vfs [];
+          go (tries - 1)
+      | Error (Ksim.Errno.EINTR | Ksim.Errno.EIO) when tries > 0 -> go (tries - 1)
+      | r -> r
+    in
+    (v, go retry_budget)
+
+  let interp v = Kvfs.Vfs.interpret v.vfs
+  let inv v = Fs.wf (Kvfs.Vfs.interpret v.vfs)
+
+  (* A device crash strikes the whole stack: enumerate surviving-write
+     subsets of the block device, then bring each up the way a reboot
+     would — a fresh supervised mount whose first act is journal
+     replay. *)
+  let remount_over dev =
+    let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:1 () in
+    let vfs = Kvfs.Vfs.create () in
+    let wrap fs =
+      Kvfs.Iface.panicky ~site:"dur.panic" ~fp
+        (Kvfs.Iface.instance (module Kfs.Journalfs.Journaled_fs) fs)
+    in
+    let remake () = wrap (Kfs.Journalfs.mount ~geometry Kfs.Journalfs.Journaled dev) in
+    (match Kvfs.Vfs.mount vfs ~at:[] ~remake ~policy:sup_policy (remake ()) with
+    | Ok () -> ()
+    | Error _ -> invalid_arg "Kharness.Microreboot: crash remount failed");
+    {
+      vfs;
+      dev;
+      fp;
+      panic_every = max_int;
+      handle_epoch = Kvfs.Vfs.epoch_at vfs [];
+      ops_done = 0;
+      panics_injected = 0;
+      estale_remints = 0;
+    }
+
+  let crash_images v ~limit = List.map remount_over (Kblock.Blockdev.crash_states v.dev ~limit)
+end
+
+module Microreboot_machine = struct
+  include Microreboot_base
+
+  let init () = make ~sabotage:false ~panic_every:panic_cadence ()
+end
+
+let microreboot_sabotaged ?(panic_every = 4) () =
+  let module M = struct
+    include Microreboot_base
+
+    let name = "journalfs.microreboot.replay-skip"
+    let init () = make ~sabotage:true ~panic_every ()
+  end in
+  Packed (module M)
+
+(* Registrations --------------------------------------------------------- *)
+
+let journalfs = harness ~name:"journalfs" ~subsystem:"journalfs" (Packed (module Journalfs_machine))
+let cowfs = harness ~name:"cowfs" ~subsystem:"cowfs" (Packed (module Cowfs_machine))
+
+let microreboot =
+  harness ~name:"journalfs.microreboot" ~subsystem:"journalfs"
+    (Packed (module Microreboot_machine))
+
+let recorded_trace ?target_ops ~seed () = Kload.Trace.record ?target_ops ~seed ()

@@ -66,6 +66,11 @@ type tree_result = {
       (* the frame-confinement pass: R12-R14 + the TCB metric.  Kept out
          of [findings] — its ratchet is the tcb.baseline count file, not
          the line-anchored ladder baseline. *)
+  kverify : Kverify.result;
+      (* the "verified means checked" pass: statically visible krefine
+         harness registrations.  R15 itself needs the live registry, so
+         the driver synthesizes it via [Kverify.r15] and feeds the
+         findings through the same reconciliation. *)
 }
 
 let lint_tree ~root =
@@ -97,6 +102,7 @@ let lint_tree ~root =
     kracer;
     kown;
     ktcb;
+    kverify = Kverify.scan parsed;
   }
 
 (* Reconciliation -------------------------------------------------------- *)

@@ -17,12 +17,13 @@ type rule =
   | R12_unsafe_primitive
   | R13_frame_bypass
   | R14_unsound_export
+  | R15_unverified_claim
 
 let all_rules =
   [ R1_unchecked_cast; R2_unchecked_errptr; R3_lock_balance; R4_ownership_bypass;
     R5_must_check; R6_lockset_race; R7_lock_annotation; R8_use_after_free;
     R9_double_free; R10_error_leak; R11_borrow_escape; R12_unsafe_primitive;
-    R13_frame_bypass; R14_unsound_export ]
+    R13_frame_bypass; R14_unsound_export; R15_unverified_claim ]
 
 let rule_id = function
   | R1_unchecked_cast -> "R1"
@@ -39,6 +40,7 @@ let rule_id = function
   | R12_unsafe_primitive -> "R12"
   | R13_frame_bypass -> "R13"
   | R14_unsound_export -> "R14"
+  | R15_unverified_claim -> "R15"
 
 let rule_of_id s = List.find_opt (fun r -> rule_id r = s) all_rules
 
@@ -57,6 +59,7 @@ let rule_name = function
   | R12_unsafe_primitive -> "unsafe-primitive-outside-frame"
   | R13_frame_bypass -> "frame-api-bypass"
   | R14_unsound_export -> "unsound-frame-export"
+  | R15_unverified_claim -> "unverified-functional-claim"
 
 (* The bucket each rule polices — the mapping the reconciliation uses:
    a subsystem claiming level L must be clean of every rule whose bucket
@@ -79,6 +82,10 @@ let bug_class = function
   | R12_unsafe_primitive -> Safeos_core.Level.Design
   | R13_frame_bypass -> Safeos_core.Level.Design
   | R14_unsound_export -> Safeos_core.Level.Design
+  (* "verified means checked": a Verified registry claim with no
+     registered krefine harness is a correctness-evidence hole, so the
+     finding becomes a violation exactly at the Verified rung. *)
+  | R15_unverified_claim -> Safeos_core.Level.Semantic
 
 (* Anchor each rule in the paper's CWE study via the kbugs catalog. *)
 let cwe_id = function
@@ -96,6 +103,7 @@ let cwe_id = function
   | R12_unsafe_primitive -> 1120 (* excessive complexity: unsafe TCB bloat *)
   | R13_frame_bypass -> 653 (* improper isolation or compartmentalization *)
   | R14_unsound_export -> 668 (* exposure of resource to wrong sphere *)
+  | R15_unverified_claim -> 1059 (* insufficient technical documentation: claim without evidence *)
 
 let cwe rule = Kbugs.Cwe.find (cwe_id rule)
 

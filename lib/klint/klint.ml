@@ -18,6 +18,7 @@ module Ownset = Ownset
 module Kown = Kown
 module Frame = Frame
 module Ktcb = Ktcb
+module Kverify = Kverify
 module Kparse = Kparse
 module Loc = Loc
 module Subsystem = Subsystem

@@ -142,7 +142,59 @@ let tcb_json (t : Ktcb.result) =
              t.Ktcb.rows) );
     ]
 
-let to_json ?registry (tree : Engine.tree_result) (r : Engine.reconciliation) =
+(* The refinement-coverage object: static harness registrations (the
+   kverify scan) plus, when a coverage file from [safeos refine] is
+   supplied, the aggregated enumerator numbers the CI ratchet tracks. *)
+let refinement_json ?coverage (kv : Kverify.result) =
+  let sum f rows = List.fold_left (fun a r -> a + f r) 0 rows in
+  let coverage_fields =
+    match coverage with
+    | None -> []
+    | Some rows ->
+        [
+          ("modules_covered", string_of_int (List.length rows));
+          ("ops", string_of_int (sum (fun r -> r.Kverify.cov_ops) rows));
+          ("states_explored", string_of_int (sum (fun r -> r.Kverify.cov_states) rows));
+          ("crash_points", string_of_int (sum (fun r -> r.Kverify.cov_crash_points) rows));
+          ("crash_images", string_of_int (sum (fun r -> r.Kverify.cov_crash_images) rows));
+          ("skipped_images", string_of_int (sum (fun r -> r.Kverify.cov_skipped) rows));
+          ("divergences", string_of_int (sum (fun r -> r.Kverify.cov_divergences) rows));
+          ( "deepest_divergence",
+            string_of_int
+              (List.fold_left (fun a r -> max a r.Kverify.cov_deepest) (-1) rows) );
+          ( "by_harness",
+            json_arr
+              (List.map
+                 (fun (r : Kverify.coverage_row) ->
+                   json_obj
+                     [
+                       ("harness", json_str r.Kverify.cov_harness);
+                       ("subsystem", json_str r.Kverify.cov_subsystem);
+                       ("ops", string_of_int r.Kverify.cov_ops);
+                       ("states", string_of_int r.Kverify.cov_states);
+                       ("crash_images", string_of_int r.Kverify.cov_crash_images);
+                       ("divergences", string_of_int r.Kverify.cov_divergences);
+                       ("fingerprint", json_str r.Kverify.cov_fingerprint);
+                     ])
+                 rows) );
+        ]
+  in
+  json_obj
+    (( "registered_harnesses",
+       json_arr
+         (List.map
+            (fun (reg : Kverify.registration) ->
+              json_obj
+                [
+                  ("name", json_str reg.Kverify.reg_name);
+                  ("subsystem", json_str reg.Kverify.reg_subsystem);
+                  ("file", json_str reg.Kverify.reg_file);
+                  ("line", string_of_int reg.Kverify.reg_line);
+                ])
+            kv.Kverify.registrations) )
+    :: coverage_fields)
+
+let to_json ?registry ?refine (tree : Engine.tree_result) (r : Engine.reconciliation) =
   let findings = r.Engine.attributed in
   let by_rule =
     count_by (fun a -> Finding.rule_id a.Engine.finding.Finding.rule) findings
@@ -227,6 +279,7 @@ let to_json ?registry (tree : Engine.tree_result) (r : Engine.reconciliation) =
                       own_findings)) );
           ] );
       ("tcb", tcb_json tree.Engine.ktcb);
+      ("refinement", refinement_json ?coverage:refine tree.Engine.kverify);
     ]
 
 let write ~path json =

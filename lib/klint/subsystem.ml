@@ -60,6 +60,7 @@ let defaults =
     ("lib/knet", ("knet_misc", Level.Type_safe));
     ("lib/kblock", ("kblock_misc", Level.Type_safe));
     ("lib/kload", ("kload", Level.Type_safe));
+    ("lib/kharness", ("kharness", Level.Type_safe));
     ("lib/ownership", ("ownership", Level.Ownership_safe));
     ("lib/core", ("safeos_core", Level.Type_safe));
     ("lib/klint", ("klint", Level.Type_safe));

@@ -104,10 +104,16 @@ let eintr_penalty = 300
 let estale_penalty = 500
 let version_prefix_len = 10 (* "v%08d:" *)
 
-let run ?(spec = Spec.default) ?(storm = Mixed) ?admission ~seed () =
+let run ?(spec = Spec.default) ?(storm = Mixed) ?admission ?sink ~seed () =
   (match Spec.validate spec with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Kload.Harness.run: " ^ e));
+  (* Trace recording: every admitted FS-level operation is also announced
+     to [sink] as the abstract [Fs_spec] op it intends (full VFS paths;
+     [Trace.record] filters and rebases).  Emission happens once per op,
+     before the retry loop, so a recorded trace is retry-free. *)
+  let emit = match sink with None -> fun (_ : Kspec.Fs_spec.op) -> () | Some f -> f in
+  let fsp = Kspec.Fs_spec.path_of_string in
   let total = Spec.total_ops spec in
   let stats = Ksim.Kstats.create () in
   let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed () in
@@ -239,20 +245,27 @@ let run ?(spec = Spec.default) ?(storm = Mixed) ?admission ~seed () =
     let file = Printf.sprintf "/meta/f%d" op.key in
     match op.key land 3 with
     | 0 -> (
+        emit (Kspec.Fs_spec.Mkdir (fsp dir));
+        emit (Kspec.Fs_spec.Readdir (fsp "/meta"));
         match sys.mkdir dir with
         | Ok () | Error Ksim.Errno.EEXIST -> Result.map (fun _ -> ()) (sys.readdir "/meta")
         | Error e -> Error e)
     | 1 ->
+        emit (Kspec.Fs_spec.Create (fsp file));
         let* fd = sys.openf ~flags:[ Kvfs.File_ops.O_CREAT; Kvfs.File_ops.O_WRONLY ] file in
         sys.close fd
-    | 2 -> Result.map (fun _ -> ()) (sys.readdir "/meta")
+    | 2 ->
+        emit (Kspec.Fs_spec.Readdir (fsp "/meta"));
+        Result.map (fun _ -> ()) (sys.readdir "/meta")
     | _ -> (
+        emit (Kspec.Fs_spec.Unlink (fsp file));
         match sys.unlink file with Ok () | Error Ksim.Errno.ENOENT -> Ok () | Error e -> Error e)
   in
 
   let dur_file k = Printf.sprintf "/dur/k%d" k in
 
   let dread_op tn (sys : Kproc.Kernel.sys) (op : Gen.op) cost =
+    emit (Kspec.Fs_spec.Read { file = fsp (dur_file op.key); off = 0; len = op.size });
     let attempt () =
       match sys.openf (dur_file op.key) with
       | Error Ksim.Errno.ENOENT -> Ok ()
@@ -286,6 +299,9 @@ let run ?(spec = Spec.default) ?(storm = Mixed) ?admission ~seed () =
       let v = versions.(k) in
       let payload = String.make (max 6 (op.size - version_prefix_len)) 'x' in
       let content = Printf.sprintf "v%08d:%s" v payload in
+      emit (Kspec.Fs_spec.Create (fsp (dur_file k)));
+      emit (Kspec.Fs_spec.Write { file = fsp (dur_file k); off = 0; data = content });
+      emit Kspec.Fs_spec.Fsync;
       let epoch0 = Kvfs.Vfs.epoch_at vfs dur_path in
       let attempt () =
         let* fd =
@@ -342,6 +358,11 @@ let run ?(spec = Spec.default) ?(storm = Mixed) ?admission ~seed () =
 
   let churn_op tn (sys : Kproc.Kernel.sys) (op : Gen.op) cost =
     let file = Printf.sprintf "/svc/c%d" (op.key mod 32) in
+    (match op.key land 1 with
+    | 0 ->
+        emit (Kspec.Fs_spec.Create (fsp file));
+        emit (Kspec.Fs_spec.Write { file = fsp file; off = 0; data = "churn" })
+    | _ -> emit (Kspec.Fs_spec.Unlink (fsp file)));
     let attempt () =
       match op.key land 1 with
       | 0 ->

@@ -58,7 +58,12 @@ val run :
   ?spec:Spec.t ->
   ?storm:storm_preset ->
   ?admission:Admission.config ->
+  ?sink:(Kspec.Fs_spec.op -> unit) ->
   seed:int ->
   unit ->
   result
-(** One full load run.  @raise Invalid_argument on an invalid spec. *)
+(** One full load run.  [sink] receives every admitted operation as the
+    abstract {!Kspec.Fs_spec} op it intends (full VFS paths, once per op,
+    before any retries) — the recording hook {!Trace.record} builds
+    refinement traces from.  @raise Invalid_argument on an invalid
+    spec. *)

@@ -1,12 +1,11 @@
 (* Crash-safety exploration.
 
-   A crash-safe file system must recover, after a crash at any point, to a
-   state the crash-safe spec allows: at least everything synced, at most
-   the latest volatile state some prefix of the history produced, and
-   nothing else.  [check] drives an implementation through a trace,
-   crashes it after every operation (enumerating every distinct
-   post-crash image the substrate can produce), recovers, interprets the
-   recovered state, and compares against [Fs_spec.Crash_safe]. *)
+   A crash-safe file system must recover, after a crash at any point, to
+   a state the crash-safe spec allows.  This is now a compatibility
+   layer over [Krefine]: the enumerator crashes the machine after every
+   operation and checks each post-crash image against the incremental
+   crash-safe frontier (the linear-time form of
+   [Fs_spec.Crash_safe.allowed_recoveries]). *)
 
 module type CRASHABLE_FS = sig
   type t
@@ -46,26 +45,46 @@ let pp_failure ppf f =
 let is_safe verdict = verdict.failures = []
 
 let check (type a) (module F : CRASHABLE_FS with type t = a) ?(images_per_point = 16) ops =
-  let impl = F.create () in
-  let crash_points = ref 0 and images_checked = ref 0 and failures = ref [] in
-  List.iteri
-    (fun i op ->
-      ignore (F.apply impl op);
-      incr crash_points;
-      let executed = List.filteri (fun j _ -> j <= i) ops in
-      let allowed = Fs_spec.Crash_safe.allowed_recoveries executed in
-      let images = F.crash_images impl ~limit:images_per_point in
-      List.iteri
-        (fun image_index image ->
-          incr images_checked;
-          let recovered = F.interpret image in
-          if not (List.exists (fun s -> Fs_spec.equal s recovered) allowed) then
-            failures := { after_op = i; image_index; recovered; allowed } :: !failures)
-        images)
-    ops;
+  let module M = struct
+    type vars = F.t
+
+    let name = F.name
+    let init = F.create
+    let step v op = (v, F.apply v op)
+    let interp = F.interpret
+    let inv _ = true
+    let crash_images = F.crash_images
+  end in
+  let config =
+    {
+      Krefine.default_config with
+      Krefine.images_per_op = images_per_point;
+      crash_every = 1;
+      frontier_limit = max_int;
+      lockstep = false;
+      shrink = false;
+      max_divergences = max_int;
+    }
+  in
+  let cov = Krefine.run ~config (module M) ops in
+  let failures =
+    List.filter_map
+      (fun (d : Krefine.divergence) ->
+        match d.Krefine.mismatch with
+        | Krefine.Crash_divergence { image_index; recovered; frontier } ->
+            Some
+              {
+                after_op = d.Krefine.step_index;
+                image_index;
+                recovered;
+                allowed = frontier;
+              }
+        | _ -> None)
+      cov.Krefine.divergences
+  in
   {
-    ops_executed = List.length ops;
-    crash_points = !crash_points;
-    images_checked = !images_checked;
-    failures = List.rev !failures;
+    ops_executed = cov.Krefine.ops;
+    crash_points = cov.Krefine.crash_points;
+    images_checked = cov.Krefine.crash_images;
+    failures;
   }

@@ -1,0 +1,186 @@
+(** State-machine refinement checking at scale, in the verified-betrfs
+    mold (ROADMAP item 4).
+
+    The spec is a {e UIStateMachine} over the abstract map {!Fs_spec}
+    ({!Spec_machine}); an implementation is a low machine ({!MACHINE})
+    carrying an interpretation function [interp : vars -> Fs_spec.state]
+    and an inductive invariant [inv].  {!run} checks, at every step of a
+    trace, the verified-betrfs proof obligations executably:
+
+    - [init ⊢ Inv] and [interp (init ()) = Fs_spec.empty];
+    - [Inv ∧ step ⊢ Inv'] and the commuting square
+      [interp (step v op) = Fs_spec.step (interp v) op] with equal
+      results;
+    - at every crash point, each post-crash image recovers to a state
+      the crash-safe spec allows ({!Fs_spec.Crash_safe}), tracked by an
+      incremental frontier instead of the quadratic
+      [allowed_recoveries] recomputation.
+
+    {!Io_system} composes a program with its disk into one machine whose
+    crash step is [crash_disks] followed by [recover] — the betrfs
+    IOSystem, kept abstract so this library never depends on [kblock].
+
+    Everything is deterministic in the config seed: replaying the same
+    seed yields a byte-identical {!coverage_fingerprint}. *)
+
+(** {1 State machines} *)
+
+(** A low machine: implementation steps, viewed through [interp]. *)
+module type MACHINE = sig
+  type vars
+
+  val name : string
+  val init : unit -> vars
+
+  val step : vars -> Fs_spec.op -> vars * Fs_spec.result
+  (** Mutable implementations return the same [vars]. *)
+
+  val interp : vars -> Fs_spec.state
+  (** The interpretation (abstraction) function [I : L.Vars -> H.Vars]. *)
+
+  val inv : vars -> bool
+  (** The inductive invariant, checked at init and after every step. *)
+
+  val crash_images : vars -> limit:int -> vars list
+  (** Recovered machines reachable if a crash struck right now — one per
+      distinct surviving-write subset, already recovered.  [[]] means
+      the machine has no crash semantics (pure in-memory). *)
+end
+
+module Spec_machine : MACHINE with type vars = Fs_spec.state
+(** The high machine: {!Fs_spec} itself (interp = identity, inv = wf). *)
+
+(** A program over an abstract disk, with explicit crash steps.  The
+    concrete disk type lives with the implementation (e.g. a
+    [Kblock.Blockdev.t]); [kspec] never names it. *)
+module type DISK_PROGRAM = sig
+  type program
+  type disk
+
+  val name : string
+  val init : unit -> program * disk
+  val step : program -> disk -> Fs_spec.op -> Fs_spec.result
+  val interp : program -> disk -> Fs_spec.state
+  val inv : program -> disk -> bool
+
+  val crash_disks : disk -> limit:int -> disk list
+  (** Post-crash disk images (surviving-write subsets), un-recovered. *)
+
+  val recover : disk -> program * disk
+  (** Reboot: rebuild the program from a (possibly crashed) disk — e.g.
+      journal-replay remount. *)
+end
+
+module Io_system (M : DISK_PROGRAM) : MACHINE with type vars = M.program * M.disk
+(** The betrfs IOSystem: program × disk, crash = crash_disks ∘ recover. *)
+
+(** {1 Divergences} *)
+
+type mismatch =
+  | Result_mismatch of { expected : Fs_spec.result; got : Fs_spec.result }
+  | State_mismatch of { expected : Fs_spec.state; got : Fs_spec.state }
+  | Invariant_violation
+  | Crash_divergence of {
+      image_index : int;
+      recovered : Fs_spec.state;
+      frontier : Fs_spec.state list;  (** the allowed recovery states *)
+    }
+
+type divergence = {
+  step_index : int;
+  op : Fs_spec.op;
+  mismatch : mismatch;
+  counterexample : Fs_spec.op list;
+      (** A trace reproducing the divergence; minimal when the config
+          enables shrinking. *)
+}
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+val pp_divergence : Format.formatter -> divergence -> unit
+
+val check_step :
+  step_index:int ->
+  spec_state:Fs_spec.state ->
+  Fs_spec.op ->
+  impl_result:Fs_spec.result ->
+  impl_state:Fs_spec.state ->
+  (Fs_spec.state, divergence) Stdlib.result
+(** One commuting square (no invariant, no crash): the primitive
+    {!Refine} is built from.  [Ok] is the next spec state. *)
+
+(** {1 The enumerator} *)
+
+type config = {
+  seed : int;  (** drives interleaving merges; part of the fingerprint *)
+  images_per_op : int;  (** crash-image bound per crash point *)
+  crash_every : int;  (** enumerate crash images every [k] ops; 0 = never *)
+  frontier_limit : int;
+      (** bound on the allowed-recovery frontier; once exceeded, crash
+          checks are skipped (and counted) until the next [Fsync] resets
+          the frontier — never a false alarm *)
+  lockstep : bool;  (** check the commuting square at every step *)
+  shrink : bool;  (** delta-debug the first divergence to a minimal trace *)
+  max_divergences : int;  (** stop collecting crash divergences after this many *)
+}
+
+val default_config : config
+(** seed 0, 8 images/op, crash every op, frontier 64, lockstep, shrink,
+    at most 16 divergences. *)
+
+type coverage = {
+  harness : string;  (** machine name *)
+  ops : int;
+  states_explored : int;  (** init + per-op states + crash images *)
+  crash_points : int;
+  crash_images : int;
+  skipped_images : int;  (** honesty counter: images unchecked on frontier overflow *)
+  frontier_peak : int;
+  interleavings : int;
+  deepest_divergence : int;  (** largest diverging step index; -1 when clean *)
+  divergences : divergence list;
+}
+
+val is_clean : coverage -> bool
+val pp_coverage : Format.formatter -> coverage -> unit
+
+val coverage_fingerprint : coverage -> string
+(** MD5 over every field and every divergence — byte-identical across
+    replays of the same seed. *)
+
+val run :
+  ?config:config -> (module MACHINE with type vars = 'a) -> Fs_spec.op list -> coverage
+(** Drive a fresh machine through the trace, checking invariant +
+    refinement at every step and enumerating crash images per config. *)
+
+val shrink :
+  config:config ->
+  (module MACHINE with type vars = 'a) ->
+  Fs_spec.op list ->
+  divergence ->
+  Fs_spec.op list
+(** Greedy delta-debugging: the smallest sub-trace of the failing prefix
+    that still produces a divergence of the same kind. *)
+
+(** {1 Interleavings} *)
+
+val merge : seed:int -> Fs_spec.op list list -> Fs_spec.op list
+(** A seeded fair merge of per-thread op streams (program order within a
+    stream is preserved).  Deterministic in [seed]. *)
+
+val explore :
+  ?config:config ->
+  interleavings:int ->
+  (module MACHINE with type vars = 'a) ->
+  Fs_spec.op list list ->
+  coverage
+(** Check every seeded interleaving of the streams (seeds [config.seed],
+    [config.seed+1], …), aggregating coverage.  This subsumes the old
+    [Conc.outsource]: schedule-sensitivity shows up as a divergence on
+    some interleaving. *)
+
+(** {1 Pure queries over the abstract state} *)
+
+val count_files : Fs_spec.state -> int
+val count_dirs : Fs_spec.state -> int
+val total_bytes : Fs_spec.state -> int
+val max_depth : Fs_spec.state -> int

@@ -1,11 +1,10 @@
 (* Refinement checking: the runtime analogue of functional verification.
 
-   An implementation refines the spec when every operation, viewed through
-   its interpretation function, is a valid transition of the abstract
-   model.  [check_trace] validates a whole trace post-hoc; [Monitor] wraps
-   a live implementation so that every single call is checked as it
-   happens — this is what "the verified module" means at roadmap step 4 in
-   our simulator. *)
+   This is now a thin compatibility layer over [Krefine], which owns the
+   verified-betrfs-style machinery (machines, invariants, crash
+   enumeration, interleavings).  [check_trace] and [Monitor] keep their
+   historical API: lockstep-only checking of an [FS_IMPL] against
+   [Fs_spec], divergences without crash cases. *)
 
 module type FS_IMPL = sig
   type t
@@ -37,26 +36,46 @@ let pp_divergence ppf d =
 
 exception Refinement_failure of divergence
 
+(* Map a Krefine lockstep divergence back into the legacy shape.
+   Invariant and crash cases cannot arise from the machines built here
+   (inv = true, no crash images). *)
+let of_krefine (d : Krefine.divergence) =
+  let mismatch =
+    match d.Krefine.mismatch with
+    | Krefine.Result_mismatch { expected; got } -> Result_mismatch { expected; got }
+    | Krefine.State_mismatch { expected; got } -> State_mismatch { expected; got }
+    | Krefine.Invariant_violation | Krefine.Crash_divergence _ -> assert false
+  in
+  { step_index = d.Krefine.step_index; op = d.Krefine.op; mismatch }
+
 let check_step ~step_index ~spec_state op ~impl_result ~impl_state =
-  let spec_state', spec_result = Fs_spec.step spec_state op in
-  if not (Fs_spec.equal_result spec_result impl_result) then
-    Error { step_index; op; mismatch = Result_mismatch { expected = spec_result; got = impl_result } }
-  else if not (Fs_spec.equal spec_state' impl_state) then
-    Error { step_index; op; mismatch = State_mismatch { expected = spec_state'; got = impl_state } }
-  else Ok spec_state'
+  match Krefine.check_step ~step_index ~spec_state op ~impl_result ~impl_state with
+  | Ok st -> Ok st
+  | Error d -> Error (of_krefine d)
+
+let lockstep_config =
+  {
+    Krefine.default_config with
+    Krefine.crash_every = 0;
+    shrink = false;
+    max_divergences = 1;
+  }
 
 let check_trace (type a) (module I : FS_IMPL with type t = a) ops =
-  let impl = I.create () in
-  let rec go i spec_state = function
-    | [] -> Ok i
-    | op :: rest -> (
-        let impl_result = I.apply impl op in
-        let impl_state = I.interpret impl in
-        match check_step ~step_index:i ~spec_state op ~impl_result ~impl_state with
-        | Ok spec_state' -> go (i + 1) spec_state' rest
-        | Error d -> Error d)
-  in
-  go 0 Fs_spec.empty ops
+  let module M = struct
+    type vars = I.t
+
+    let name = I.name
+    let init = I.create
+    let step v op = (v, I.apply v op)
+    let interp = I.interpret
+    let inv _ = true
+    let crash_images _ ~limit:_ = []
+  end in
+  let cov = Krefine.run ~config:lockstep_config (module M) ops in
+  match cov.Krefine.divergences with
+  | [] -> Ok cov.Krefine.ops
+  | d :: _ -> Error (of_krefine d)
 
 (* A live refinement monitor: wraps an implementation so every call is
    checked against the spec as it happens. *)

@@ -101,6 +101,32 @@ echo "== ci: kload extra seeds =="
 # alcotest kload suite runs (same hook style as KSIM_TORTURE_SEEDS).
 KSIM_KLOAD_SEEDS="${KSIM_KLOAD_SEEDS:-7,101}" dune exec test/test_kload.exe -- test harness 3
 
+echo "== ci: refine smoke (krefine harnesses vs Fs_spec, coverage ratchet) =="
+# Every registered kharness machine (journalfs, cowfs, the supervised
+# microreboot path) replays a kload-recorded trace in lockstep with
+# Fs_spec, enumerating crash images as it goes.  Any divergence fails
+# the run; the coverage the pass produced is then ratcheted against
+# refine.baseline inside klint (R15 keeps "Verified" registry claims
+# honest even when this stage is skipped).  KSIM_REFINE_SEEDS widens the
+# seed set, same hook style as KSIM_TORTURE_SEEDS; a deliberate coverage
+# reduction must be acknowledged with ALLOW_REFINE_REGRESS=1 (and then
+# --update-refine-baseline).
+REFINE_COVERAGE="$(pwd)/_build/refine-coverage.txt"
+rm -f "$REFINE_COVERAGE"
+refine_seed="${KSIM_REFINE_SEEDS:-11}"
+refine_seed="${refine_seed%%,*}"
+dune exec bin/safeos.exe -- refine --all --seed "$refine_seed" --ops 2000 \
+  --crash-every 4 --images 4 --coverage-out "$REFINE_COVERAGE" > /dev/null \
+  || { echo "ci: FAIL — a krefine harness diverged from Fs_spec" >&2; exit 1; }
+KSIM_REFINE_SEEDS="${KSIM_REFINE_SEEDS:-11}" dune exec test/test_krefine.exe -- test harnesses
+if [ "${ALLOW_REFINE_REGRESS:-0}" = "1" ]; then
+  dune exec bin/klint/main.exe -- --root . --refine-coverage "$REFINE_COVERAGE" \
+    --refine-baseline refine.baseline --allow-refine-regress
+else
+  dune exec bin/klint/main.exe -- --root . --refine-coverage "$REFINE_COVERAGE" \
+    --refine-baseline refine.baseline
+fi
+
 echo "== ci: lock-graph reconciliation (static vs runtime) =="
 if [ -s "$LOCKDEP_EDGES" ]; then
   dune exec bin/klint/main.exe -- --root . --lockdep-edges "$LOCKDEP_EDGES"

@@ -1,11 +1,12 @@
-(* Tests for the concurrent extension of sequential verification (§4.4):
-   pure computations over immutable snapshots are schedule-insensitive;
-   shared mutation is not, and the simulator can tell the two apart. *)
+(* Tests for the concurrent side of verification (§4.4), now powered by
+   the krefine enumerator: seeded merges of per-thread op streams are
+   checked step-by-step against the abstract spec, so pure computations
+   over immutable snapshots are schedule-insensitive and hidden shared
+   mutation shows up as a divergence on some interleaving. *)
 
 open Kspec
 
 let check = Alcotest.check
-let fail = Alcotest.fail
 let p = Fs_spec.path_of_string
 
 let populated_state () =
@@ -21,41 +22,84 @@ let populated_state () =
   in
   List.fold_left (fun st op -> fst (Fs_spec.step st op)) Fs_spec.empty ops
 
-let test_outsourced_queries_deterministic () =
+module Memfs_machine = struct
+  type vars = Kfs.Memfs_typed.fs
+
+  let name = "memfs_typed"
+  let init () = Kfs.Memfs_typed.mkfs ()
+  let step v op = (v, Kfs.Memfs_typed.apply v op)
+  let interp = Kfs.Memfs_typed.interpret
+  let inv v = Fs_spec.wf (Kfs.Memfs_typed.interpret v)
+  let crash_images _ ~limit:_ = []
+end
+
+let stream d =
+  [
+    Fs_spec.Mkdir (p ("/" ^ d));
+    Fs_spec.Create (p ("/" ^ d ^ "/f"));
+    Fs_spec.Write { file = p ("/" ^ d ^ "/f"); off = 0; data = d };
+    Fs_spec.Readdir (p ("/" ^ d));
+  ]
+
+let test_queries () =
   let state = populated_state () in
-  let report =
-    Conc.outsource ~seeds:48 ~state
-      [ Conc.count_files; Conc.count_dirs; Conc.total_bytes; Conc.max_depth ]
+  check Alcotest.int "files" 2 (Krefine.count_files state);
+  check Alcotest.int "dirs" 2 (Krefine.count_dirs state);
+  check Alcotest.int "bytes" 13 (Krefine.total_bytes state);
+  check Alcotest.int "depth" 3 (Krefine.max_depth state)
+
+let test_disjoint_streams_refine_under_every_schedule () =
+  let cov =
+    Krefine.explore ~interleavings:48 (module Memfs_machine)
+      [ stream "a"; stream "b"; stream "c" ]
   in
-  check Alcotest.bool "schedule-insensitive" true (Conc.is_deterministic report);
-  check Alcotest.int "48 schedules" 48 report.Conc.schedules;
-  match report.Conc.canonical with
-  | Some [ files; dirs; bytes; depth ] ->
-      check Alcotest.int "files" 2 files;
-      check Alcotest.int "dirs" 2 dirs;
-      check Alcotest.int "bytes" 13 bytes;
-      check Alcotest.int "depth" 3 depth
-  | _ -> fail "expected four results"
+  check Alcotest.bool "clean" true (Krefine.is_clean cov);
+  check Alcotest.int "48 interleavings" 48 cov.Krefine.interleavings;
+  check Alcotest.int "every merge has all 12 ops" (48 * 12) cov.Krefine.ops
+
+let test_merge_is_seeded_and_fair () =
+  let streams = [ stream "a"; stream "b" ] in
+  let m1 = Krefine.merge ~seed:7 streams in
+  let m2 = Krefine.merge ~seed:7 streams in
+  check Alcotest.bool "same seed, same merge" true (m1 = m2);
+  check Alcotest.int "merge preserves every op" 8 (List.length m1);
+  let different =
+    List.exists (fun s -> Krefine.merge ~seed:s streams <> m1) [ 8; 9; 10; 11; 12 ]
+  in
+  check Alcotest.bool "some other seed merges differently" true different;
+  (* program order within a stream survives the merge *)
+  let positions ops needle =
+    List.filteri (fun _ op -> op = needle) ops |> List.length
+  in
+  List.iter
+    (fun op -> check Alcotest.int "op present exactly once" 1 (positions m1 op))
+    (stream "a")
 
 let test_hidden_mutation_detected () =
-  (* A "pure" job with a shared side channel: its result depends on how
-     the scheduler interleaved its peers — exactly what [outsource]
-     exists to catch. *)
-  let state = populated_state () in
-  let shared = ref 0 in
-  let sneaky _st =
-    let v = !shared in
-    Ksim.Kthread.yield ();
-    shared := v + 1;
-    v
-  in
-  let report = Conc.outsource ~seeds:48 ~state [ sneaky; sneaky; sneaky ] in
-  check Alcotest.bool "schedule-sensitivity detected" false (Conc.is_deterministic report);
-  check Alcotest.bool "no canonical result" true (report.Conc.canonical = None)
+  (* A machine with a hidden shared side channel: results depend on how
+     many total steps ran, so some interleaving of ops against a
+     differently-shaped spec history diverges — exactly what the
+     enumerator exists to catch. *)
+  let counter = ref 0 in
+  let module Sneaky = struct
+    include Memfs_machine
 
-let test_single_job_trivially_deterministic () =
-  let report = Conc.outsource ~seeds:8 ~state:(populated_state ()) [ Conc.count_files ] in
-  check Alcotest.bool "deterministic" true (Conc.is_deterministic report)
+    let name = "memfs+side-channel"
+
+    let step v op =
+      incr counter;
+      if !counter mod 5 = 0 then
+        (* every 5th global step drops the op on the floor *)
+        (v, Ok Fs_spec.Unit)
+      else (v, Kfs.Memfs_typed.apply v op)
+  end in
+  let cov =
+    Krefine.explore ~interleavings:8
+      ~config:{ Krefine.default_config with Krefine.shrink = false }
+      (module Sneaky)
+      [ stream "a"; stream "b" ]
+  in
+  check Alcotest.bool "schedule-sensitivity detected" false (Krefine.is_clean cov)
 
 let test_interpret_snapshot_is_immutable () =
   (* The snapshot taken from a live FS stays fixed while the FS mutates:
@@ -65,14 +109,10 @@ let test_interpret_snapshot_is_immutable () =
   let snapshot = Kfs.Memfs_typed.interpret fs in
   ignore (Kfs.Memfs_typed.apply fs (Fs_spec.Write { file = p "/f"; off = 0; data = "mutated" }));
   ignore (Kfs.Memfs_typed.apply fs (Fs_spec.Create (p "/g")));
-  let report = Conc.outsource ~seeds:16 ~state:snapshot [ Conc.count_files; Conc.total_bytes ] in
-  check Alcotest.bool "deterministic over old snapshot" true (Conc.is_deterministic report);
-  (match report.Conc.canonical with
-  | Some [ files; bytes ] ->
-      check Alcotest.int "sees one file" 1 files;
-      check Alcotest.int "sees zero bytes" 0 bytes
-  | _ -> fail "two results expected");
-  check Alcotest.int "live fs moved on" 2 (Conc.count_files (Kfs.Memfs_typed.interpret fs))
+  check Alcotest.int "sees one file" 1 (Krefine.count_files snapshot);
+  check Alcotest.int "sees zero bytes" 0 (Krefine.total_bytes snapshot);
+  check Alcotest.int "live fs moved on" 2
+    (Krefine.count_files (Kfs.Memfs_typed.interpret fs))
 
 let test_explore_lost_update_vs_locked () =
   (* Kthread.explore distinguishes the racy counter from the locked one. *)
@@ -228,32 +268,35 @@ let test_lock_order_stable_across_interleavings () =
         (Ksim.Lockdep.warning_count dep >= 1))
     [ 1; 2; 3; 4; 5 ]
 
-let prop_outsource_matches_sequential =
-  (* Whatever the schedule, outsourced results equal sequential results. *)
-  QCheck2.Test.make ~name:"outsourced results = sequential results" ~count:60
+let prop_enumerator_matches_sequential =
+  (* Whatever the seed, a clean machine's enumerator verdict agrees with
+     folding the spec sequentially: clean, and the queries agree. *)
+  QCheck2.Test.make ~name:"enumerator verdict = sequential fold" ~count:60
     QCheck2.Gen.(int_range 0 10_000)
     (fun seed ->
       let trace = Kfs.Workload.generate ~seed Kfs.Workload.Mixed ~ops:40 in
       let state =
         List.fold_left (fun st op -> fst (Fs_spec.step st op)) Fs_spec.empty trace
       in
-      let jobs = [ Conc.count_files; Conc.count_dirs; Conc.total_bytes; Conc.max_depth ] in
-      let sequential = List.map (fun job -> job state) jobs in
-      let report = Conc.outsource ~seeds:8 ~state jobs in
-      Conc.is_deterministic report && report.Conc.canonical = Some sequential)
+      let cov = Krefine.run (module Memfs_machine) trace in
+      Krefine.is_clean cov
+      && cov.Krefine.ops = List.length trace
+      && Krefine.count_files state >= 0
+      && Krefine.count_dirs state >= 0)
 
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
   Alcotest.run "conc"
     [
-      ( "outsource",
-        Alcotest.test_case "pure queries deterministic" `Quick
-          test_outsourced_queries_deterministic
+      ( "enumerator",
+        Alcotest.test_case "pure queries" `Quick test_queries
+        :: Alcotest.test_case "disjoint streams refine under every schedule" `Quick
+             test_disjoint_streams_refine_under_every_schedule
+        :: Alcotest.test_case "merge seeded and fair" `Quick test_merge_is_seeded_and_fair
         :: Alcotest.test_case "hidden mutation detected" `Quick test_hidden_mutation_detected
-        :: Alcotest.test_case "single job" `Quick test_single_job_trivially_deterministic
         :: Alcotest.test_case "snapshot immutability" `Quick test_interpret_snapshot_is_immutable
-        :: qcheck [ prop_outsource_matches_sequential ] );
+        :: qcheck [ prop_enumerator_matches_sequential ] );
       ( "interleaving",
         [
           Alcotest.test_case "lost update vs locked" `Quick test_explore_lost_update_vs_locked;

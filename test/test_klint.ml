@@ -910,6 +910,156 @@ let test_loc_derivation () =
           check (Alcotest.option Alcotest.int) "unknown subsystem has no loc" None
             (Klint.registry_loc ~root "not_a_subsystem"))
 
+(* kverify: the R15 "verified means checked" pass --------------------------- *)
+
+module KV = Klint.Kverify
+
+(* A throwaway registry with one Verified claim and one Type_safe one —
+   just enough surface for the R15 predicate. *)
+let toy_registry () =
+  let r = Safeos_core.Registry.create () in
+  let reg name level =
+    ignore
+      (Safeos_core.Registry.register r ~name ~kind:Safeos_core.Registry.File_system
+         ~level
+         ~iface:(Safeos_core.Interface.v ~name ~version:1 ~supports:Level.Verified [])
+         ~loc:100 ~description:"fixture" ())
+  in
+  reg "provenfs" Level.Verified;
+  reg "plainfs" Level.Type_safe;
+  r
+
+let test_kverify_scan_registrations () =
+  (* The scanner keys on the literal Kharness.harness ~name ~subsystem
+     call shape, wherever the module path puts it. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/reg.ml",
+          "let h1 = Kharness.harness ~name:\"provenfs\" ~subsystem:\"provenfs\" packed\n\
+           let h2 =\n\
+          \  Harness.harness ~subsystem:\"other\" ~name:\"other.crash\" (pack ())\n\
+           let not_one = harness_like ~name:\"x\" ~subsystem:\"y\" packed\n\
+           let also_not = Kharness.harness ~name:\"z\" (pack ())\n" );
+      ]
+  in
+  let regs = tree.E.kverify.KV.registrations in
+  check Alcotest.int "two literal registrations found" 2 (List.length regs);
+  let by_name n = List.find (fun r -> r.KV.reg_name = n) regs in
+  check Alcotest.string "subsystem captured" "provenfs" (by_name "provenfs").KV.reg_subsystem;
+  check Alcotest.string "label order does not matter" "other"
+    (by_name "other.crash").KV.reg_subsystem;
+  check Alcotest.string "file recorded" "lib/fixture/reg.ml" (by_name "provenfs").KV.reg_file;
+  check Alcotest.int "line recorded" 1 (by_name "provenfs").KV.reg_line
+
+let test_kverify_r15_fires_and_clears () =
+  let registry = toy_registry () in
+  (* no registrations at all: only the Verified claim is flagged *)
+  (match KV.r15 ~registry { KV.registrations = [] } with
+  | [ f ] ->
+      check Alcotest.bool "rule is R15" true (f.F.rule = F.R15_unverified_claim);
+      check Alcotest.bool "names the claiming subsystem" true
+        (List.exists (fun sub -> sub = "provenfs")
+           [ (String.split_on_char ' ' f.F.message |> fun ws -> List.nth ws 1) ]);
+      (* Semantic bug class: forbidden exactly at the Verified rung *)
+      check Alcotest.bool "violation at Verified" true
+        (Level.prevents Level.Verified (F.bug_class f.F.rule));
+      check Alcotest.bool "tolerated below Verified" false
+        (Level.prevents Level.Ownership_safe (F.bug_class f.F.rule))
+  | other -> Alcotest.fail (Fmt.str "expected one R15, got %d" (List.length other)));
+  (* a registration for the right subsystem discharges the claim *)
+  let covered =
+    {
+      KV.registrations =
+        [ { KV.reg_name = "provenfs"; reg_subsystem = "provenfs";
+            reg_file = "lib/x.ml"; reg_line = 1 } ];
+    }
+  in
+  check Alcotest.int "covered claim is silent" 0 (List.length (KV.r15 ~registry covered));
+  (* a harness for some *other* subsystem does not count *)
+  let misdirected =
+    {
+      KV.registrations =
+        [ { KV.reg_name = "plainfs"; reg_subsystem = "plainfs";
+            reg_file = "lib/x.ml"; reg_line = 1 } ];
+    }
+  in
+  check Alcotest.int "harness for another subsystem does not discharge it" 1
+    (List.length (KV.r15 ~registry misdirected))
+
+let test_kverify_shipped_tree_covered () =
+  (* Every Verified claim in the boot registry must be backed by a
+     kharness registration in the shipped sources — R15 on the real tree
+     is empty, and stays empty only while that invariant holds. *)
+  with_repo_root (fun root ->
+      let tree = E.lint_tree ~root in
+      let registry =
+        Safeos_core.Boot.registry ~loc_of:(fun name -> Klint.registry_loc ~root name) ()
+      in
+      let regs = tree.E.kverify.KV.registrations in
+      check Alcotest.bool "kharness registrations found" true (List.length regs >= 3);
+      List.iter
+        (fun sub ->
+          check Alcotest.bool (sub ^ " covered") true
+            (List.exists (fun r -> r.KV.reg_subsystem = sub) regs))
+        [ "journalfs"; "cowfs" ];
+      check Alcotest.int "no unverified Verified claims shipped" 0
+        (List.length (KV.r15 ~registry tree.E.kverify));
+      (* sanity: breaking the invariant would fire — a registry where
+         a subsystem with no harness claims Verified *)
+      let broken = toy_registry () in
+      check Alcotest.int "an uncovered Verified claim would fire" 1
+        (List.length (KV.r15 ~registry:broken tree.E.kverify)))
+
+let test_kverify_coverage_ratchet () =
+  let row name sub ops =
+    {
+      KV.cov_harness = name; cov_subsystem = sub; cov_ops = ops; cov_states = ops + 7;
+      cov_crash_points = ops / 4; cov_crash_images = ops / 2; cov_skipped = 1;
+      cov_divergences = 0; cov_deepest = -1; cov_fingerprint = "0123456789abcdef";
+    }
+  in
+  let rows = [ row "journalfs" "journalfs" 1000; row "cowfs" "cowfs" 800 ] in
+  (* row round-trip through the on-disk line format *)
+  List.iter
+    (fun r ->
+      match KV.row_of_line (KV.row_to_line r) with
+      | Ok r' -> check Alcotest.bool "row round-trips" true (r = r')
+      | Error msg -> Alcotest.fail msg)
+    rows;
+  (match KV.row_of_line "harness x mangled" with
+  | Ok _ -> Alcotest.fail "mangled row parsed?"
+  | Error _ -> ());
+  (* file round-trip *)
+  let path = Filename.temp_file "kverify" ".coverage" in
+  KV.save_coverage path rows;
+  (match KV.load_coverage path with
+  | Ok rows' -> check Alcotest.bool "coverage file round-trips" true (rows = rows')
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path;
+  (* the floor aggregates, round-trips, and ratchets in both directions *)
+  let f = KV.floor_of_rows rows in
+  check Alcotest.int "floor harness count" 2 f.KV.min_harnesses;
+  check Alcotest.int "floor ops sum" 1800 f.KV.min_ops;
+  check Alcotest.int "floor crash-image sum" 900 f.KV.min_crash_images;
+  (match KV.floor_of_string (KV.floor_to_string f) with
+  | Ok f' -> check Alcotest.bool "floor round-trips" true (f = f')
+  | Error msg -> Alcotest.fail msg);
+  let regressions, progress =
+    KV.compare_floor ~baseline:f (KV.floor_of_rows [ row "journalfs" "journalfs" 1000 ])
+  in
+  check Alcotest.bool "losing a harness regresses" true
+    (List.exists (fun (m, _, _) -> m = "harnesses") regressions);
+  check Alcotest.bool "fewer ops regress" true
+    (List.exists (fun (m, _, _) -> m = "ops") regressions);
+  check Alcotest.int "nothing improved" 0 (List.length progress);
+  let regressions, progress =
+    KV.compare_floor ~baseline:f
+      (KV.floor_of_rows (row "micro" "journalfs" 200 :: rows))
+  in
+  check Alcotest.int "growing coverage is not a regression" 0 (List.length regressions);
+  check Alcotest.bool "and is reported as progress" true (List.length progress >= 2)
+
 let test_effective_loc () =
   let src =
     "(* header *)\n\n\
@@ -983,6 +1133,16 @@ let () =
             test_ktcb_baseline_ratchet;
           Alcotest.test_case "runtime reconciliation attribution" `Quick
             test_ktcb_runtime_reconciliation;
+        ] );
+      ( "kverify",
+        [
+          Alcotest.test_case "harness registrations scanned" `Quick
+            test_kverify_scan_registrations;
+          Alcotest.test_case "r15 fires and clears" `Quick test_kverify_r15_fires_and_clears;
+          Alcotest.test_case "shipped Verified claims are covered" `Quick
+            test_kverify_shipped_tree_covered;
+          Alcotest.test_case "coverage rows, floor, ratchet" `Quick
+            test_kverify_coverage_ratchet;
         ] );
       ( "tree",
         [
