@@ -574,6 +574,113 @@ let refine_snapshot () =
      written to %s@."
     states (per_sec states) images (per_sec images) divergences path
 
+(* BENCH-WCACHE: the volatile write-back disk contract (issue 9).  Two
+   persisted trajectories in BENCH_9.json: enumerator throughput with
+   cache-loss residues sampled at {e every} op (the crash surface the
+   wcache multiplied under every registered harness), and wall-clock
+   percentiles for one journal-replay recovery over a materialized
+   cache-loss residue — the price of coming back from a lying drive. *)
+let wcache_snapshot () =
+  let trace = Kharness.recorded_trace ~target_ops:1_000 ~seed:11 () in
+  let config =
+    { Kspec.Krefine.default_config with Kspec.Krefine.images_per_op = 8; crash_every = 1 }
+  in
+  let t0 = Sys.time () in
+  let covs = List.map (fun e -> (e, Kharness.run ~config e trace)) (Kharness.all ()) in
+  let wall = Sys.time () -. t0 in
+  let sum f = List.fold_left (fun a (_, c) -> a + f c) 0 covs in
+  let states = sum (fun c -> c.Kspec.Krefine.states_explored) in
+  let images = sum (fun c -> c.Kspec.Krefine.crash_images) in
+  let divergences = sum (fun c -> List.length c.Kspec.Krefine.divergences) in
+  let per_sec n = if wall > 0. then float_of_int n /. wall else 0. in
+  (* Cache-loss recovery: journalfs over the cache with a small dirty
+     bound, residues materialized over the durable media snapshot, each
+     journal-replay mount wall-clocked into a histogram. *)
+  let g = { Kfs.Journalfs.nblocks = 512; block_size = 128; jblocks = 48; ninodes = 16 } in
+  let dev = Kblock.Blockdev.create ~nblocks:g.Kfs.Journalfs.nblocks ~block_size:g.Kfs.Journalfs.block_size in
+  let wc = Kblock.Wcache.create ~capacity:8 ~seed:11 (Kblock.Blockdev.io dev) in
+  let fs = Kfs.Journalfs.mkfs_on ~geometry:g ~io:(Kblock.Wcache.io wc) Kfs.Journalfs.Journaled dev in
+  (match Kblock.Wcache.flush wc with Ok () -> () | Error _ -> assert false);
+  ignore (Kblock.Wcache.take_durable wc);
+  let media0 = Kblock.Blockdev.snapshot_media dev in
+  let apply_entry media (e : Kblock.Wcache.entry) =
+    media.(e.blkno) <- Bytes.of_string e.data
+  in
+  let hist = Ksim.Hist.create () in
+  let p = Kspec.Fs_spec.path_of_string in
+  let rng = Ksim.Rng.of_int 1009 in
+  ignore (Kfs.Journalfs.apply fs (Kspec.Fs_spec.Create (p "/k")));
+  for i = 1 to 200 do
+    (match Ksim.Rng.int rng 5 with
+    | 0 | 1 | 2 ->
+        ignore
+          (Kfs.Journalfs.apply fs
+             (Kspec.Fs_spec.Write
+                { file = p "/k"; off = 0; data = Printf.sprintf "v%08d:%s" i (String.make 16 'x') }))
+    | 3 ->
+        ignore
+          (Kfs.Journalfs.apply fs
+             (Kspec.Fs_spec.Create (p (Printf.sprintf "/c%d" (Ksim.Rng.int rng 4)))))
+    | _ -> ignore (Kfs.Journalfs.apply fs Kspec.Fs_spec.Fsync));
+    if i mod 10 = 0 then begin
+      List.iter
+        (fun residue ->
+          let media = Array.map Bytes.copy media0 in
+          List.iter (apply_entry media) residue;
+          let dev' = Kblock.Blockdev.of_media ~block_size:g.Kfs.Journalfs.block_size media in
+          let m0 = Unix.gettimeofday () in
+          ignore (Kfs.Journalfs.mount ~geometry:g Kfs.Journalfs.Journaled dev');
+          Ksim.Hist.record hist
+            (int_of_float ((Unix.gettimeofday () -. m0) *. 1e9)))
+        (Kblock.Wcache.crash_residues wc ~limit:8);
+      List.iter (apply_entry media0) (Kblock.Wcache.take_durable wc)
+    end
+  done;
+  let s = Ksim.Hist.summarize hist in
+  let harness_json =
+    String.concat ",\n    "
+      (List.map
+         (fun ((e : Kharness.entry), (c : Kspec.Krefine.coverage)) ->
+           Printf.sprintf
+             "{\"harness\": \"%s\", \"ops\": %d, \"states\": %d, \"crash_images\": %d, \
+              \"divergences\": %d}"
+             e.Kharness.hname c.Kspec.Krefine.ops c.Kspec.Krefine.states_explored
+             c.Kspec.Krefine.crash_images
+             (List.length c.Kspec.Krefine.divergences))
+         covs)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"issue\": 9,\n\
+      \  \"trace_ops\": %d,\n\
+      \  \"crash_every\": 1,\n\
+      \  \"wall_seconds\": %.4f,\n\
+      \  \"states_per_sec\": %.0f,\n\
+      \  \"crash_images_per_sec\": %.0f,\n\
+      \  \"divergences\": %d,\n\
+      \  \"recovery_ns\": {\"count\": %d, \"min\": %d, \"mean\": %.0f, \"p50\": %d, \
+       \"p95\": %d, \"p99\": %d, \"max\": %d},\n\
+      \  \"harnesses\": [\n    %s\n  ]\n\
+       }\n"
+      (List.length trace) wall (per_sec states) (per_sec images) divergences
+      s.Ksim.Hist.count s.Ksim.Hist.min s.Ksim.Hist.mean s.Ksim.Hist.p50 s.Ksim.Hist.p95
+      s.Ksim.Hist.p99 s.Ksim.Hist.max harness_json
+  in
+  let path =
+    match Klint.find_root () with
+    | Some root -> Filename.concat root "BENCH_9.json"
+    | None -> "BENCH_9.json"
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr
+    "@.kwcache (persisted): %d states (%.0f/s), %d cache-loss images (%.0f/s), %d \
+     divergences; recovery p50=%dns p99=%dns over %d replay mounts, written to %s@."
+    states (per_sec states) images (per_sec images) divergences s.Ksim.Hist.p50
+    s.Ksim.Hist.p99 s.Ksim.Hist.count path
+
 (* Shape checks: turn the measured rows into the paper's qualitative
    claims, so bench output is self-judging. ------------------------------- *)
 
@@ -692,6 +799,7 @@ let () =
   Format.pp_print_flush std ();
   Fmt.pr "@.================ timing benchmarks ================@.";
   refine_snapshot ();
+  wcache_snapshot ();
   let modularity = bench_modularity () in
   let typesafety = bench_typesafety () in
   let ownership = bench_ownership () in

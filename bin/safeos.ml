@@ -496,7 +496,8 @@ let load_cmd =
   in
   let storm =
     Arg.(value & opt string "mixed"
-         & info [ "storm" ] ~docv:"STORM" ~doc:"none, panic-wave, eio-wave, sock-storm, or mixed")
+         & info [ "storm" ] ~docv:"STORM"
+             ~doc:"none, panic-wave, eio-wave, sock-storm, cache-wave, or mixed")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
   let spec =
@@ -608,19 +609,76 @@ let rule_explanation : Klint.Finding.rule -> string = function
        lower the registry level until one exists.  Unlike R1-R11 this \
        rule cannot be baselined: 'verified means checked' is the point."
 
+(* One paragraph per storm-preset failpoint site: what the fault models
+   and which machinery is supposed to absorb it.  [safeos explain
+   wcache.flush-dropped] answers the question the storm report raises. *)
+let site_explanations =
+  [
+    ( "flaky.read-eio",
+      "Flakydev fails the read with a transient EIO.  Absorbed by the Resilient \
+       retry layer (bounded attempts, jittered backoff); a failure that outlives \
+       the retries aborts the FS operation cleanly." );
+    ( "flaky.write-eio",
+      "Flakydev fails the write with a transient EIO before anything lands.  Same \
+       retry contract as read-eio; a persistent failure flips journalfs into \
+       errors=remount-ro degraded mode." );
+    ( "flaky.torn-write",
+      "Flakydev lands only a prefix of the block, then reports EIO — the classic \
+       interrupted sector write.  The journal's checksummed records make a torn \
+       record detectable and ignorable at recovery.  During a down-window the base \
+       write itself fails, so nothing lands: counted separately as torn_skipped, \
+       not as a torn write." );
+    ( "svc.panic",
+      "A module panic injected in the /svc filesystem.  Contained to EIO by the \
+       supervised mount, which microreboots the instance (RAM loss is legal \
+       there)." );
+    ( "dur.panic",
+      "A module panic injected in the /dur journalfs.  Contained to EIO; the \
+       supervisor microreboots via drain-cache + journal-replay remount, and \
+       acked writes must survive (the SLO gate checks)." );
+    ( "sock.panic",
+      "A panic in the socket layer.  The supervised socket microreboots with a \
+       fresh generation; stale handles are rejected with ESTALE and re-minted by \
+       the caller retry loop." );
+    ( "wcache.flush-dropped",
+      "The write-back cache acks flush without draining or closing the barrier \
+       epoch — a lying drive.  Acked-but-unflushed data stays volatile, so a \
+       crash can lose it; with honest barriers above (journalfs keeps its \
+       commit-record and checkpoint flushes) the durability audit still sees \
+       zero lost acked writes, because every ack the FS reports durable was \
+       re-flushed until a flush really completed or never acked at all." );
+    ( "wcache.writeback-reorder",
+      "Capacity eviction destages a seeded random victim instead of the oldest \
+       dirty block, so writes reach media out of order within a barrier epoch.  \
+       Legal under the volatile-cache contract — only code that relies on \
+       unflushed ordering breaks, which is exactly what Wcache.audit flags." );
+  ]
+
 let explain ids =
+  let is_site id = List.mem_assoc id site_explanations in
   let rules =
     match ids with
     | [] -> Klint.Finding.all_rules
     | ids ->
         List.filter_map
           (fun id ->
-            match Klint.Finding.rule_of_id (String.uppercase_ascii id) with
-            | Some r -> Some r
-            | None ->
-                Fmt.epr "safeos explain: unknown rule %S (known: R1..R15)@." id;
-                exit 2)
+            if is_site id then None
+            else
+              match Klint.Finding.rule_of_id (String.uppercase_ascii id) with
+              | Some r -> Some r
+              | None ->
+                  Fmt.epr
+                    "safeos explain: unknown rule or failpoint site %S (known: \
+                     R1..R15, %s)@."
+                    id
+                    (String.concat ", " (List.map fst site_explanations));
+                  exit 2)
           ids
+  in
+  let sites =
+    match ids with
+    | [] -> site_explanations
+    | ids -> List.filter (fun (s, _) -> List.mem s ids) site_explanations
   in
   List.iter
     (fun r ->
@@ -629,6 +687,9 @@ let explain ids =
         (Safeos_core.Level.bug_class_to_string (Klint.Finding.bug_class r))
         Fmt.text (rule_explanation r))
     rules;
+  List.iter
+    (fun (s, text) -> Fmt.pr "%s (failpoint site):@.  @[%a@]@.@." s Fmt.text text)
+    sites;
   0
 
 (* tcb -------------------------------------------------------------------- *)
@@ -738,7 +799,10 @@ let explain_cmd =
            ~doc:"Rule identifiers (R1..R15); all rules when omitted")
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Explain klint rules: what fires, why, and the usual fix")
+    (Cmd.info "explain"
+       ~doc:
+         "Explain klint rules and failpoint sites: what fires, why, and the usual \
+          fix")
     Term.(const explain $ ids)
 
 let main =

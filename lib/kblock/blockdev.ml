@@ -152,6 +152,15 @@ let io dev : Io.t =
       (fun () ->
         flush dev;
         Ok ());
+    write_fua =
+      (* The raw device flushes infallibly, so FUA is write + drain. *)
+      Some
+        (fun blkno data ->
+          match write dev blkno data with
+          | Ok () ->
+              flush dev;
+              Ok ()
+          | Error _ as e -> e);
   }
 
 let to_ops dev : Kspec.Axiom.block_ops =

@@ -30,6 +30,7 @@ type t = {
   mutable read_errors : int;
   mutable write_errors : int;
   mutable torn_writes : int;
+  mutable torn_skipped : int; (* torn attempts where the base write itself failed *)
   mutable down_rejections : int;
 }
 
@@ -48,6 +49,7 @@ let create ?(name = "flaky") ~fp base =
       read_errors = 0;
       write_errors = 0;
       torn_writes = 0;
+      torn_skipped = 0;
       down_rejections = 0;
     }
   in
@@ -83,7 +85,11 @@ let read t blkno =
   end
   else t.base.Io.read blkno
 
-let write t blkno data =
+(* [landing] is where a fault-free write goes: the base's plain write for
+   [write], the base's FUA path for [write_fua].  The torn-prefix branch
+   always lands through the plain write — a torn block is by definition
+   not durably on media. *)
+let write_gen t ~landing blkno data =
   if tick_down t then reject_down t
   else if Ksim.Failpoint.should_fail t.fp (site t "write-eio") then begin
     t.write_errors <- t.write_errors + 1;
@@ -94,8 +100,9 @@ let write t blkno data =
     && Ksim.Failpoint.should_fail t.fp (site t "torn-write")
   then begin
     (* Tear inside the block: a prefix of the new data over the old
-       content reaches the device, and the caller sees EIO. *)
-    t.torn_writes <- t.torn_writes + 1;
+       content reaches the device, and the caller sees EIO.  If the base
+       device refuses the torn write (e.g. a nested down-window), nothing
+       landed: that is not a torn write, count it separately. *)
     let old =
       match t.base.Io.read blkno with
       | Ok b -> b
@@ -104,11 +111,15 @@ let write t blkno data =
     let tear = 1 + Ksim.Rng.int t.rng (t.base.Io.block_size - 1) in
     let torn = Bytes.copy old in
     Bytes.blit data 0 torn 0 tear;
-    (match t.base.Io.write blkno torn with Ok () | Error _ -> ());
+    (match t.base.Io.write blkno torn with
+    | Ok () -> t.torn_writes <- t.torn_writes + 1
+    | Error _ -> t.torn_skipped <- t.torn_skipped + 1);
     Error Ksim.Errno.EIO
   end
-  else t.base.Io.write blkno data
+  else landing blkno data
 
+let write t blkno data = write_gen t ~landing:t.base.Io.write blkno data
+let write_fua t blkno data = write_gen t ~landing:(Io.fua t.base) blkno data
 let flush t = if tick_down t then reject_down t else t.base.Io.flush ()
 
 let io t : Io.t =
@@ -118,11 +129,14 @@ let io t : Io.t =
     read = read t;
     write = write t;
     flush = (fun () -> flush t);
+    write_fua = Some (write_fua t);
   }
 
 let read_errors t = t.read_errors
 let write_errors t = t.write_errors
 let torn_writes t = t.torn_writes
+let torn_skipped t = t.torn_skipped
 let down_rejections t = t.down_rejections
 
-let injected t = t.read_errors + t.write_errors + t.torn_writes + t.down_rejections
+let injected t =
+  t.read_errors + t.write_errors + t.torn_writes + t.torn_skipped + t.down_rejections

@@ -32,8 +32,17 @@ val io : t -> Io.t
 
 val read_errors : t -> int
 val write_errors : t -> int
+
 val torn_writes : t -> int
+(** Torn prefixes that actually landed on the base device. *)
+
+val torn_skipped : t -> int
+(** Torn-write draws where the base device refused the torn write (e.g. a
+    nested down-window) — the caller still saw [EIO], but nothing landed,
+    so it is not counted as torn. *)
+
 val down_rejections : t -> int
 
 val injected : t -> int
-(** Total faults delivered across all four mechanisms. *)
+(** Total faults delivered across all mechanisms (including
+    {!torn_skipped} — the caller saw an error either way). *)

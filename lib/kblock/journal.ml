@@ -44,6 +44,7 @@ type stats = {
 type t = {
   io : Io.t;
   jblocks : int;
+  barriers : bool; (* false = the seeded missing-barrier mutant *)
   mutable head : int; (* next free journal block; 1-based *)
   mutable next_seq : int;
   mutable checkpointed : int; (* highest seq applied to home locations *)
@@ -128,10 +129,19 @@ let max_tx_writes j = (block_size j - 9) / 4
 
 (* Formatting and opening ------------------------------------------------- *)
 
-let format (io : Io.t) ~jblocks =
+let format ?(barriers = true) (io : Io.t) ~jblocks =
   if jblocks < 4 || jblocks >= io.Io.nblocks then invalid_arg "Journal.format";
   let j =
-    { io; jblocks; head = 1; next_seq = 1; checkpointed = 0; pending = []; stats = fresh_stats () }
+    {
+      io;
+      jblocks;
+      barriers;
+      head = 1;
+      next_seq = 1;
+      checkpointed = 0;
+      pending = [];
+      stats = fresh_stats ();
+    }
   in
   (match write_jsb j with
   | Ok () -> ()
@@ -198,7 +208,10 @@ let checkpoint j =
           (fun tx -> write_all (fun (blkno, data) -> j.io.Io.write blkno data) (List.rev tx.writes))
           pending
       in
-      let* () = j.io.Io.flush () in
+      (* Home writes durable before the superblock advances past them —
+         the mutant elides this barrier, so a crash can keep the advanced
+         superblock while losing home writes it vouches for. *)
+      let* () = if j.barriers then j.io.Io.flush () else Ok () in
       let saved = j.checkpointed in
       j.checkpointed <- List.fold_left (fun m tx -> max m tx.seq) saved pending;
       let finish =
@@ -239,8 +252,10 @@ let commit j tx =
             Ok ())
           datas
       in
-      (* Descriptor and data durable before the commit record... *)
-      let* () = j.io.Io.flush () in
+      (* Descriptor and data durable before the commit record...  (the
+         missing-barrier mutant lets the commit record flush with its
+         data blocks instead) *)
+      let* () = if j.barriers then j.io.Io.flush () else Ok () in
       let* () = journal_write j j.head (encode_commit j ~seq ~checksum:(Codec.checksum_many datas)) in
       j.head <- j.head + 1;
       (* ...and the commit record durable before any home write. *)
@@ -298,7 +313,7 @@ let scan_committed (io : Io.t) ~jblocks ~checkpointed =
   in
   scan 1 []
 
-let recover (io : Io.t) ~jblocks =
+let recover ?(barriers = true) (io : Io.t) ~jblocks =
   let checkpointed, jb =
     match read_jsb io with
     | Some (cp, jb) -> (cp, jb)
@@ -310,6 +325,7 @@ let recover (io : Io.t) ~jblocks =
     {
       io;
       jblocks;
+      barriers;
       head = 1;
       next_seq = 1 + List.fold_left (fun m (seq, _) -> max m seq) checkpointed committed;
       checkpointed;

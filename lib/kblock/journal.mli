@@ -31,16 +31,24 @@ type stats = {
 exception Journal_full
 (** A single transaction larger than the journal area. *)
 
-val format : Io.t -> jblocks:int -> t
+val format : ?barriers:bool -> Io.t -> jblocks:int -> t
 (** Initialize the journal area (blocks [0..jblocks-1]) on a fresh device.
-    Runs over a reliable view of the device; I/O failure here is fatal. *)
+    Runs over a reliable view of the device; I/O failure here is fatal.
+    [~barriers:false] is the seeded missing-barrier mutant: the commit
+    record flushes together with its data blocks, and the checkpoint
+    superblock update flushes together with the home writes — one barrier
+    per logical op instead of two.  Under a write-back cache a crash can
+    then observe the commit record without its data, or the advanced
+    superblock without the home writes it vouches for.  Deliberately
+    broken; exists for the refinement checker to convict. *)
 
-val recover : Io.t -> jblocks:int -> t
+val recover : ?barriers:bool -> Io.t -> jblocks:int -> t
 (** Mount after a crash or clean shutdown: scan the journal, replay every
     committed-but-not-checkpointed transaction, and return a clean
     journal.  Torn records (missing commit, checksum mismatch) and
     everything after them are ignored.  Replayed transaction count is
-    visible in {!stats}.  Like {!format}, expects reliable I/O. *)
+    visible in {!stats}.  Like {!format}, expects reliable I/O (and takes
+    the same [?barriers] mutant knob). *)
 
 val data_start : t -> int
 (** First home block (= [jblocks]). *)

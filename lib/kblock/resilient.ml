@@ -97,6 +97,9 @@ let write t blkno data =
 
 let flush t = run t "flush" (fun () -> t.base.Io.flush ())
 
+let write_fua t blkno data =
+  run t (Printf.sprintf "write-fua %d" blkno) (fun () -> Io.fua t.base blkno data)
+
 let io t : Io.t =
   {
     Io.nblocks = t.base.Io.nblocks;
@@ -104,6 +107,7 @@ let io t : Io.t =
     read = read t;
     write = write t;
     flush = (fun () -> flush t);
+    write_fua = Some (write_fua t);
   }
 
 let ops t = t.ops

@@ -36,6 +36,10 @@ val read : t -> int -> bytes Ksim.Errno.r
 val write : t -> int -> bytes -> unit Ksim.Errno.r
 val flush : t -> unit Ksim.Errno.r
 
+val write_fua : t -> int -> bytes -> unit Ksim.Errno.r
+(** FUA write through the same retry/backoff/accounting path as
+    {!write} and {!flush} (delegates to {!Io.fua} on the base). *)
+
 val ops : t -> int
 (** Logical operations attempted (not counting retries). *)
 

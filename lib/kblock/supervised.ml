@@ -51,4 +51,8 @@ let io t : Io.t =
       (fun blkno data ->
         guarded t ~minted ~label:"write" (fun () -> t.base.Io.write blkno data));
     flush = (fun () -> guarded t ~minted ~label:"flush" (fun () -> t.base.Io.flush ()));
+    write_fua =
+      Some
+        (fun blkno data ->
+          guarded t ~minted ~label:"write-fua" (fun () -> Io.fua t.base blkno data));
   }

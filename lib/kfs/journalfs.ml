@@ -51,6 +51,7 @@ type t = {
   journal : Kblock.Journal.t option; (* None in Direct mode *)
   mode : mode;
   group_commit : bool; (* accumulate ops into one tx until fsync *)
+  barriers : bool; (* false = missing-barrier mutant journal (convict me) *)
   mutable open_tx : Kblock.Journal.tx option;
   nodes : mnode option array; (* the mirror; index = ino *)
   bitmap : Bytes.t; (* one byte per data block: 0 free, 1 used *)
@@ -290,12 +291,13 @@ let write_sb t (b : batch) =
   Kblock.Codec.put_u32 buf 8 t.geo.jblocks;
   batch_put b (sb_block t.geo) buf
 
-let mkfs_on ?(geometry = default_geometry) ?(group_commit = false) ?io mode dev =
+let mkfs_on ?(geometry = default_geometry) ?(group_commit = false) ?(barriers = true) ?io
+    mode dev =
   if data_blocks geometry < 8 then invalid_arg "Journalfs.mkfs_on: device too small";
   let io = match io with Some io -> io | None -> Kblock.Blockdev.io dev in
   let journal =
     match mode with
-    | Journaled -> Some (Kblock.Journal.format io ~jblocks:geometry.jblocks)
+    | Journaled -> Some (Kblock.Journal.format ~barriers io ~jblocks:geometry.jblocks)
     | Direct -> None
   in
   let t =
@@ -306,6 +308,7 @@ let mkfs_on ?(geometry = default_geometry) ?(group_commit = false) ?io mode dev 
       journal;
       mode;
       group_commit;
+      barriers;
       open_tx = None;
       nodes = Array.make geometry.ninodes None;
       bitmap = Bytes.make (data_blocks geometry) '\000';
@@ -337,11 +340,12 @@ let read_block dev blkno =
   | Ok data -> data
   | Error e -> raise (Corrupt ("read: " ^ Ksim.Errno.to_string e))
 
-let mount ?(geometry = default_geometry) ?(group_commit = false) ?io mode dev =
+let mount ?(geometry = default_geometry) ?(group_commit = false) ?(barriers = true) ?io mode
+    dev =
   let io = match io with Some io -> io | None -> Kblock.Blockdev.io dev in
   let journal =
     match mode with
-    | Journaled -> Some (Kblock.Journal.recover io ~jblocks:geometry.jblocks)
+    | Journaled -> Some (Kblock.Journal.recover ~barriers io ~jblocks:geometry.jblocks)
     | Direct -> None
   in
   let t =
@@ -352,6 +356,7 @@ let mount ?(geometry = default_geometry) ?(group_commit = false) ?io mode dev =
       journal;
       mode;
       group_commit;
+      barriers;
       open_tx = None;
       nodes = Array.make geometry.ninodes None;
       bitmap = Bytes.make (data_blocks geometry) '\000';
@@ -640,7 +645,8 @@ let interpret t : Fs_spec.state =
 (* Crash exploration: every device image a crash could leave, remounted. *)
 let crash_images t ~limit =
   Kblock.Blockdev.crash_states t.dev ~limit
-  |> List.map (fun dev -> mount ~geometry:t.geo ~group_commit:t.group_commit t.mode dev)
+  |> List.map (fun dev ->
+         mount ~geometry:t.geo ~group_commit:t.group_commit ~barriers:t.barriers t.mode dev)
 
 (* Mountable / crashable adapters --------------------------------------------- *)
 

@@ -31,17 +31,32 @@ val default_geometry : geometry
 type t
 
 val mkfs_on :
-  ?geometry:geometry -> ?group_commit:bool -> ?io:Kblock.Io.t -> mode -> Kblock.Blockdev.t -> t
+  ?geometry:geometry ->
+  ?group_commit:bool ->
+  ?barriers:bool ->
+  ?io:Kblock.Io.t ->
+  mode ->
+  Kblock.Blockdev.t ->
+  t
 (** Format a {e freshly created (zeroed)} device and mount it.  With
     [group_commit] operations accumulate into one journal transaction
     that commits at [Fsync] (or when full) — higher throughput, and a
     crash legally loses the whole uncommitted batch.  [io] (default
     [Kblock.Blockdev.io dev]) carries all media traffic; pass a
-    flaky/resilient stack over [dev] to run under fault injection.
-    Formatting itself expects reliable I/O. *)
+    flaky/resilient stack over [dev] to run under fault injection, or a
+    {!Kblock.Wcache} to run over the volatile write-back disk contract.
+    [~barriers:false] is the seeded missing-barrier journal mutant (see
+    {!Kblock.Journal.format}) — deliberately broken, for the refinement
+    checker to convict.  Formatting itself expects reliable I/O. *)
 
 val mount :
-  ?geometry:geometry -> ?group_commit:bool -> ?io:Kblock.Io.t -> mode -> Kblock.Blockdev.t -> t
+  ?geometry:geometry ->
+  ?group_commit:bool ->
+  ?barriers:bool ->
+  ?io:Kblock.Io.t ->
+  mode ->
+  Kblock.Blockdev.t ->
+  t
 (** Mount an existing device: journal recovery (in [Journaled] mode), then
     parse.  A disk that cannot be parsed yields a {!is_corrupt} instance
     whose operations all fail with [EIO]. *)

@@ -25,7 +25,7 @@ let run ?config (e : entry) trace =
   let (Packed (module M)) = e.machine in
   Krefine.run ?config (module M) trace
 
-(* Journalfs as an IOSystem ---------------------------------------------- *)
+(* The hostile disk ------------------------------------------------------ *)
 
 (* The kload device geometry: the recorded key space must fit
    payload-ceiling files with headroom, so [ENOSPC] can only mean a real
@@ -33,34 +33,128 @@ let run ?config (e : entry) trace =
 let geometry =
   { Kfs.Journalfs.nblocks = 4096; block_size = 512; jblocks = 96; ninodes = 128 }
 
-module Journalfs_prog = struct
-  type program = Kfs.Journalfs.t
-  type disk = Kblock.Blockdev.t
+(* Small enough that multi-block journal transactions overflow it and
+   force mid-epoch writebacks — the cache must not get to hide behind
+   "everything still fits". *)
+let wcache_capacity = 16
 
-  let name = "journalfs"
+(* Every disk-backed harness runs its FS over a [Kblock.Wcache] on the raw
+   device: acked writes are volatile until the FS flushes, and crash
+   images are wcache residues — subsets *and reorderings* of the writes
+   since the last completed barrier, materialized over a snapshot of the
+   media as of the last settled epoch.
+
+   Settling discipline: [crash_devs] folds the closed (durable) epochs
+   into [media0] after each enumeration, keeping the retained window —
+   and so enumeration cost — proportional to the crash cadence.  [settle]
+   must also run *before* an [Fsync] is applied: the checker's
+   allowed-recovery frontier resets at [Fsync], so crash instants from
+   before the fsync stop being representable at later crash points; the
+   fsync's own barrier epochs stay in the window and are exactly the
+   images that convict a missing-barrier journal. *)
+module Wdisk = struct
+  type t = {
+    dev : Kblock.Blockdev.t;
+    wc : Kblock.Wcache.t;
+    media0 : bytes array; (* media as of the last settled epoch *)
+  }
 
   let fresh_dev () =
     Kblock.Blockdev.create ~nblocks:geometry.Kfs.Journalfs.nblocks
       ~block_size:geometry.Kfs.Journalfs.block_size
 
+  let wcache_over dev =
+    Kblock.Wcache.create ~name:"wcache" ~capacity:wcache_capacity ~seed:1
+      (Kblock.Blockdev.io dev)
+
+  let apply_entry media (e : Kblock.Wcache.entry) =
+    Bytes.blit_string e.data 0 media.(e.blkno) 0 (String.length e.data)
+
+  let settle d = List.iter (apply_entry d.media0) (Kblock.Wcache.take_durable d.wc)
+
+  (* Wrap an existing device (a crash image) behind a fresh cold cache. *)
+  let of_dev dev =
+    { dev; wc = wcache_over dev; media0 = Kblock.Blockdev.snapshot_media dev }
+
+  (* Materialize post-crash devices: one per sampled residue, each a
+     fresh device whose media is [media0] plus the residue's writes in
+     residue order.  Folds the durable epochs afterwards. *)
+  let crash_devs d ~limit =
+    let devs =
+      Kblock.Wcache.crash_residues d.wc ~limit
+      |> List.map (fun residue ->
+             let media = Array.map Bytes.copy d.media0 in
+             List.iter (apply_entry media) residue;
+             Kblock.Blockdev.of_media ~block_size:geometry.Kfs.Journalfs.block_size media)
+    in
+    settle d;
+    devs
+end
+
+(* Journalfs as an IOSystem ---------------------------------------------- *)
+
+module Journalfs_prog_gen (B : sig
+  val name : string
+  val barriers : bool
+end) =
+struct
+  type program = Kfs.Journalfs.t
+  type disk = Wdisk.t
+
+  let name = B.name
+
   let init () =
-    let dev = fresh_dev () in
-    (Kfs.Journalfs.mkfs_on ~geometry Kfs.Journalfs.Journaled dev, dev)
+    let dev = Wdisk.fresh_dev () in
+    let wc = Wdisk.wcache_over dev in
+    let fs =
+      Kfs.Journalfs.mkfs_on ~geometry ~barriers:B.barriers ~io:(Kblock.Wcache.io wc)
+        Kfs.Journalfs.Journaled dev
+    in
+    (* mkfs ends with a flush: fold its epochs away and snapshot. *)
+    let (_ : Kblock.Wcache.entry list) = Kblock.Wcache.take_durable wc in
+    (fs, { Wdisk.dev; wc; media0 = Kblock.Blockdev.snapshot_media dev })
 
-  let step fs _dev op = Kfs.Journalfs.apply fs op
+  let step fs (d : disk) op =
+    (match op with Fs.Fsync -> Wdisk.settle d | _ -> ());
+    Kfs.Journalfs.apply fs op
 
-  let interp fs _dev = Kfs.Journalfs.interpret fs
+  let interp fs _d = Kfs.Journalfs.interpret fs
 
-  let inv fs _dev =
+  let inv fs (d : disk) =
     (not (Kfs.Journalfs.is_corrupt fs))
     && (not (Kfs.Journalfs.is_readonly fs))
     && Fs.wf (Kfs.Journalfs.interpret fs)
+    (* barrier discipline is part of the invariant: the FS must never
+       derive new writes from data it has not flushed *)
+    && Kblock.Wcache.ordering_violations d.Wdisk.wc = 0
 
-  let crash_disks dev ~limit = Kblock.Blockdev.crash_states dev ~limit
-  let recover dev = (Kfs.Journalfs.mount ~geometry Kfs.Journalfs.Journaled dev, dev)
+  let crash_disks d ~limit = List.map Wdisk.of_dev (Wdisk.crash_devs d ~limit)
+
+  let recover (d : disk) =
+    ( Kfs.Journalfs.mount ~geometry ~barriers:B.barriers ~io:(Kblock.Wcache.io d.Wdisk.wc)
+        Kfs.Journalfs.Journaled d.Wdisk.dev,
+      d )
 end
 
+module Journalfs_prog = Journalfs_prog_gen (struct
+  let name = "journalfs"
+  let barriers = true
+end)
+
 module Journalfs_machine = Krefine.Io_system (Journalfs_prog)
+
+(* The seeded missing-barrier mutant: the commit record flushes with its
+   data blocks and the checkpoint superblock with its home writes (one
+   barrier per logical op).  Under the write-back cache a crash can then
+   tear a checkpoint — some home blocks plus the advanced superblock land
+   while the rest vanish with replay disabled.  Not registered: it exists
+   for the refinement checker to convict. *)
+let journalfs_missing_barrier () =
+  let module P = Journalfs_prog_gen (struct
+    let name = "journalfs.missing-barrier"
+    let barriers = false
+  end) in
+  Packed (module Krefine.Io_system (P))
 
 (* Cowfs ----------------------------------------------------------------- *)
 
@@ -74,7 +168,8 @@ module Cowfs_machine = struct
   let inv v = Fs.wf (Kfs.Cowfs.interpret v)
 
   (* The tree is a persistent value: there is no volatile/durable split
-     to crash across, so crash checking is vacuous by construction. *)
+     to crash across — no block device, so no write-back cache either —
+     and crash checking is vacuous by construction. *)
   let crash_images _ ~limit:_ = []
 end
 
@@ -96,7 +191,7 @@ let sup_policy =
 module Microreboot_base = struct
   type vars = {
     vfs : Kvfs.Vfs.t;
-    dev : Kblock.Blockdev.t;
+    wdisk : Wdisk.t;
     fp : Ksim.Failpoint.t;
     panic_every : int;
     mutable handle_epoch : int;  (* the epoch our "open handle" was minted at *)
@@ -108,8 +203,12 @@ module Microreboot_base = struct
   let name = "journalfs.microreboot"
 
   let make ~sabotage ~panic_every () =
-    let dev = Journalfs_prog.fresh_dev () in
-    let fs0 = Kfs.Journalfs.mkfs_on ~geometry Kfs.Journalfs.Journaled dev in
+    let dev = Wdisk.fresh_dev () in
+    let wc = Wdisk.wcache_over dev in
+    let io = Kblock.Wcache.io wc in
+    let fs0 = Kfs.Journalfs.mkfs_on ~geometry ~io Kfs.Journalfs.Journaled dev in
+    let (_ : Kblock.Wcache.entry list) = Kblock.Wcache.take_durable wc in
+    let wdisk = { Wdisk.dev; wc; media0 = Kblock.Blockdev.snapshot_media dev } in
     let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:1 () in
     let vfs = Kvfs.Vfs.create () in
     let wrap fs =
@@ -127,16 +226,22 @@ module Microreboot_base = struct
         for b = 1 to geometry.Kfs.Journalfs.jblocks - 1 do
           let (_ : unit Ksim.Errno.r) = Kblock.Blockdev.write dev b zero in
           ()
-        done
+        done;
+        let (_ : unit Ksim.Errno.r) = io.Kblock.Io.flush () in
+        ()
       end;
-      wrap (Kfs.Journalfs.mount ~geometry Kfs.Journalfs.Journaled dev)
+      (* A microreboot restarts the module, not the disk: the write cache
+         survives.  Mount parses via direct device reads, so drain the
+         cache first — equivalent to reading through it. *)
+      let (_ : unit Ksim.Errno.r) = io.Kblock.Io.flush () in
+      wrap (Kfs.Journalfs.mount ~geometry ~io Kfs.Journalfs.Journaled dev)
     in
     (match Kvfs.Vfs.mount vfs ~at:[] ~remake ~policy:sup_policy (wrap fs0) with
     | Ok () -> ()
     | Error _ -> invalid_arg "Kharness.Microreboot: root mount failed");
     {
       vfs;
-      dev;
+      wdisk;
       fp;
       panic_every;
       handle_epoch = Kvfs.Vfs.epoch_at vfs [];
@@ -160,6 +265,7 @@ module Microreboot_base = struct
   let retry_budget = (sup_policy.Ksim.Supervisor.backoff_cap / sup_policy.Ksim.Supervisor.op_cost) + 10
 
   let step v op =
+    (match op with Fs.Fsync -> Wdisk.settle v.wdisk | _ -> ());
     v.ops_done <- v.ops_done + 1;
     if v.ops_done mod v.panic_every = 0 then begin
       v.panics_injected <- v.panics_injected + 1;
@@ -178,26 +284,30 @@ module Microreboot_base = struct
     (v, go retry_budget)
 
   let interp v = Kvfs.Vfs.interpret v.vfs
-  let inv v = Fs.wf (Kvfs.Vfs.interpret v.vfs)
+  let inv v = Fs.wf (Kvfs.Vfs.interpret v.vfs) && Kblock.Wcache.ordering_violations v.wdisk.Wdisk.wc = 0
 
-  (* A device crash strikes the whole stack: enumerate surviving-write
-     subsets of the block device, then bring each up the way a reboot
-     would — a fresh supervised mount whose first act is journal
-     replay. *)
-  let remount_over dev =
+  (* A device crash strikes the whole stack: enumerate cache-loss residues
+     of the hostile disk, then bring each image up the way a reboot
+     would — a fresh supervised mount (over a cold cache) whose first act
+     is journal replay. *)
+  let remount_over (wdisk : Wdisk.t) =
+    let io = Kblock.Wcache.io wdisk.Wdisk.wc in
     let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed:1 () in
     let vfs = Kvfs.Vfs.create () in
     let wrap fs =
       Kvfs.Iface.panicky ~site:"dur.panic" ~fp
         (Kvfs.Iface.instance (module Kfs.Journalfs.Journaled_fs) fs)
     in
-    let remake () = wrap (Kfs.Journalfs.mount ~geometry Kfs.Journalfs.Journaled dev) in
+    let remake () =
+      let (_ : unit Ksim.Errno.r) = io.Kblock.Io.flush () in
+      wrap (Kfs.Journalfs.mount ~geometry ~io Kfs.Journalfs.Journaled wdisk.Wdisk.dev)
+    in
     (match Kvfs.Vfs.mount vfs ~at:[] ~remake ~policy:sup_policy (remake ()) with
     | Ok () -> ()
     | Error _ -> invalid_arg "Kharness.Microreboot: crash remount failed");
     {
       vfs;
-      dev;
+      wdisk;
       fp;
       panic_every = max_int;
       handle_epoch = Kvfs.Vfs.epoch_at vfs [];
@@ -206,7 +316,8 @@ module Microreboot_base = struct
       estale_remints = 0;
     }
 
-  let crash_images v ~limit = List.map remount_over (Kblock.Blockdev.crash_states v.dev ~limit)
+  let crash_images v ~limit =
+    List.map (fun dev -> remount_over (Wdisk.of_dev dev)) (Wdisk.crash_devs v.wdisk ~limit)
 end
 
 module Microreboot_machine = struct

@@ -6,12 +6,16 @@
     checker".
 
     The machines themselves are the real stacks: journalfs as a
-    {!Kspec.Krefine.Io_system} over its block device (crash images =
-    device crash states, recovery = journal-replay mount), cowfs over
-    its persistent tree, and the supervised-microreboot path — a
-    journalfs mount under {!Kvfs.Vfs} supervision with module panics
-    injected on a fixed cadence, remount-with-replay as the restart
-    function, and [ESTALE] epoch re-minting in the caller retry loop. *)
+    {!Kspec.Krefine.Io_system} over a {e hostile} disk — a
+    {!Kblock.Wcache} volatile write-back cache on the raw block device,
+    so crash images are cache-loss residues (subsets {e and reorderings}
+    of the unflushed writes, seeded sampling under the image limit) and
+    recovery is a journal-replay mount over a cold cache; cowfs over its
+    persistent tree; and the supervised-microreboot path — a journalfs
+    mount under {!Kvfs.Vfs} supervision with module panics injected on a
+    fixed cadence, remount-with-replay as the restart function, and
+    [ESTALE] epoch re-minting in the caller retry loop, over the same
+    hostile disk. *)
 
 type packed = Packed : (module Kspec.Krefine.MACHINE with type vars = 'a) -> packed
 
@@ -40,7 +44,9 @@ val run :
 
 val journalfs : entry
 (** The journaled block FS as an IOSystem: program = mounted FS, disk =
-    {!Kblock.Blockdev}, crash = surviving-write subsets + replay mount. *)
+    {!Kblock.Blockdev} behind a {!Kblock.Wcache}, crash = cache-loss
+    residues (unflushed-subset states, reorderings included) + replay
+    mount over a cold cache. *)
 
 val cowfs : entry
 (** The copy-on-write FS (no crash semantics: the tree is persistent). *)
@@ -54,6 +60,20 @@ val microreboot : entry
 
 val panic_cadence : int
 (** Ops between injected panics in {!microreboot} (64). *)
+
+val wcache_capacity : int
+(** Dirty-set bound of the write-back cache under every disk-backed
+    harness (small, so journal transactions force mid-epoch writeback). *)
+
+val journalfs_missing_barrier : unit -> packed
+(** The seeded missing-barrier journalfs mutant: the commit record
+    flushes together with its data blocks and the checkpoint superblock
+    with its home writes ({!Kfs.Journalfs.mkfs_on} [~barriers:false]).
+    Under the write-back cache a crash can tear a checkpoint — some home
+    blocks plus the advanced superblock survive while the rest vanish
+    with replay disabled.  Not registered — it exists so tests can prove
+    the crash enumerator convicts exactly this fault, with a shrunk
+    counterexample. *)
 
 val microreboot_sabotaged : ?panic_every:int -> unit -> packed
 (** The {!microreboot} machine with a seeded replay-skip fault: the

@@ -12,6 +12,7 @@ type storm_preset =
   | Panic_wave
   | Eio_wave
   | Sock_storm
+  | Cache_wave
   | Mixed
 
 let storm_name = function
@@ -19,9 +20,10 @@ let storm_name = function
   | Panic_wave -> "panic-wave"
   | Eio_wave -> "eio-wave"
   | Sock_storm -> "sock-storm"
+  | Cache_wave -> "cache-wave"
   | Mixed -> "mixed"
 
-let all_storms = [ No_storm; Panic_wave; Eio_wave; Sock_storm; Mixed ]
+let all_storms = [ No_storm; Panic_wave; Eio_wave; Sock_storm; Cache_wave; Mixed ]
 
 let storm_of_string s =
   List.find_opt (fun p -> storm_name p = s) all_storms
@@ -56,12 +58,23 @@ let bursts_for preset ~total_ticks =
       w Knet.Sock.Supervised.panic_site 5 9 0.03;
     ]
   in
+  (* Cache-loss waves: the drive lies about flush and destages out of
+     order.  Correct barrier discipline (journalfs keeps its barriers)
+     makes both invisible to the durability audit — the SLO gate proves
+     it. *)
+  let cache =
+    [
+      w "wcache.flush-dropped" 3 6 0.2;
+      w "wcache.writeback-reorder" 2 8 0.5;
+    ]
+  in
   match preset with
   | No_storm -> []
   | Panic_wave -> panic
   | Eio_wave -> eio
   | Sock_storm -> sock
-  | Mixed -> panic @ eio @ sock
+  | Cache_wave -> cache
+  | Mixed -> panic @ eio @ sock @ cache
 
 type result = {
   report : Report.t;
@@ -119,13 +132,19 @@ let run ?(spec = Spec.default) ?(storm = Mixed) ?admission ?sink ~seed () =
   let fp = Ksim.Failpoint.create ~trace:(Ksim.Ktrace.create ()) ~seed () in
 
   (* Block stack under /dur: journalfs over retries over fault injection
-     over a cached device.  The volatile cache is never crashed, so
-     committed journal transactions survive every microreboot. *)
+     over the volatile write-back cache over the raw device — the cache
+     sits below Flakydev because it models the disk's own DRAM, not a
+     kernel buffer.  The cache is never power-lost mid-run (kload is a
+     liveness/SLO study, krefine owns the crash surface), so committed
+     journal transactions survive every microreboot; but a cache-wave
+     storm makes flush lie and writeback destage out of order, which
+     correct barrier discipline must absorb. *)
   let dev =
     Kblock.Blockdev.create ~nblocks:geometry.Kfs.Journalfs.nblocks
       ~block_size:geometry.Kfs.Journalfs.block_size
   in
-  let flaky = Kblock.Flakydev.create ~fp (Kblock.Blockdev.io dev) in
+  let wc = Kblock.Wcache.create ~name:"wcache" ~fp ~seed (Kblock.Blockdev.io dev) in
+  let flaky = Kblock.Flakydev.create ~fp (Kblock.Wcache.io wc) in
   let resilient = Kblock.Resilient.create ~max_attempts:6 (Kblock.Flakydev.io flaky) in
   let io = Kblock.Resilient.io resilient in
   let fs0 = Kfs.Journalfs.mkfs_on ~geometry ~io Kfs.Journalfs.Journaled dev in
@@ -142,6 +161,12 @@ let run ?(spec = Spec.default) ?(storm = Mixed) ?admission ?sink ~seed () =
      a bounded number of attempts rides out the burst. *)
   let remount_dur () =
     let rec go attempts =
+      (* Drain the write-back cache first: mount parses the raw device,
+         and dirty cached blocks are invisible to it.  Under a cache-wave
+         storm the drain itself can be a dropped flush — each retry
+         redraws the fault stream, so the corrupt-mount loop also rides
+         out lying-flush bursts. *)
+      let (_ : unit Ksim.Errno.r) = Kblock.Wcache.flush wc in
       let fs = Kfs.Journalfs.mount ~geometry ~io Kfs.Journalfs.Journaled dev in
       if Kfs.Journalfs.is_corrupt fs && attempts < 8 then go (attempts + 1) else fs
     in
@@ -453,6 +478,7 @@ let run ?(spec = Spec.default) ?(storm = Mixed) ?admission ?sink ~seed () =
       Ksim.Supervisor.publish s stats)
     sups;
   Ksim.Failpoint.publish fp stats;
+  Kblock.Wcache.publish wc stats "kload.wcache";
 
   (* Audit durability against a {e fresh} journal-replay remount of the
      healed device — the durability claim itself: every acked version

@@ -8,8 +8,9 @@
     {v
       Kproc.Kernel (cooperative scheduler, one process per tenant)
         /      root memfs            — VFS metadata traffic (fault-free)
-        /dur   supervised journalfs  — over Resilient/Flakydev/Blockdev;
-                                       microreboot = journal-replay remount
+        /dur   supervised journalfs  — over Resilient/Flakydev/Wcache/
+                                       Blockdev; microreboot =
+                                       drain-cache + journal-replay remount
         /svc   supervised memfs      — panicky; churn target (RAM loss ok)
         sock   Knet.Sock.Supervised  — request/response traffic
     v}
@@ -35,6 +36,9 @@ type storm_preset =
   | Panic_wave  (** module-panic volleys on [/svc], [/dur] and the socket layer *)
   | Eio_wave  (** transient-EIO and torn-write bursts on the [/dur] device *)
   | Sock_storm  (** two overlapping bursts on the socket panic site *)
+  | Cache_wave
+      (** lying-flush and writeback-reorder bursts on the [/dur] device's
+          write-back cache — barrier discipline under test *)
   | Mixed  (** all of the above *)
 
 val storm_name : storm_preset -> string

@@ -89,6 +89,15 @@ echo "== ci: torture extra seeds (supervision escalation gate) =="
 # into an unexpected Failed escalation instead of a clean microreboot.
 KSIM_TORTURE_SEEDS="101,202,303" dune exec test/test_torture.exe
 
+echo "== ci: wcache cache-loss torture (volatile disk contract) =="
+# Seeded cache-loss torture: journalfs over the volatile write-back
+# cache with writeback reordering forced on, every crash residue
+# materialized and journal-replay remounted, acked versions gated
+# against the barrier floor — plus the registered harnesses re-verified
+# over the same hostile disk.  KSIM_WCACHE_SEEDS widens the seed set
+# (same hook style as KSIM_TORTURE_SEEDS).
+KSIM_WCACHE_SEEDS="${KSIM_WCACHE_SEEDS:-5,17}" dune exec test/test_wcache.exe -- test torture
+
 echo "== ci: kload smoke (multi-tenant storm, recovery-SLO gate) =="
 # ~500 tenants of mixed traffic with a mid-run panic storm.  The SLO
 # gate is the exit code: p99 oops->healthy within bound, bounded error

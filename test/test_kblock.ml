@@ -487,6 +487,7 @@ let unreliable_io ?(err = Ksim.Errno.EIO) ~failures base =
     read = (fun blkno -> gate (fun () -> base.Kblock.Io.read blkno));
     write = (fun blkno data -> gate (fun () -> base.Kblock.Io.write blkno data));
     flush = (fun () -> gate base.Kblock.Io.flush);
+    write_fua = None;
   }
 
 let test_resilient_recovers_transient () =

@@ -182,6 +182,49 @@ let test_replay_skip_fault_caught () =
   if not (Krefine.is_clean honest) then
     Alcotest.failf "honest microreboot diverged: %a" Krefine.pp_coverage honest
 
+let test_missing_barrier_convicted () =
+  (* The seeded missing-barrier mutant: journal commit records flush with
+     their data blocks and the checkpoint superblock with its home
+     writes.  Under the write-back cache the checkpoint's homes and the
+     advanced superblock share one barrier epoch, so a cache-loss residue
+     can keep the superblock (replay disabled) while dropping home blocks
+     — a torn state no honest barrier discipline can reach.  The crash
+     enumerator must convict it, with a shrunk counterexample; the honest
+     stack stays clean on the same trace. *)
+  let t =
+    List.concat_map
+      (fun i ->
+        [
+          Fs_spec.Create (p (Printf.sprintf "/f%d" i));
+          Fs_spec.Write
+            { file = p (Printf.sprintf "/f%d" i); off = 0; data = Printf.sprintf "payload-%d" i };
+        ])
+      [ 0; 1; 2; 3; 4; 5 ]
+    @ [ Fs_spec.Fsync; Fs_spec.Stat (p "/f0"); Fs_spec.Readdir (p "/") ]
+  in
+  let config = { Krefine.default_config with Krefine.images_per_op = 32 } in
+  let (Kharness.Packed (module Mutant)) = Kharness.journalfs_missing_barrier () in
+  let cov = Krefine.run ~config (module Mutant) t in
+  match cov.Krefine.divergences with
+  | [] -> Alcotest.fail "missing-barrier mutant escaped the crash enumerator"
+  | d :: _ ->
+      (match d.Krefine.mismatch with
+      | Krefine.Crash_divergence _ -> ()
+      | m -> Alcotest.failf "expected a crash divergence, got %a" Krefine.pp_mismatch m);
+      check Alcotest.bool "counterexample shrunk" true
+        (List.length d.Krefine.counterexample < List.length t);
+      check Alcotest.bool "counterexample small" true
+        (List.length d.Krefine.counterexample <= 6);
+      (* the shrunk trace reproduces on a fresh mutant *)
+      let (Kharness.Packed (module Mutant2)) = Kharness.journalfs_missing_barrier () in
+      let replay = Krefine.run ~config (module Mutant2) d.Krefine.counterexample in
+      check Alcotest.bool "counterexample reproduces" false (Krefine.is_clean replay);
+      (* honest barriers over the identical trace and config: clean *)
+      let honest = Kharness.run ~config Kharness.journalfs t in
+      if not (Krefine.is_clean honest) then
+        Alcotest.failf "honest journalfs diverged on the mutant's trace: %a"
+          Krefine.pp_coverage honest
+
 let test_registry () =
   let names = List.map (fun e -> e.Kharness.hname) (Kharness.all ()) in
   List.iter
@@ -212,5 +255,7 @@ let () =
           Alcotest.test_case "lost rename: minimal counterexample" `Quick
             test_lost_rename_minimal_counterexample;
           Alcotest.test_case "replay-skip fault caught" `Quick test_replay_skip_fault_caught;
+          Alcotest.test_case "missing-barrier mutant convicted" `Quick
+            test_missing_barrier_convicted;
         ] );
     ]
