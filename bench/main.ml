@@ -445,6 +445,8 @@ let bench_lint () =
           (staged (fun () -> ignore (Klint.Kown.analyze_tree ~root)));
         Test.make ~name:"ktcb-whole-tree"
           (staged (fun () -> ignore (Klint.Ktcb.analyze_tree ~root)));
+        Test.make ~name:"kdur-whole-tree"
+          (staged (fun () -> ignore (Klint.Kdur.analyze_tree ~root)));
         Test.make ~name:"full-lint+kracer-tree"
           (staged (fun () -> ignore (Klint.Engine.lint_tree ~root)));
       ]
@@ -469,6 +471,27 @@ let bench_lint () =
   output_string oc json;
   close_out oc;
   Fmt.pr "ktcb: tcb snapshot written to %s@." path;
+  (* And the durability snapshot (issue 10): one wall-clocked whole-tree
+     kdur pass plus the contract/finding counts — the trajectory the dur
+     ratchet walks downward as barrier paths get fixed. *)
+  let t0 = Sys.time () in
+  let kdur = Klint.Kdur.analyze_tree ~root in
+  let kdur_wall = Sys.time () -. t0 in
+  Fmt.pr
+    "kdur (persisted): %d functions, %d durable / %d ordering contracts, %d findings@."
+    kdur.Klint.Kdur.funcs kdur.Klint.Kdur.durable_funcs kdur.Klint.Kdur.ordering_funcs
+    (List.length kdur.Klint.Kdur.findings);
+  let json =
+    Printf.sprintf
+      "{\n  \"issue\": 10,\n  \"kdur_wall_seconds\": %.4f,\n  \"durability\": %s\n}\n"
+      kdur_wall
+      (Klint.Report.durability_json kdur)
+  in
+  let path = Filename.concat root "BENCH_10.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "kdur: durability snapshot written to %s@." path;
   rows
 
 (* BENCH-REFINE: the krefine enumerator.  A bechamel timing of a short
@@ -756,6 +779,10 @@ let shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilien
   claim "frame-confinement lint costs the same order as the race lint"
     (rt < 5.0 || Float.is_nan rt)
     (Fmt.str "ktcb/kracer %.2fx" rt);
+  let rd = ratio (find lint "lint/kdur-whole-tree") (find lint "lint/kracer-whole-tree") in
+  claim "barrier-discipline lint costs the same order as the race lint"
+    (rd < 5.0 || Float.is_nan rd)
+    (Fmt.str "kdur/kracer %.2fx" rd);
   let rf =
     ratio
       (find refine "refine/journalfs-lockstep-400ops")
@@ -774,6 +801,176 @@ let shape_summary ~modularity ~typesafety ~ownership ~roadmap ~journal ~resilien
   in
   Fmt.pr "  [--] %-52s %s@." "crash enumeration (remount+interp per image, info only)"
     (Fmt.str "crash-enum/lockstep %.1fx" rc)
+
+(* BENCH-VALIDATE: `bench --validate` re-parses every persisted
+   BENCH_*.json at the repo root and fails fast on a malformed one, so a
+   bad snapshot breaks CI instead of silently dropping out of the
+   paper's evidence trail.  The tree has no JSON library (and shouldn't
+   grow one for this), so the checker is a minimal hand-rolled
+   recursive-descent pass: full well-formedness, plus the snapshot
+   schema — a top-level object carrying a numeric "issue" tag and at
+   least one numeric metric. ------------------------------------------------- *)
+
+module Validate = struct
+  exception Malformed of string
+
+  (* Parse [s] as one JSON value; returns (keys seen in any object,
+     count of numeric literals).  Raises [Malformed] with a byte offset
+     on any syntax error, including trailing garbage. *)
+  let parse (s : string) : string list * int =
+    let n = String.length s in
+    let pos = ref 0 in
+    let keys = ref [] in
+    let numbers = ref 0 in
+    let fail msg = raise (Malformed (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos >= n then '\255' else s.[!pos] in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+    in
+    let expect c =
+      if peek () = c then advance () else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let keyword k =
+      let l = String.length k in
+      if !pos + l <= n && String.sub s !pos l = k then pos := !pos + l
+      else fail ("expected " ^ k)
+    in
+    let number () =
+      let start = !pos in
+      if peek () = '-' then advance ();
+      let digit c = c >= '0' && c <= '9' in
+      while digit (peek ()) || peek () = '.' || peek () = 'e' || peek () = 'E'
+            || peek () = '+' || peek () = '-' do
+        advance ()
+      done;
+      let lit = String.sub s start (!pos - start) in
+      match float_of_string_opt lit with
+      | Some _ -> incr numbers
+      | None -> fail (Printf.sprintf "bad number %S" lit)
+    in
+    let string_lit () =
+      expect '"';
+      let start = !pos in
+      let rec go () =
+        match peek () with
+        | '\255' -> fail "unterminated string"
+        | '"' ->
+            let v = String.sub s start (!pos - start) in
+            advance ();
+            v
+        | '\\' ->
+            advance ();
+            if !pos >= n then fail "unterminated escape";
+            advance ();
+            go ()
+        | _ -> advance (); go ()
+      in
+      go ()
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | '{' -> obj ()
+      | '[' -> arr ()
+      | '"' -> ignore (string_lit ())
+      | 't' -> keyword "true"
+      | 'f' -> keyword "false"
+      | 'n' -> keyword "null"
+      | c when c = '-' || (c >= '0' && c <= '9') -> number ()
+      | '\255' -> fail "unexpected end of input"
+      | c -> fail (Printf.sprintf "unexpected '%c'" c)
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = '}' then advance ()
+      else
+        let rec members () =
+          skip_ws ();
+          keys := string_lit () :: !keys;
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ()
+          | '}' -> advance ()
+          | _ -> fail "expected ',' or '}' in object"
+        in
+        members ()
+    and arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = ']' then advance ()
+      else
+        let rec elems () =
+          value ();
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elems ()
+          | ']' -> advance ()
+          | _ -> fail "expected ',' or ']' in array"
+        in
+        elems ()
+    in
+    skip_ws ();
+    if peek () <> '{' then fail "snapshot must be a top-level object";
+    value ();
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage after the top-level value";
+    (List.rev !keys, !numbers)
+
+  let check_file path =
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let keys, numbers = parse s in
+    if not (List.mem "issue" keys) then
+      raise (Malformed "schema: missing \"issue\" tag");
+    if numbers = 0 then raise (Malformed "schema: no numeric metrics");
+    (List.length keys, numbers)
+
+  let run () =
+    let root =
+      match Klint.find_root () with
+      | Some r -> r
+      | None -> failwith "bench: cannot locate dune-project root"
+    in
+    let files =
+      Sys.readdir root |> Array.to_list
+      |> List.filter (fun f ->
+             String.length f > 6
+             && String.sub f 0 6 = "BENCH_"
+             && Filename.check_suffix f ".json")
+      |> List.sort compare
+    in
+    if files = [] then begin
+      Fmt.epr "bench: FAIL — no BENCH_*.json snapshots under %s@." root;
+      exit 1
+    end;
+    let bad = ref 0 in
+    List.iter
+      (fun f ->
+        let path = Filename.concat root f in
+        match check_file path with
+        | nkeys, nnums ->
+            Fmt.pr "bench: %-14s ok (%d keys, %d numeric metrics)@." f nkeys nnums
+        | exception Malformed msg ->
+            incr bad;
+            Fmt.epr "bench: FAIL — %s: %s@." f msg
+        | exception Sys_error msg ->
+            incr bad;
+            Fmt.epr "bench: FAIL — %s: %s@." f msg)
+      files;
+    if !bad > 0 then begin
+      Fmt.epr "bench: %d malformed snapshot(s)@." !bad;
+      exit 1
+    end;
+    Fmt.pr "bench: %d snapshot(s) valid@." (List.length files)
+end
 
 (* main ----------------------------------------------------------------------- *)
 
@@ -794,6 +991,12 @@ let boot_registry () =
   r
 
 let () =
+  (* Validation mode: parse the persisted snapshots and exit — must not
+     run (or overwrite) any benchmark. *)
+  if Array.exists (fun a -> a = "--validate") Sys.argv then begin
+    Validate.run ();
+    exit 0
+  end;
   Fmt.pr "================ paper artifacts (tables & figures) ================@.";
   Kcve.Figures.all std (boot_registry ());
   Format.pp_print_flush std ();

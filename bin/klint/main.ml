@@ -9,7 +9,9 @@ let ( / ) = Filename.concat
 
 let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges lock_graph_dot
     kmem_events tcb_baseline_opt update_tcb_baseline allow_tcb_growth refine_coverage
-    refine_baseline_opt update_refine_baseline allow_refine_regress =
+    refine_baseline_opt update_refine_baseline allow_refine_regress baseline_head
+    allow_baseline_growth dur_baseline_opt update_dur_baseline allow_dur_growth
+    wcache_violations =
   let root =
     match root_opt with
     | Some r -> r
@@ -30,6 +32,9 @@ let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges l
   in
   let refine_baseline_path =
     match refine_baseline_opt with Some p -> p | None -> root / "refine.baseline"
+  in
+  let dur_baseline_path =
+    match dur_baseline_opt with Some p -> p | None -> root / "dur.baseline"
   in
   let report_path =
     match report_opt with Some p -> p | None -> root / "_build" / "klint-report.json"
@@ -55,6 +60,49 @@ let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges l
     | Error msg ->
         Fmt.epr "klint: bad baseline %s: %s@." baseline_path msg;
         exit 2
+  in
+  (* The baseline growth ratchet ci.sh used to re-derive in awk: compare
+     the line-anchored baseline against its HEAD copy per (rule, file)
+     count, so pure renumbering from unrelated edits in the same file is
+     never growth, one more suppressed finding in a file always is. *)
+  let head_rc =
+    match baseline_head with
+    | None -> 0
+    | Some path -> (
+        match Klint.Baseline.load path with
+        | Error msg ->
+            Fmt.epr "klint: bad head baseline %s: %s@." path msg;
+            2
+        | Ok head -> (
+            let regressions, _ =
+              Klint.Baseline.Counts.compare_counts
+                ~baseline:(Klint.Baseline.counts head)
+                (Klint.Baseline.counts baseline)
+            in
+            match regressions with
+            | [] ->
+                Fmt.pr "klint: baseline did not grow vs %s@." path;
+                0
+            | _ when allow_baseline_growth ->
+                List.iter
+                  (fun (d : Klint.Baseline.Counts.delta) ->
+                    Fmt.pr "klint: baseline growth (allowed) — %s %s: %d > HEAD %d@."
+                      (Klint.Finding.rule_id d.Klint.Baseline.Counts.d_rule)
+                      d.Klint.Baseline.Counts.d_file d.Klint.Baseline.Counts.d_have
+                      d.Klint.Baseline.Counts.d_allowed)
+                  regressions;
+                0
+            | _ ->
+                List.iter
+                  (fun (d : Klint.Baseline.Counts.delta) ->
+                    Fmt.epr
+                      "klint: BASELINE GREW — %s %s: %d suppressed finding(s) > HEAD %d \
+                       (fix the findings, or ALLOW_BASELINE_GROWTH=1 to accept)@."
+                      (Klint.Finding.rule_id d.Klint.Baseline.Counts.d_rule)
+                      d.Klint.Baseline.Counts.d_file d.Klint.Baseline.Counts.d_have
+                      d.Klint.Baseline.Counts.d_allowed)
+                  regressions;
+                1))
   in
   (* R15 (unverified-functional-claim) needs the live registry, so it is
      synthesized here and fed through the same reconciliation as the
@@ -224,6 +272,97 @@ let run root_opt baseline_opt report_opt update_baseline verbose lockdep_edges l
                 1))
   in
   let reconcile_rc = max reconcile_rc kmem_rc in
+  let reconcile_rc = max reconcile_rc head_rc in
+  (* Same closure for the durability pass: every barrier-discipline
+     violation the Wcache audit observed at runtime must correspond to a
+     static R16 finding in the file that built the offending cache. *)
+  let kdur = tree.Klint.Engine.kdur in
+  Fmt.pr
+    "klint: durability — %d functions, %d durable, %d ordering contracts, %d writers, \
+     %d barriers@."
+    kdur.Klint.Kdur.funcs kdur.Klint.Kdur.durable_funcs kdur.Klint.Kdur.ordering_funcs
+    kdur.Klint.Kdur.writing_funcs kdur.Klint.Kdur.flushing_funcs;
+  if verbose then
+    List.iter
+      (fun f -> Fmt.pr "%a  [dur]@." Klint.Finding.pp f)
+      kdur.Klint.Kdur.findings;
+  let wcache_rc =
+    match wcache_violations with
+    | None -> 0
+    | Some path -> (
+        match Klint.Kdur.read_wcache_violations path with
+        | Error msg ->
+            Fmt.epr "klint: %s@." msg;
+            2
+        | Ok events -> (
+            match
+              Klint.Kdur.unflagged_wcache_violations ~files:tree.Klint.Engine.files
+                ~findings:kdur.Klint.Kdur.findings events
+            with
+            | [] ->
+                Fmt.pr
+                  "klint: wcache reconciliation — %d runtime violations, all covered \
+                   statically@."
+                  (List.length events);
+                0
+            | missing ->
+                List.iter
+                  (fun (cache, file, n) ->
+                    Fmt.epr
+                      "klint: UNSOUND — runtime barrier violation on cache %s (x%d) has no \
+                       static R16 finding in %s@."
+                      cache n file)
+                  missing;
+                1))
+  in
+  let reconcile_rc = max reconcile_rc wcache_rc in
+  (* The durability count ratchet, dur.baseline: R16-R18 per (rule, file),
+     downward-only, same Counts engine as the TCB ratchet. *)
+  if update_dur_baseline then begin
+    let entries = Klint.Baseline.Counts.of_findings kdur.Klint.Kdur.findings in
+    Klint.Kdur.save_baseline dur_baseline_path entries;
+    Fmt.pr "klint: wrote %d dur baseline entries to %s@." (List.length entries)
+      dur_baseline_path
+  end;
+  let dur_ratchet_rc =
+    match Klint.Kdur.load_baseline dur_baseline_path with
+    | Error msg ->
+        Fmt.epr "klint: bad dur baseline %s: %s@." dur_baseline_path msg;
+        2
+    | Ok baseline -> (
+        let current = Klint.Baseline.Counts.of_findings kdur.Klint.Kdur.findings in
+        let regressions, progress =
+          Klint.Baseline.Counts.compare_counts ~baseline current
+        in
+        if progress <> [] then
+          Fmt.pr
+            "klint: dur ratchet progress — %d (rule, file) counts below baseline; \
+             regenerate with --update-dur-baseline@."
+            (List.length progress);
+        match regressions with
+        | [] -> 0
+        | _ when allow_dur_growth ->
+            List.iter
+              (fun (d : Klint.Baseline.Counts.delta) ->
+                Fmt.pr "klint: dur growth (allowed) — %s %s: %d > baseline %d@."
+                  (Klint.Finding.rule_id d.Klint.Baseline.Counts.d_rule)
+                  d.Klint.Baseline.Counts.d_file d.Klint.Baseline.Counts.d_have
+                  d.Klint.Baseline.Counts.d_allowed)
+              regressions;
+            0
+        | _ ->
+            List.iter
+              (fun (d : Klint.Baseline.Counts.delta) ->
+                Fmt.epr
+                  "klint: DUR REGRESSION — %s %s: %d finding(s) > baseline %d (barrier \
+                   discipline only tightens; ALLOW_DUR_GROWTH=1 to override)@."
+                  (Klint.Finding.rule_id d.Klint.Baseline.Counts.d_rule)
+                  d.Klint.Baseline.Counts.d_file d.Klint.Baseline.Counts.d_have
+                  d.Klint.Baseline.Counts.d_allowed)
+              regressions;
+            1)
+  in
+  let reconcile_rc = max reconcile_rc dur_ratchet_rc in
   (* The TCB metric and its downward-only count ratchet. *)
   Fmt.pr "klint: tcb — %d/%d unsafe lines (%.1f%%), frame %d files/%d lines, surface %d vals@."
     ktcb.Klint.Ktcb.unsafe_loc ktcb.Klint.Ktcb.total_loc (Klint.Ktcb.ratio ktcb)
@@ -417,6 +556,36 @@ let allow_refine_regress =
          ~doc:"Report refinement-coverage regressions without failing (the \
                ALLOW_REFINE_REGRESS=1 CI escape)")
 
+let baseline_head =
+  Arg.(value & opt (some string) None & info [ "baseline-head" ] ~docv:"FILE"
+         ~doc:"Compare the line-anchored baseline against this HEAD copy per (rule, file) \
+               count and fail on growth (the check ci.sh used to re-derive in awk)")
+
+let allow_baseline_growth =
+  Arg.(value & flag & info [ "allow-baseline-growth" ]
+         ~doc:"Report baseline growth vs --baseline-head without failing (the \
+               ALLOW_BASELINE_GROWTH=1 CI escape)")
+
+let dur_baseline =
+  Arg.(value & opt (some string) None & info [ "dur-baseline" ] ~docv:"FILE"
+         ~doc:"Durability count-ratchet file (default: ROOT/dur.baseline)")
+
+let update_dur_baseline =
+  Arg.(value & flag & info [ "update-dur-baseline" ]
+         ~doc:"Rewrite the dur baseline from the current R16-R18 counts, then ratchet \
+               against it")
+
+let allow_dur_growth =
+  Arg.(value & flag & info [ "allow-dur-growth" ]
+         ~doc:"Report durability count regressions without failing (the ALLOW_DUR_GROWTH=1 \
+               CI escape)")
+
+let wcache_violations =
+  Arg.(value & opt (some string) None & info [ "wcache-violations" ] ~docv:"FILE"
+         ~doc:"Reconcile kdur's static R16 findings against barrier-discipline violations \
+               exported by Kblock.Wcache (KSIM_WCACHE_EXPORT); exit 1 if any runtime \
+               violation hit a linted file kdur did not flag")
+
 let cmd =
   Cmd.v
     (Cmd.info "klint" ~version:"1.0.0"
@@ -424,6 +593,7 @@ let cmd =
     Term.(const run $ root $ baseline $ report $ update_baseline $ verbose $ lockdep_edges
           $ lock_graph_dot $ kmem_events $ tcb_baseline $ update_tcb_baseline
           $ allow_tcb_growth $ refine_coverage $ refine_baseline $ update_refine_baseline
-          $ allow_refine_regress)
+          $ allow_refine_regress $ baseline_head $ allow_baseline_growth $ dur_baseline
+          $ update_dur_baseline $ allow_dur_growth $ wcache_violations)
 
 let () = exit (Cmd.eval' cmd)

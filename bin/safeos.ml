@@ -608,6 +608,31 @@ let rule_explanation : Klint.Finding.rule -> string = function
        Kharness.harness ~name ~subsystem (run via `safeos refine`), or \
        lower the registry level until one exists.  Unlike R1-R11 this \
        rule cannot be baselined: 'verified means checked' is the point."
+  | Klint.Finding.R16_unordered_write ->
+      "kdur (the barrier-discipline analysis) found a device write whose input \
+       derives from a still-volatile earlier write, with no flush or FUA between \
+       them on some path (CWE-662).  Under a volatile write-back cache the two \
+       writes may reach media in either order, so a crash can persist the \
+       dependent write without its antecedent — the static twin of the \
+       Wcache.audit runtime violation.  Insert an Io.flush (or write the \
+       antecedent with write_fua) before the dependent write, or annotate the \
+       helper that performs the barrier with @flushes."
+  | Klint.Finding.R17_ack_before_durable ->
+      "A function contracted @durable has a path that returns Ok while writes \
+       it issued (or its callees issued, per summary) are still volatile in the \
+       cache: the ack races the media (CWE-392).  This is the missing-barrier \
+       journal mutant's signature — the commit record is acked with the flush \
+       elided.  End every Ok path with Io.flush / write_fua, or drop the \
+       @durable claim if the caller genuinely owns the barrier (then \
+       @orders_after names the handle the obligation rides on)."
+  | Klint.Finding.R18_barrier_elision ->
+      "A supervision/retry wrapper forwards to a callee whose summary requires \
+       a barrier (it writes and expects its caller to flush, or is contracted \
+       @durable), but the wrapper neither performs the flush nor re-exports the \
+       obligation with @orders_after/@flushes (CWE-573): the flush \
+       responsibility is silently dropped at the boundary, so every caller \
+       above believes the write path is durable.  Either flush in the wrapper \
+       or annotate it so the contract keeps travelling."
 
 (* One paragraph per storm-preset failpoint site: what the fault models
    and which machinery is supposed to absorb it.  [safeos explain
@@ -669,7 +694,7 @@ let explain ids =
               | None ->
                   Fmt.epr
                     "safeos explain: unknown rule or failpoint site %S (known: \
-                     R1..R15, %s)@."
+                     R1..R18, %s)@."
                     id
                     (String.concat ", " (List.map fst site_explanations));
                   exit 2)
@@ -796,7 +821,7 @@ let refine_cmd =
 let explain_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"RULE"
-           ~doc:"Rule identifiers (R1..R15); all rules when omitted")
+           ~doc:"Rule identifiers (R1..R18); all rules when omitted")
   in
   Cmd.v
     (Cmd.info "explain"

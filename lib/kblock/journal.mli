@@ -34,6 +34,8 @@ exception Journal_full
 val format : ?barriers:bool -> Io.t -> jblocks:int -> t
 (** Initialize the journal area (blocks [0..jblocks-1]) on a fresh device.
     Runs over a reliable view of the device; I/O failure here is fatal.
+    Ends on an unconditional flush, so the empty journal is durable.
+    @durable
     [~barriers:false] is the seeded missing-barrier mutant: the commit
     record flushes together with its data blocks, and the checkpoint
     superblock update flushes together with the home writes — one barrier
@@ -48,7 +50,9 @@ val recover : ?barriers:bool -> Io.t -> jblocks:int -> t
     journal.  Torn records (missing commit, checksum mismatch) and
     everything after them are ignored.  Replayed transaction count is
     visible in {!stats}.  Like {!format}, expects reliable I/O (and takes
-    the same [?barriers] mutant knob). *)
+    the same [?barriers] mutant knob).  Returns only after an
+    unconditional flush: the replayed image is durable.
+    @durable *)
 
 val data_start : t -> int
 (** First home block (= [jblocks]). *)
@@ -69,6 +73,11 @@ val commit : t -> tx -> unit Ksim.Errno.r
     back over the partial records and the transaction stays uncommitted —
     the error propagates and [aborted_commits] increments.  Either way
     the transaction is finished with: it must not be reused.
+    [Ok] from commit is a durability promise: every journal record of the
+    transaction has hit stable media before control returns (kdur R17
+    polices this; the [?barriers:false] mutant path is the grandfathered
+    counterexample).
+    @durable
     @consumes: tx
     @raise Journal_full if the transaction alone exceeds the area. *)
 
@@ -82,7 +91,10 @@ val checkpoint : t -> unit Ksim.Errno.r
     the on-disk checkpointed sequence number, and reclaim journal space.
     On I/O failure nothing is forgotten: pending transactions stay
     pending and the checkpointed sequence does not advance, so a retry or
-    crash-recovery replay (idempotent home writes) completes the job. *)
+    crash-recovery replay (idempotent home writes) completes the job.
+    [Ok] promises the home writes and the superblock advance are on
+    stable media (again modulo the [?barriers:false] mutant).
+    @durable *)
 
 val tx_size : tx -> int
 (** Distinct blocks staged in an open transaction so far. *)

@@ -33,12 +33,25 @@ val create :
 val io : t -> Io.t
 
 val read : t -> int -> bytes Ksim.Errno.r
+
 val write : t -> int -> bytes -> unit Ksim.Errno.r
+(** Retried write.  Retrying does not strengthen the durability contract:
+    a successful write is still cache-volatile until the caller flushes —
+    the retry wrapper forwards the ordering obligation instead of
+    discharging it (kdur R18 polices wrappers that drop it).
+    @orders_after: t *)
+
 val flush : t -> unit Ksim.Errno.r
+(** Retried full barrier: on [Ok] everything previously written through
+    this stack is on stable media.
+    @flushes: t *)
 
 val write_fua : t -> int -> bytes -> unit Ksim.Errno.r
 (** FUA write through the same retry/backoff/accounting path as
-    {!write} and {!flush} (delegates to {!Io.fua} on the base). *)
+    {!write} and {!flush} (delegates to {!Io.fua} on the base): on [Ok]
+    this block — and, via the flush fallback, everything before it — is
+    durable.
+    @durable *)
 
 val ops : t -> int
 (** Logical operations attempted (not counting retries). *)

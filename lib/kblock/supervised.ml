@@ -41,18 +41,35 @@ let guarded t ~minted ~label f =
       let* () = Ksim.Supervisor.validate t.sup minted in
       f ())
 
+(* The four epoch-checked forwarders, named so their durability contracts
+   are statable: supervision contains oopses, it does not flush.  A write
+   that survives the firewall is exactly as cache-volatile as it was
+   underneath, so [write] re-exports the barrier obligation, [flush] is
+   the stack's barrier, and [write_fua] alone may promise durability.
+   kdur (R18) convicts wrappers like these when the contract is dropped. *)
+
+let read t ~minted blkno =
+  guarded t ~minted ~label:"read" (fun () -> t.base.Io.read blkno)
+
+let write t ~minted blkno data =
+  guarded t ~minted ~label:"write" (fun () -> t.base.Io.write blkno data)
+[@@orders_after "t"]
+
+let flush t ~minted () =
+  guarded t ~minted ~label:"flush" (fun () -> t.base.Io.flush ())
+[@@flushes "t"]
+
+let write_fua t ~minted blkno data =
+  guarded t ~minted ~label:"write-fua" (fun () -> Io.fua t.base blkno data)
+[@@durable]
+
 let io t : Io.t =
   let minted = epoch t in
   {
     Io.nblocks = t.base.Io.nblocks;
     block_size = t.base.Io.block_size;
-    read = (fun blkno -> guarded t ~minted ~label:"read" (fun () -> t.base.Io.read blkno));
-    write =
-      (fun blkno data ->
-        guarded t ~minted ~label:"write" (fun () -> t.base.Io.write blkno data));
-    flush = (fun () -> guarded t ~minted ~label:"flush" (fun () -> t.base.Io.flush ()));
-    write_fua =
-      Some
-        (fun blkno data ->
-          guarded t ~minted ~label:"write-fua" (fun () -> Io.fua t.base blkno data));
+    read = read t ~minted;
+    write = write t ~minted;
+    flush = flush t ~minted;
+    write_fua = Some (write_fua t ~minted);
   }

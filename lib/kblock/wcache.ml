@@ -90,6 +90,10 @@ let site t kind = t.name ^ "." ^ kind
 let flush_dropped_site t = site t "flush-dropped"
 let writeback_reorder_site t = site t "writeback-reorder"
 
+(* Every live cache, for the KSIM_WCACHE_EXPORT at_exit dump — same
+   registry idiom as [Kmem.all_heaps]. *)
+let all_caches : t list ref = ref []
+
 let create ?(name = "wcache") ?(capacity = 32) ?fp ?(seed = 0)
     ?(trace = Ksim.Ktrace.global) base =
   if capacity < 1 then invalid_arg "Wcache.create: capacity";
@@ -125,6 +129,7 @@ let create ?(name = "wcache") ?(capacity = 32) ?fp ?(seed = 0)
       ignore (Ksim.Failpoint.register fp (flush_dropped_site t));
       ignore (Ksim.Failpoint.register fp (writeback_reorder_site t))
   | None -> ());
+  all_caches := t :: !all_caches;
   t
 
 let name t = t.name
@@ -444,3 +449,43 @@ let io t : Io.t =
     flush = (fun () -> flush t);
     write_fua = Some (write_fua t);
   }
+
+(* Runtime audit export ----------------------------------------------------- *)
+
+(* One "name\tblkno\tread_seq\twrite_blkno\twrite_seq" line per recorded
+   ordering violation, the wire format klint's kdur reconciliation
+   ([--wcache-violations]) consumes.  Append-mode so every test binary in
+   a suite contributes to the same file, mirroring
+   [Kmem.append_events_to_file]. *)
+let append_violations_to_file t ~path =
+  match audit t with
+  | [] -> ()
+  | violations ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          let buf = Buffer.create 256 in
+          List.iter
+            (fun v ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s\t%d\t%d\t%d\t%d\n" t.name v.v_blkno v.v_read_seq
+                   v.v_write_blkno v.v_write_seq))
+            violations;
+          output_string oc (Buffer.contents buf))
+
+let export_env = "KSIM_WCACHE_EXPORT"
+
+(* When [KSIM_WCACHE_EXPORT] names a file, every process dumps each
+   cache's recorded audit violations there on exit: `scripts/ci.sh` sets
+   it across `dune runtest` so kdur can check its static R16 findings
+   against every barrier-discipline violation the suite actually
+   provoked. *)
+let () =
+  match Sys.getenv_opt export_env with
+  | Some path when path <> "" ->
+      at_exit (fun () ->
+          List.iter
+            (fun t -> try append_violations_to_file t ~path with Sys_error _ -> ())
+            !all_caches)
+  | Some _ | None -> ()

@@ -104,6 +104,18 @@ val audit : t -> violation list
 
 val ordering_violations : t -> int
 
+val append_violations_to_file : t -> path:string -> unit
+(** Append this cache's recorded audit violations to [path], one
+    ["name\tblkno\tread_seq\twrite_blkno\twrite_seq"] line each — the
+    wire format klint's kdur reconciliation ([--wcache-violations])
+    consumes.  No-op when the audit is clean. *)
+
+val export_env : string
+(** ["KSIM_WCACHE_EXPORT"].  When set to a file path, every process
+    appends each cache's audit violations there at exit; scripts/ci.sh
+    sets it across [dune runtest] so kdur's static R16 findings are
+    checked against every violation the suite actually provoked. *)
+
 (** {1 Counters} *)
 
 val dirty_blocks : t -> int

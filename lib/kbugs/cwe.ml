@@ -43,6 +43,10 @@ let catalog =
     v 1120 "Excessive Code Complexity" Safeos_core.Level.Design;
     v 653 "Improper Isolation or Compartmentalization" Safeos_core.Level.Design;
     v 668 "Exposure of Resource to Wrong Sphere" Safeos_core.Level.Design;
+    (* crash-durability causes (klint R16-R18) *)
+    v 662 "Improper Synchronization" Safeos_core.Level.Crash_inconsistency;
+    v 392 "Missing Report of Error Condition" Safeos_core.Level.Crash_inconsistency;
+    v 573 "Improper Following of Specification by Caller" Safeos_core.Level.Crash_inconsistency;
   ]
 
 let find cwe_id = List.find_opt (fun c -> c.cwe_id = cwe_id) catalog

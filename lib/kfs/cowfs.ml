@@ -5,7 +5,12 @@
    cost one list cell and unchanged subtrees are shared between the live
    tree and every snapshot — the defining property of CoW file systems.
    [rollback] swings the root pointer back, and [diff] computes the
-   changed paths between a snapshot and the live tree. *)
+   changed paths between a snapshot and the live tree.
+
+   No durability contracts (kdur @flushes/@durable) appear here: the
+   whole tree lives in memory and never touches an [Io.t], so there is
+   no write-back cache to order against — the crash surface is covered
+   by the refinement harness replaying against [Fs_spec] instead. *)
 
 open Kspec
 

@@ -165,9 +165,13 @@ let stage_into_tx j tx blocks =
       | Ok () -> Kblock.Journal.tx_write j tx ~blkno data)
     (Ok ()) blocks
 
-(* Close the accumulating transaction (group-commit mode): make everything
-   staged so far durable.  A crash before this point legally loses the
-   whole batch — still a prefix of the history. *)
+(** Close the accumulating transaction (group-commit mode): make
+    everything staged so far durable.  A crash before this point legally
+    loses the whole batch — still a prefix of the history.  Note [apply]
+    itself carries no such contract: [Ok] from a mutating op only
+    promises durability after [Fsync], the POSIX bargain, so Direct-mode
+    staging writes may legally remain cache-volatile between syncs.
+    @durable *)
 let commit_open_tx t =
   match (t.journal, t.open_tx) with
   | Some j, Some tx ->

@@ -30,7 +30,22 @@
      @borrows: p [, p ...]     the named parameters are only borrowed —
                                ownership stays with the caller
      @returns_owned            the result is a fresh owned object the
-                               caller must free or transfer *)
+                               caller must free or transfer
+
+   kdur's durability contracts too:
+
+     @flushes: h [, h ...]     the function issues a full barrier on the
+                               named io handles (parameters or fields);
+                               pending writes through them are durable at
+                               return
+     @durable                  every write the function acks with [Ok] is
+                               on stable media at return — the fsync
+                               contract
+     @orders_after: h [, ...]  the function's writes are ordered after
+                               whatever is pending on the named handles;
+                               the *caller* keeps the flush obligation
+                               (a forwarding wrapper re-exporting the
+                               barrier responsibility it did not perform) *)
 
 type t = {
   must_hold : string list;  (** held at entry and exit *)
@@ -39,6 +54,9 @@ type t = {
   consumes : string list;  (** parameters freed/moved by the call (kown) *)
   borrows : string list;  (** parameters only borrowed, never consumed (kown) *)
   returns_owned : bool;  (** result is a fresh owned object (kown) *)
+  flushes : string list;  (** io handles fully flushed before return (kdur) *)
+  durable : bool;  (** acked writes are on stable media at return (kdur) *)
+  orders_after : string list;  (** flush obligation re-exported to the caller (kdur) *)
 }
 
 let empty =
@@ -49,12 +67,16 @@ let empty =
     consumes = [];
     borrows = [];
     returns_owned = false;
+    flushes = [];
+    durable = false;
+    orders_after = [];
   }
 
 let is_empty a =
   a.must_hold = [] && a.acquires = [] && a.releases = [] && a.consumes = []
-  && a.borrows = []
-  && not a.returns_owned
+  && a.borrows = [] && a.flushes = [] && a.orders_after = []
+  && (not a.returns_owned)
+  && not a.durable
 
 let dedup l = List.sort_uniq String.compare l
 
@@ -66,6 +88,9 @@ let union a b =
     consumes = dedup (a.consumes @ b.consumes);
     borrows = dedup (a.borrows @ b.borrows);
     returns_owned = a.returns_owned || b.returns_owned;
+    flushes = dedup (a.flushes @ b.flushes);
+    durable = a.durable || b.durable;
+    orders_after = dedup (a.orders_after @ b.orders_after);
   }
 
 (* [lock_class "vnode.i_lock"] = ["i_lock"]; [lock_class "i_lock:7"] =
@@ -111,21 +136,32 @@ let markers =
     ("@releases", fun a names -> { a with releases = dedup (names @ a.releases) });
     ("@consumes", fun a names -> { a with consumes = dedup (names @ a.consumes) });
     ("@borrows", fun a names -> { a with borrows = dedup (names @ a.borrows) });
+    ("@flushes", fun a names -> { a with flushes = dedup (names @ a.flushes) });
+    ("@orders_after", fun a names -> { a with orders_after = dedup (names @ a.orders_after) });
   ]
 
-(* One line of doc text: "@marker: names..." (the colon is optional).
-   [@returns_owned] is a boolean marker — no name list follows. *)
+(* Boolean markers take no name list; a trailing ident char means the
+   token is some longer, unrelated word. *)
+let boolean_markers =
+  [
+    ("@returns_owned", fun a -> { a with returns_owned = true });
+    ("@durable", fun a -> { a with durable = true });
+  ]
+
+(* One line of doc text: "@marker: names..." (the colon is optional). *)
 let parse_line acc line =
   let line = String.trim line in
   let acc =
-    let m = "@returns_owned" in
-    let ml = String.length m in
-    if
-      String.length line >= ml
-      && String.sub line 0 ml = m
-      && (String.length line = ml || not (is_ident_char line.[ml]))
-    then { acc with returns_owned = true }
-    else acc
+    List.fold_left
+      (fun acc (m, apply) ->
+        let ml = String.length m in
+        if
+          String.length line >= ml
+          && String.sub line 0 ml = m
+          && (String.length line = ml || not (is_ident_char line.[ml]))
+        then apply acc
+        else acc)
+      acc boolean_markers
   in
   List.fold_left
     (fun acc (marker, apply) ->
@@ -169,10 +205,51 @@ let of_attributes (attrs : Parsetree.attributes) =
       | "releases", Some s -> { acc with releases = dedup (parse_names s @ acc.releases) }
       | "consumes", Some s -> { acc with consumes = dedup (parse_names s @ acc.consumes) }
       | "borrows", Some s -> { acc with borrows = dedup (parse_names s @ acc.borrows) }
-      (* [@@returns_owned] carries no payload: an empty structure. *)
+      | "flushes", Some s -> { acc with flushes = dedup (parse_names s @ acc.flushes) }
+      | "orders_after", Some s ->
+          { acc with orders_after = dedup (parse_names s @ acc.orders_after) }
+      (* [@@returns_owned] / [@@durable] carry no payload: an empty structure. *)
       | "returns_owned", _ -> { acc with returns_owned = true }
+      | "durable", _ -> { acc with durable = true }
       | _ -> acc)
     empty attrs
+
+(* Diagnostics: every "@word" token in a doc text that looks like one of
+   our markers but is not in the grammar — the typo'd [@must_hol:] that
+   would otherwise silently weaken a contract.  Standard odoc tags are
+   excluded so ordinary API docs stay quiet. *)
+let known_markers =
+  List.map fst markers
+  @ List.map fst boolean_markers
+  @ [
+      (* odoc's own tags, not ours to diagnose *)
+      "@param"; "@raise"; "@raises"; "@return"; "@returns"; "@see"; "@since";
+      "@before"; "@deprecated"; "@author"; "@version"; "@canonical"; "@inline";
+      "@open"; "@closed";
+    ]
+
+let unknown_markers text =
+  let tokens line =
+    String.split_on_char ' '
+      (String.map (fun c -> if c = '\t' then ' ' else c) (String.trim line))
+    |> List.filter (fun t -> t <> "")
+  in
+  String.split_on_char '\n' text
+  |> List.concat_map tokens
+  |> List.filter_map (fun tok ->
+         if String.length tok < 2 || tok.[0] <> '@' then None
+         else
+           let word =
+             match String.index_opt tok ':' with
+             | Some i -> String.sub tok 0 i
+             | None -> tok
+           in
+           if
+             String.for_all is_ident_char (String.sub word 1 (String.length word - 1))
+             && not (List.mem word known_markers)
+           then Some word
+           else None)
+  |> dedup
 
 let pp ppf a =
   let field name = function
@@ -184,4 +261,7 @@ let pp ppf a =
   field "releases" a.releases;
   field "consumes" a.consumes;
   field "borrows" a.borrows;
-  if a.returns_owned then Fmt.pf ppf "@returns_owned "
+  if a.returns_owned then Fmt.pf ppf "@returns_owned ";
+  field "flushes" a.flushes;
+  field "orders_after" a.orders_after;
+  if a.durable then Fmt.pf ppf "@durable "

@@ -94,3 +94,143 @@ let mem entries (f : Finding.t) =
 let stale entries findings =
   let live = of_findings findings in
   List.filter (fun e -> not (List.exists (fun l -> compare_entry e l = 0) live)) entries
+
+(* Count ratchets ----------------------------------------------------------- *)
+
+(* The shared engine behind every per-(rule, file) *count* baseline:
+   tcb.baseline (R12-R14) and dur.baseline (R16-R18) both ratchet
+   downward-only counts, renumbering-proof by construction — no line
+   numbers, so moving code around a specimen file cannot fake progress
+   or regression.  One entry per line:
+
+     R12 lib/kfs/memfs_unsafe.ml 17
+
+   Each client supplies its own header (naming its --update-* flag) and
+   a [what] tag for parse errors; parsing, comparison, and the
+   regression/progress split live here once.  The line-anchored
+   klint.baseline growth check rides the same comparison via [counts]. *)
+module Counts = struct
+  type entry = {
+    b_rule : Finding.rule;
+    b_file : string;
+    b_count : int;
+  }
+
+  let compare_entry a b =
+    match String.compare a.b_file b.b_file with
+    | 0 -> String.compare (Finding.rule_id a.b_rule) (Finding.rule_id b.b_rule)
+    | c -> c
+
+  let of_findings findings =
+    List.fold_left
+      (fun acc (f : Finding.t) ->
+        let k = (f.Finding.rule, f.Finding.file) in
+        let n = try List.assoc k acc with Not_found -> 0 in
+        (k, n + 1) :: List.remove_assoc k acc)
+      [] findings
+    |> List.map (fun ((rule, file), count) ->
+           { b_rule = rule; b_file = file; b_count = count })
+    |> List.sort compare_entry
+
+  let entry_to_line e =
+    Fmt.str "%s %s %d" (Finding.rule_id e.b_rule) e.b_file e.b_count
+
+  let to_string ~header entries =
+    header ^ String.concat "" (List.map (fun e -> entry_to_line e ^ "\n") entries)
+
+  let parse_line ~what line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then Ok None
+    else
+      match String.split_on_char ' ' line with
+      | [ rule_id; file; count ] -> (
+          match (Finding.rule_of_id rule_id, int_of_string_opt count) with
+          | Some rule, Some count when count >= 0 ->
+              Ok (Some { b_rule = rule; b_file = file; b_count = count })
+          | None, _ -> Error (Fmt.str "unknown rule id %S" rule_id)
+          | _, _ -> Error (Fmt.str "bad count in %S" line))
+      | _ -> Error (Fmt.str "malformed %s baseline entry %S" what line)
+
+  let of_string ~what s =
+    let entries = ref [] in
+    let errors = ref [] in
+    List.iter
+      (fun line ->
+        match parse_line ~what line with
+        | Ok (Some e) -> entries := e :: !entries
+        | Ok None -> ()
+        | Error msg -> errors := msg :: !errors)
+      (String.split_on_char '\n' s);
+    match !errors with
+    | [] -> Ok (List.sort compare_entry !entries)
+    | errs -> Error (String.concat "; " (List.rev errs))
+
+  let load ~what path =
+    if not (Sys.file_exists path) then Ok []
+    else
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> of_string ~what (really_input_string ic (in_channel_length ic)))
+
+  let save ~header path entries =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_string ~header entries))
+
+  type delta = {
+    d_rule : Finding.rule;
+    d_file : string;
+    d_have : int;
+    d_allowed : int;
+  }
+
+  (* [compare_counts ~baseline current] = (regressions, progress): any
+     (rule, file) whose live count exceeds its grandfathered count is a
+     regression; any strictly below it (including entries that vanished)
+     is ratchet progress, reported so the file can be regenerated
+     smaller. *)
+  let compare_counts ~baseline current =
+    let find entries rule file =
+      match
+        List.find_opt
+          (fun e -> e.b_rule = rule && String.equal e.b_file file)
+          entries
+      with
+      | Some e -> e.b_count
+      | None -> 0
+    in
+    let regressions =
+      List.filter_map
+        (fun e ->
+          let allowed = find baseline e.b_rule e.b_file in
+          if e.b_count > allowed then
+            Some
+              { d_rule = e.b_rule; d_file = e.b_file; d_have = e.b_count; d_allowed = allowed }
+          else None)
+        current
+    in
+    let progress =
+      List.filter_map
+        (fun e ->
+          let have = find current e.b_rule e.b_file in
+          if have < e.b_count then
+            Some { d_rule = e.b_rule; d_file = e.b_file; d_have = have; d_allowed = e.b_count }
+          else None)
+        baseline
+    in
+    (regressions, progress)
+end
+
+(* The line-anchored baseline, aggregated per (rule, file) — the growth
+   comparison ci.sh used to re-derive in awk: pure renumbering from
+   unrelated edits in the same file is not growth, one more finding in a
+   file is. *)
+let counts entries =
+  Counts.of_findings
+    (List.map
+       (fun e ->
+         { Finding.rule = e.rule; file = e.file; line = e.line; col = 0; func = "";
+           message = "" })
+       entries)

@@ -71,6 +71,12 @@ type tree_result = {
          harness registrations.  R15 itself needs the live registry, so
          the driver synthesizes it via [Kverify.r15] and feeds the
          findings through the same reconciliation. *)
+  kdur : Kdur.result;
+      (* the barrier-discipline pass: R16-R18 + durability transfers.
+         Kept out of [findings] like ktcb's — its ratchet is the
+         dur.baseline count file, not the line-anchored ladder baseline
+         (the journal's ?barriers:false ablation is a deliberate,
+         statically reachable missing-flush path). *)
 }
 
 let lint_tree ~root =
@@ -93,6 +99,7 @@ let lint_tree ~root =
   let kracer = Kracer.analyze ~root parsed in
   let kown = Kown.analyze ~root parsed in
   let ktcb = Ktcb.analyze ~root parsed ~summaries:kown.Kown.summaries in
+  let kdur = Kdur.analyze ~root parsed in
   {
     findings = Finding.sort (kown.Kown.findings @ kracer.Kracer.findings @ findings);
     parse_errors = List.rev parse_errors;
@@ -103,6 +110,7 @@ let lint_tree ~root =
     kown;
     ktcb;
     kverify = Kverify.scan parsed;
+    kdur;
   }
 
 (* Reconciliation -------------------------------------------------------- *)

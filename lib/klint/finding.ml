@@ -18,12 +18,16 @@ type rule =
   | R13_frame_bypass
   | R14_unsound_export
   | R15_unverified_claim
+  | R16_unordered_write
+  | R17_ack_before_durable
+  | R18_barrier_elision
 
 let all_rules =
   [ R1_unchecked_cast; R2_unchecked_errptr; R3_lock_balance; R4_ownership_bypass;
     R5_must_check; R6_lockset_race; R7_lock_annotation; R8_use_after_free;
     R9_double_free; R10_error_leak; R11_borrow_escape; R12_unsafe_primitive;
-    R13_frame_bypass; R14_unsound_export; R15_unverified_claim ]
+    R13_frame_bypass; R14_unsound_export; R15_unverified_claim; R16_unordered_write;
+    R17_ack_before_durable; R18_barrier_elision ]
 
 let rule_id = function
   | R1_unchecked_cast -> "R1"
@@ -41,6 +45,9 @@ let rule_id = function
   | R13_frame_bypass -> "R13"
   | R14_unsound_export -> "R14"
   | R15_unverified_claim -> "R15"
+  | R16_unordered_write -> "R16"
+  | R17_ack_before_durable -> "R17"
+  | R18_barrier_elision -> "R18"
 
 let rule_of_id s = List.find_opt (fun r -> rule_id r = s) all_rules
 
@@ -60,6 +67,9 @@ let rule_name = function
   | R13_frame_bypass -> "frame-api-bypass"
   | R14_unsound_export -> "unsound-frame-export"
   | R15_unverified_claim -> "unverified-functional-claim"
+  | R16_unordered_write -> "unordered-dependent-write"
+  | R17_ack_before_durable -> "ack-before-durable"
+  | R18_barrier_elision -> "barrier-elision-at-boundary"
 
 (* The bucket each rule polices — the mapping the reconciliation uses:
    a subsystem claiming level L must be clean of every rule whose bucket
@@ -86,6 +96,14 @@ let bug_class = function
      registered krefine harness is a correctness-evidence hole, so the
      finding becomes a violation exactly at the Verified rung. *)
   | R15_unverified_claim -> Safeos_core.Level.Semantic
+  (* Durability discipline ratchets by count (dur.baseline), not by the
+     claim reconciliation: the journal's own ?barriers:false ablation is
+     a statically reachable missing-flush path inside Verified-claiming
+     subsystems, so folding R16-R18 into the ladder would convict the
+     deliberate mutant.  The bucket still names the honest bug class. *)
+  | R16_unordered_write -> Safeos_core.Level.Crash_inconsistency
+  | R17_ack_before_durable -> Safeos_core.Level.Crash_inconsistency
+  | R18_barrier_elision -> Safeos_core.Level.Crash_inconsistency
 
 (* Anchor each rule in the paper's CWE study via the kbugs catalog. *)
 let cwe_id = function
@@ -104,6 +122,9 @@ let cwe_id = function
   | R13_frame_bypass -> 653 (* improper isolation or compartmentalization *)
   | R14_unsound_export -> 668 (* exposure of resource to wrong sphere *)
   | R15_unverified_claim -> 1059 (* insufficient technical documentation: claim without evidence *)
+  | R16_unordered_write -> 662 (* improper synchronization: dependent write outruns its barrier *)
+  | R17_ack_before_durable -> 392 (* missing report of error condition: Ok acked while volatile *)
+  | R18_barrier_elision -> 573 (* improper following of specification: wrapper drops the flush contract *)
 
 let cwe rule = Kbugs.Cwe.find (cwe_id rule)
 

@@ -16,6 +16,8 @@ module Lockset = Lockset
 module Kracer = Kracer
 module Ownset = Ownset
 module Kown = Kown
+module Durset = Durset
+module Kdur = Kdur
 module Frame = Frame
 module Ktcb = Ktcb
 module Kverify = Kverify

@@ -357,127 +357,38 @@ let analyze_tree ~root =
 
 (* The tcb.baseline count-ratchet ------------------------------------------ *)
 
-(* Renumbering-proof by construction: entries carry per-(rule, file)
-   *counts*, no line numbers, so moving code around a specimen file
-   cannot fake progress or regression.
+(* The parse/compare/update engine lives in {!Baseline.Counts} (shared
+   with kdur's dur.baseline); this is the tcb-flavoured instantiation,
+   kept under the historical names so call sites read the same. *)
 
-     R12 lib/kfs/memfs_unsafe.ml 17
-*)
-
-type baseline_entry = {
+type baseline_entry = Baseline.Counts.entry = {
   b_rule : Finding.rule;
   b_file : string;
   b_count : int;
 }
 
-let compare_entry a b =
-  match String.compare a.b_file b.b_file with
-  | 0 -> String.compare (Finding.rule_id a.b_rule) (Finding.rule_id b.b_rule)
-  | c -> c
-
-let counts_of_findings findings =
-  List.fold_left
-    (fun acc (f : Finding.t) ->
-      let k = (f.Finding.rule, f.Finding.file) in
-      let n = try List.assoc k acc with Not_found -> 0 in
-      (k, n + 1) :: List.remove_assoc k acc)
-    [] findings
-  |> List.map (fun ((rule, file), count) -> { b_rule = rule; b_file = file; b_count = count })
-  |> List.sort compare_entry
-
-let entry_to_line e =
-  Fmt.str "%s %s %d" (Finding.rule_id e.b_rule) e.b_file e.b_count
+let compare_entry = Baseline.Counts.compare_entry
+let counts_of_findings = Baseline.Counts.of_findings
+let entry_to_line = Baseline.Counts.entry_to_line
 
 let header =
   "# tcb baseline — grandfathered R12-R14 counts per (rule, file), the\n\
    # downward-only TCB ratchet.  Regenerate (after genuine shrinkage only) with:\n\
    #   dune exec bin/klint/main.exe -- --update-tcb-baseline\n"
 
-let to_string entries =
-  header ^ String.concat "" (List.map (fun e -> entry_to_line e ^ "\n") entries)
+let to_string entries = Baseline.Counts.to_string ~header entries
+let of_string s = Baseline.Counts.of_string ~what:"tcb" s
+let load path = Baseline.Counts.load ~what:"tcb" path
+let save path entries = Baseline.Counts.save ~header path entries
 
-let parse_line line =
-  let line = String.trim line in
-  if line = "" || line.[0] = '#' then Ok None
-  else
-    match String.split_on_char ' ' line with
-    | [ rule_id; file; count ] -> (
-        match (Finding.rule_of_id rule_id, int_of_string_opt count) with
-        | Some rule, Some count when count >= 0 ->
-            Ok (Some { b_rule = rule; b_file = file; b_count = count })
-        | None, _ -> Error (Fmt.str "unknown rule id %S" rule_id)
-        | _, _ -> Error (Fmt.str "bad count in %S" line))
-    | _ -> Error (Fmt.str "malformed tcb baseline entry %S" line)
-
-let of_string s =
-  let entries = ref [] in
-  let errors = ref [] in
-  List.iter
-    (fun line ->
-      match parse_line line with
-      | Ok (Some e) -> entries := e :: !entries
-      | Ok None -> ()
-      | Error msg -> errors := msg :: !errors)
-    (String.split_on_char '\n' s);
-  match !errors with
-  | [] -> Ok (List.sort compare_entry !entries)
-  | errs -> Error (String.concat "; " (List.rev errs))
-
-let load path =
-  if not (Sys.file_exists path) then Ok []
-  else
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
-
-let save path entries =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string entries))
-
-type delta = {
+type delta = Baseline.Counts.delta = {
   d_rule : Finding.rule;
   d_file : string;
   d_have : int;
   d_allowed : int;
 }
 
-(* [compare_counts ~baseline current] = (regressions, progress): any
-   (rule, file) whose live count exceeds its grandfathered count is a
-   regression; any strictly below it (including entries that vanished)
-   is ratchet progress, reported so the file can be regenerated
-   smaller. *)
-let compare_counts ~baseline current =
-  let find entries rule file =
-    match
-      List.find_opt
-        (fun e -> e.b_rule = rule && String.equal e.b_file file)
-        entries
-    with
-    | Some e -> e.b_count
-    | None -> 0
-  in
-  let regressions =
-    List.filter_map
-      (fun e ->
-        let allowed = find baseline e.b_rule e.b_file in
-        if e.b_count > allowed then
-          Some { d_rule = e.b_rule; d_file = e.b_file; d_have = e.b_count; d_allowed = allowed }
-        else None)
-      current
-  in
-  let progress =
-    List.filter_map
-      (fun e ->
-        let have = find current e.b_rule e.b_file in
-        if have < e.b_count then
-          Some { d_rule = e.b_rule; d_file = e.b_file; d_have = have; d_allowed = e.b_count }
-        else None)
-      baseline
-  in
-  (regressions, progress)
+let compare_counts = Baseline.Counts.compare_counts
 
 (* Runtime reconciliation --------------------------------------------------- *)
 

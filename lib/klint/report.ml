@@ -142,6 +142,29 @@ let tcb_json (t : Ktcb.result) =
              t.Ktcb.rows) );
     ]
 
+(* The durability object — R16-R18 counts plus the transfer-summary
+   shape, so the report records how much of the tree the barrier
+   discipline actually covers. *)
+let durability_json (d : Kdur.result) =
+  let rule_count rule =
+    List.length (List.filter (fun (f : Finding.t) -> f.Finding.rule = rule) d.Kdur.findings)
+  in
+  json_obj
+    [
+      ("functions_analyzed", string_of_int d.Kdur.funcs);
+      ("durable_contracts", string_of_int d.Kdur.durable_funcs);
+      ("ordering_contracts", string_of_int d.Kdur.ordering_funcs);
+      ("writing_functions", string_of_int d.Kdur.writing_funcs);
+      ("flushing_functions", string_of_int d.Kdur.flushing_funcs);
+      ( "by_rule",
+        json_obj
+          [
+            ("R16", string_of_int (rule_count Finding.R16_unordered_write));
+            ("R17", string_of_int (rule_count Finding.R17_ack_before_durable));
+            ("R18", string_of_int (rule_count Finding.R18_barrier_elision));
+          ] );
+    ]
+
 (* The refinement-coverage object: static harness registrations (the
    kverify scan) plus, when a coverage file from [safeos refine] is
    supplied, the aggregated enumerator numbers the CI ratchet tracks. *)
@@ -279,6 +302,7 @@ let to_json ?registry ?refine (tree : Engine.tree_result) (r : Engine.reconcilia
                       own_findings)) );
           ] );
       ("tcb", tcb_json tree.Engine.ktcb);
+      ("durability", durability_json tree.Engine.kdur);
       ("refinement", refinement_json ?coverage:refine tree.Engine.kverify);
     ]
 

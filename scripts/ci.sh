@@ -18,35 +18,20 @@ echo "== ci: klint baseline ratchet =="
 # The baseline may only shrink: a commit adding entries (new suppressed
 # findings) fails here.  Deliberate growth (e.g. a new checked exhibit)
 # must be acknowledged with ALLOW_BASELINE_GROWTH=1.
-# Entries are line-anchored, so the comparison is per (rule, file,
-# class) count: pure renumbering from unrelated edits in the same file
-# is not growth, one more finding in a file is.
+# The comparison itself (per (rule, file) count, so pure renumbering
+# from unrelated edits in the same file is never growth) lives in
+# klint's shared Baseline.Counts engine — the same code the tcb and dur
+# ratchets run — via --baseline-head; this stage only digs the HEAD
+# copy out of git.
 mkdir -p _build
-baseline_counts() {
-  grep -v '^#' | grep -v '^$' | sed 's/:[0-9]*//' | sort | uniq -c \
-    | awk '{ print $2 " " $3 " " $4 " " $1 }'
-}
 if git rev-parse --verify -q HEAD >/dev/null 2>&1 \
    && git cat-file -e HEAD:klint.baseline 2>/dev/null; then
-  git show HEAD:klint.baseline | baseline_counts > _build/baseline-head.txt
-  baseline_counts < klint.baseline > _build/baseline-now.txt
-  grown=$(awk '
-    NR == FNR { head[$1 " " $2 " " $3] = $4; next }
-    { key = $1 " " $2 " " $3
-      if ($4 > head[key] + 0) print key ": " head[key] + 0 " -> " $4 }
-  ' _build/baseline-head.txt _build/baseline-now.txt)
-  if [ -n "$grown" ]; then
-    if [ "${ALLOW_BASELINE_GROWTH:-0}" = "1" ]; then
-      echo "ci: baseline grew (allowed by ALLOW_BASELINE_GROWTH=1):"
-      echo "$grown" | sed 's/^/  + /'
-    else
-      echo "ci: FAIL — klint.baseline grew relative to HEAD:" >&2
-      echo "$grown" | sed 's/^/  + /' >&2
-      echo "ci: fix the findings, or rerun with ALLOW_BASELINE_GROWTH=1 to accept them" >&2
-      exit 1
-    fi
+  git show HEAD:klint.baseline > _build/baseline-head.txt
+  if [ "${ALLOW_BASELINE_GROWTH:-0}" = "1" ]; then
+    dune exec bin/klint/main.exe -- --root . --baseline-head _build/baseline-head.txt \
+      --allow-baseline-growth
   else
-    echo "ci: baseline did not grow"
+    dune exec bin/klint/main.exe -- --root . --baseline-head _build/baseline-head.txt
   fi
 else
   echo "ci: no HEAD baseline to ratchet against (first commit?); skipping"
@@ -63,6 +48,19 @@ else
   dune exec bin/klint/main.exe -- --root . --tcb-baseline tcb.baseline
 fi
 
+echo "== ci: dur ratchet (R16-R18 durability counts may only shrink) =="
+# The barrier-discipline ratchet: kdur's R16-R18 counts per (rule, file)
+# are compared against dur.baseline inside klint (the same Counts engine
+# as the tcb ratchet).  The grandfathered entries are the declared
+# exhibits — the journal's ?barriers:false ablation paths and
+# lib/kfs/rawlog_unsafe.ml; a genuine new exhibit must be acknowledged
+# with ALLOW_DUR_GROWTH=1 (and then --update-dur-baseline).
+if [ "${ALLOW_DUR_GROWTH:-0}" = "1" ]; then
+  dune exec bin/klint/main.exe -- --root . --dur-baseline dur.baseline --allow-dur-growth
+else
+  dune exec bin/klint/main.exe -- --root . --dur-baseline dur.baseline
+fi
+
 # Every test binary from here on appends the lock-order edges it
 # observed to this file; kracer checks them against its static graph at
 # the end.  --force so cached (skipped) tests cannot leave holes.
@@ -76,6 +74,13 @@ export KSIM_LOCKDEP_EXPORT="$LOCKDEP_EDGES"
 KMEM_EVENTS="$(pwd)/_build/kmem-events.txt"
 rm -f "$KMEM_EVENTS"
 export KSIM_KMEM_EXPORT="$KMEM_EVENTS"
+
+# And for barrier-discipline violations: every Wcache audit hit the
+# tests provoke is dumped here, and kdur checks at the end that each one
+# (in a linted file) was already flagged as a static R16.
+WCACHE_VIOLATIONS="$(pwd)/_build/wcache-violations.txt"
+rm -f "$WCACHE_VIOLATIONS"
+export KSIM_WCACHE_EXPORT="$WCACHE_VIOLATIONS"
 
 echo "== ci: dune runtest =="
 dune runtest --force
@@ -151,5 +156,23 @@ else
   echo "ci: FAIL — no runtime kmem events were exported; the capture is broken" >&2
   exit 1
 fi
+
+echo "== ci: wcache reconciliation (static vs runtime barrier violations) =="
+# The durability closure: the rawlog_unsafe reconciliation fixture in
+# test_wcache guarantees at least one named-cache violation lands here,
+# so an empty file means the export hook (or the fixture) is broken —
+# vacuous soundness is a fail, exactly like the lockdep/kmem stages.
+if [ -s "$WCACHE_VIOLATIONS" ]; then
+  dune exec bin/klint/main.exe -- --root . --wcache-violations "$WCACHE_VIOLATIONS"
+else
+  echo "ci: FAIL — no runtime wcache violations were exported; the capture is broken" >&2
+  exit 1
+fi
+
+echo "== ci: bench result validation =="
+# Every persisted BENCH_*.json must parse and carry the claim schema
+# (group, claims, numbers) — a malformed snapshot fails fast instead of
+# silently dropping out of the paper's evidence trail.
+dune exec bench/main.exe -- --validate
 
 echo "== ci: ok =="

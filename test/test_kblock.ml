@@ -471,6 +471,35 @@ let test_flaky_availability_window () =
        false
      with Invalid_argument _ -> true)
 
+let test_fua_compat_propagates_flush_error () =
+  (* The [Io.fua] compat shim is write + full flush for layers without
+     native FUA.  Regression: a successful write whose follow-up flush
+     fails must surface the flush error — acking a still-volatile write
+     as durable would be a silent barrier elision.  Flakydev's
+     availability window is the rig: the write lands in the up window,
+     the flush falls in the down window. *)
+  (* clean path first: the shim is write + full barrier *)
+  let dev0, _, flaky0 = mk_flaky () in
+  let compat0 = { (Kblock.Flakydev.io flaky0) with Kblock.Io.write_fua = None } in
+  check Alcotest.bool "fua ok while up" true (Kblock.Io.fua compat0 0 (block dev0 'z') = Ok ());
+  check Alcotest.int "shim flushed the device" 1 (Kblock.Blockdev.flushes dev0);
+  (* fresh rig so the op tick starts at the window boundary: the write is
+     op 0 (up), the flush op 1 (down) *)
+  let dev, _, flaky = mk_flaky () in
+  let compat = { (Kblock.Flakydev.io flaky) with Kblock.Io.write_fua = None } in
+  Kblock.Flakydev.set_availability flaky ~up:1 ~down:2;
+  let res = Kblock.Io.fua compat 1 (block dev 'y') in
+  check Alcotest.bool "flush error propagates through the shim" true
+    (res = Error Ksim.Errno.EIO);
+  check Alcotest.int "the write itself had been accepted" 1 (Kblock.Blockdev.writes dev);
+  check Alcotest.int "no flush reached the device" 0 (Kblock.Blockdev.flushes dev);
+  check Alcotest.int "the down window rejected it" 1 (Kblock.Flakydev.down_rejections flaky);
+  (* and a failed write short-circuits: the flush is never attempted *)
+  let res = Kblock.Io.fua compat 2 (block dev 'x') in
+  check Alcotest.bool "write error propagates too" true (res = Error Ksim.Errno.EIO);
+  check Alcotest.int "still no flush" 0 (Kblock.Blockdev.flushes dev);
+  check Alcotest.int "no second write either" 1 (Kblock.Blockdev.writes dev)
+
 (* An Io.t that fails the first [failures] calls of each op with [err]. *)
 let unreliable_io ?(err = Ksim.Errno.EIO) ~failures base =
   let budget = ref failures in
@@ -638,6 +667,8 @@ let () =
             test_flaky_read_eio_deterministic;
           Alcotest.test_case "flaky torn write" `Quick test_flaky_torn_write;
           Alcotest.test_case "flaky availability window" `Quick test_flaky_availability_window;
+          Alcotest.test_case "fua compat shim propagates flush errors" `Quick
+            test_fua_compat_propagates_flush_error;
           Alcotest.test_case "resilient recovers transient" `Quick
             test_resilient_recovers_transient;
           Alcotest.test_case "resilient permanent verdict" `Quick

@@ -776,6 +776,274 @@ let test_ktcb_runtime_reconciliation () =
   check Alcotest.int "a scratch heap with no module is skipped" 0
     (List.length (K.unsound_kmem_events ~files ~result:k [ ev "scratch" ]))
 
+(* kdur: barrier discipline and durability ordering (R16-R18) ------------ *)
+
+module D = Klint.Kdur
+
+let kdur_ids (d : D.result) = List.map (fun f -> F.rule_id f.F.rule) d.D.findings
+
+let test_kdur_r16_read_back () =
+  (* ALICE's ordering bug: write, read the volatile content back, write a
+     dependent block — R16 without a barrier, clean with one. *)
+  let src flushed =
+    "let ( let* ) = Result.bind\n\
+     let chained io a =\n\
+    \  let* () = io.Kblock.Io.write 1 a in\n\
+    \  let* prev = io.Kblock.Io.read 1 in\n"
+    ^ (if flushed then "  let* () = io.Kblock.Io.flush () in\n" else "")
+    ^ "  let* () = io.Kblock.Io.write 2 prev in\n\
+      \  Ok ()\n"
+  in
+  let _, bad = lint_tree_fixture [ ("lib/fixture/log.ml", src false) ] in
+  check ids "dependent write on a read-back is R16" [ "R16" ] (kdur_ids bad.E.kdur);
+  let f = List.hd bad.E.kdur.D.findings in
+  check Alcotest.string "at the dependent write" "Log.chained" f.F.func;
+  check Alcotest.bool "ladder findings stay separate" false
+    (List.exists (fun f -> f.F.rule = F.R16_unordered_write) bad.E.findings);
+  let _, good = lint_tree_fixture [ ("lib/fixture/log.ml", src true) ] in
+  check ids "an intervening barrier clears the taint" [] (kdur_ids good.E.kdur)
+
+let test_kdur_r16_match_bind () =
+  (* The same read-back through a [match] instead of [let*]: the case
+     pattern binds the volatile payload, and a barrier before the
+     dependent write clears it. *)
+  let src flushed =
+    "let chained io a =\n\
+    \  let _ = io.Kblock.Io.write 1 a in\n\
+    \  match io.Kblock.Io.read 1 with\n\
+    \  | Error _ -> ()\n\
+    \  | Ok prev ->\n"
+    ^ (if flushed then "    let _ = io.Kblock.Io.flush () in\n" else "")
+    ^ "    ignore (io.Kblock.Io.write 2 prev)\n"
+  in
+  let _, bad = lint_tree_fixture [ ("lib/fixture/log.ml", src false) ] in
+  check ids "match-bound read-back is R16" [ "R16" ] (kdur_ids bad.E.kdur);
+  let _, good = lint_tree_fixture [ ("lib/fixture/log.ml", src true) ] in
+  check ids "a barrier in the Ok case clears it" [] (kdur_ids good.E.kdur)
+
+let test_kdur_r16_derived_taint () =
+  (* Taint flows through derivation: a binding computed from a volatile
+     payload is as volatile as the payload. *)
+  let _, tree =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/log.ml",
+          "let ( let* ) = Result.bind\n\
+           let stamp io a =\n\
+          \  let* () = io.Kblock.Io.write 1 a in\n\
+          \  let tagged = Bytes.cat a a in\n\
+          \  io.Kblock.Io.write 2 tagged\n" );
+      ]
+  in
+  check ids "derived payload is R16" [ "R16" ] (kdur_ids tree.E.kdur)
+
+let test_kdur_r17_durable_ack () =
+  (* The @durable contract: Ok while the device is still volatile is the
+     missing-barrier journal mutant's signature. *)
+  let src ~annot ~flushed =
+    "let ( let* ) = Result.bind\n"
+    ^ (if annot then "(** @durable *)\n" else "")
+    ^ "let commit io b =\n\
+      \  let* () = io.Kblock.Io.write 0 b in\n"
+    ^ (if flushed then "  let* () = io.Kblock.Io.flush () in\n" else "")
+    ^ "  Ok ()\n"
+  in
+  let _, bad = lint_tree_fixture [ ("lib/fixture/jnl.ml", src ~annot:true ~flushed:false) ] in
+  check ids "volatile Ok under @durable is R17" [ "R17" ] (kdur_ids bad.E.kdur);
+  (* >=: the parser attaches a doc comment to both neighbouring items, so
+     the ( let* ) binding above can pick the contract up too *)
+  check Alcotest.bool "the contract is counted" true (bad.E.kdur.D.durable_funcs >= 1);
+  let _, good = lint_tree_fixture [ ("lib/fixture/jnl.ml", src ~annot:true ~flushed:true) ] in
+  check ids "a barrier before the ack discharges it" [] (kdur_ids good.E.kdur);
+  let _, plain = lint_tree_fixture [ ("lib/fixture/jnl.ml", src ~annot:false ~flushed:false) ] in
+  check ids "without the contract a volatile return is legal" []
+    (kdur_ids plain.E.kdur)
+
+let test_kdur_r18_obligation_dropped () =
+  (* Interprocedural: a callee re-exports its flush obligation
+     (@orders_after); a wrapper that forwards it while stating no
+     contract of its own loses the obligation at the boundary. *)
+  let log_ml =
+    "(** Volatile append; the caller keeps the flush obligation.\n\
+    \    @orders_after: t *)\n\
+     let append t data = t.Kblock.Io.write 1 data\n"
+  in
+  let wrap body = [ ("lib/fixture/log.ml", log_ml); ("lib/fixture/wrap.ml", body) ] in
+  let _, bad = lint_tree_fixture (wrap "let forward t data = Log.append t data\n") in
+  check ids "silent forwarding drops the obligation" [ "R18" ] (kdur_ids bad.E.kdur);
+  let f = List.hd bad.E.kdur.D.findings in
+  check Alcotest.string "flagged at the wrapper" "lib/fixture/wrap.ml" f.F.file;
+  check Alcotest.string "in the forwarding function" "Wrap.forward" f.F.func;
+  let _, declared =
+    lint_tree_fixture
+      (wrap "(** @orders_after: t *)\nlet forward t data = Log.append t data\n")
+  in
+  check ids "re-exporting the contract discharges it" [] (kdur_ids declared.E.kdur);
+  let _, flushed =
+    lint_tree_fixture
+      (wrap
+         "let ( let* ) = Result.bind\n\
+          let forward t data =\n\
+         \  let* _ = Log.append t data in\n\
+         \  t.Kblock.Io.flush ()\n")
+  in
+  check ids "a barrier in the wrapper discharges it" [] (kdur_ids flushed.E.kdur);
+  (* annotation beats inference: a callee contracted @flushes is a full
+     barrier even when doc and attribute forms disagree — the union is
+     taken and the stronger contract wins at the call site *)
+  let _, mixed =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/log.ml",
+          "(** @orders_after: t *)\n\
+           let append t data = t.Kblock.Io.write 1 data [@@flushes \"t\"]\n" );
+        ("lib/fixture/wrap.ml", "let forward t data = Log.append t data\n");
+      ]
+  in
+  check ids "a flushing callee leaves nothing to forward" [] (kdur_ids mixed.E.kdur)
+
+let test_kdur_baseline_roundtrip () =
+  (* dur.baseline rides the shared Counts engine: save/load round-trip
+     and the regression/progress split. *)
+  let module C = Klint.Baseline.Counts in
+  let e rule file count = { C.b_rule = rule; b_file = file; b_count = count } in
+  let base =
+    (* pre-sorted (file, then rule): load returns sorted entries *)
+    [
+      e F.R17_ack_before_durable "lib/kblock/journal.ml" 2;
+      e F.R16_unordered_write "lib/kfs/rawlog_unsafe.ml" 2;
+    ]
+  in
+  let path = Filename.temp_file "dur_baseline" ".txt" in
+  D.save_baseline path base;
+  (match D.load_baseline path with
+  | Ok loaded -> check Alcotest.bool "save/load round-trip" true (loaded = base)
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path;
+  let current =
+    [
+      e F.R16_unordered_write "lib/kfs/rawlog_unsafe.ml" 3;
+      e F.R17_ack_before_durable "lib/kblock/journal.ml" 1;
+    ]
+  in
+  let regressions, progress = C.compare_counts ~baseline:base current in
+  (match regressions with
+  | [ r ] ->
+      check Alcotest.string "one regression, in the grown file" "lib/kfs/rawlog_unsafe.ml"
+        r.C.d_file;
+      check Alcotest.int "live count" 3 r.C.d_have;
+      check Alcotest.int "grandfathered count" 2 r.C.d_allowed
+  | _ -> Alcotest.fail "expected exactly one regression");
+  match progress with
+  | [ p ] -> check Alcotest.int "the shrunk file is progress" 1 p.C.d_have
+  | _ -> Alcotest.fail "expected exactly one progress entry"
+
+let test_kdur_wcache_reconciliation () =
+  (* The runtime closure: export lines parse (malformed ones are hard
+     errors), caches attribute to linted files by module basename, and a
+     violation survives only when its file has no static R16 at all. *)
+  let path = Filename.temp_file "kdur_wv" ".txt" in
+  let oc = open_out path in
+  output_string oc "rawlog_unsafe\t1\t5\t2\t6\n\nwc\t3\t1\t4\t2\n";
+  close_out oc;
+  (match D.read_wcache_violations path with
+  | Ok [ a; b ] ->
+      check Alcotest.string "cache" "rawlog_unsafe" a.D.cache;
+      check Alcotest.int "read block" 1 a.D.v_blkno;
+      check Alcotest.int "read seq" 5 a.D.v_read_seq;
+      check Alcotest.int "write block" 2 a.D.v_write_blkno;
+      check Alcotest.int "write seq" 6 a.D.v_write_seq;
+      check Alcotest.string "blank lines skipped, second entry kept" "wc" b.D.cache
+  | Ok other -> Alcotest.failf "expected two violations, got %d" (List.length other)
+  | Error msg -> Alcotest.fail msg);
+  let oc = open_out path in
+  output_string oc "rawlog_unsafe\t1\t5\tnope\t6\n";
+  close_out oc;
+  (match D.read_wcache_violations path with
+  | Ok _ -> Alcotest.fail "malformed line parsed"
+  | Error _ -> ());
+  Sys.remove path;
+  let files = [ "lib/kfs/rawlog_unsafe.ml"; "lib/kblock/wcache.ml" ] in
+  let ev cache = { D.cache; v_blkno = 1; v_read_seq = 1; v_write_blkno = 2; v_write_seq = 2 } in
+  let r16 =
+    {
+      F.rule = F.R16_unordered_write;
+      file = "lib/kfs/rawlog_unsafe.ml";
+      line = 1;
+      col = 0;
+      func = "f";
+      message = "";
+    }
+  in
+  check Alcotest.int "a statically flagged file is covered" 0
+    (List.length
+       (D.unflagged_wcache_violations ~files ~findings:[ r16 ] [ ev "rawlog_unsafe" ]));
+  (match
+     D.unflagged_wcache_violations ~files ~findings:[]
+       [ ev "rawlog_unsafe"; ev "rawlog_unsafe" ]
+   with
+  | [ (cache, file, n) ] ->
+      check Alcotest.string "uncovered cache survives" "rawlog_unsafe" cache;
+      check Alcotest.string "attributed to its file" "lib/kfs/rawlog_unsafe.ml" file;
+      check Alcotest.int "aggregated" 2 n
+  | other -> Alcotest.failf "expected one unsound cache, got %d" (List.length other));
+  check Alcotest.int "a cache naming no linted file is skipped" 0
+    (List.length (D.unflagged_wcache_violations ~files ~findings:[] [ ev "wc" ]));
+  check Alcotest.int "a mechanism-file cache is skipped by design" 0
+    (List.length (D.unflagged_wcache_violations ~files ~findings:[] [ ev "wcache" ]))
+
+(* Annotation grammar edge cases ----------------------------------------- *)
+
+let test_annot_forms_and_merge () =
+  (* Doc-comment and attribute forms on the same binding union; the .mli
+     val's contract merges in on top. *)
+  let root, _ =
+    lint_tree_fixture
+      [
+        ( "lib/fixture/ann.ml",
+          "(** @flushes: a *)\n\
+           let f x = x [@@flushes \"b\"]\n\
+           let g x = x [@@durable]\n\
+           let h x = x\n" );
+        ( "lib/fixture/ann.mli",
+          "(** @orders_after: t *)\n\
+           val f : 'a -> 'a\n\n\
+           val g : 'a -> 'a\n\n\
+           (** @durable *)\n\
+           val h : 'a -> 'a\n" );
+      ]
+  in
+  let files =
+    List.filter_map
+      (fun rel ->
+        match Klint.Kparse.parse (Filename.concat root rel) with
+        | Ok s -> Some (rel, s)
+        | Error _ -> None)
+      [ "lib/fixture/ann.ml" ]
+  in
+  let cg = Klint.Callgraph.build ~root files in
+  let annot name =
+    (List.find (fun f -> String.equal (Klint.Callgraph.name f) name)
+       cg.Klint.Callgraph.funcs)
+      .Klint.Callgraph.annot
+  in
+  check ids "doc and attribute forms union" [ "a"; "b" ] (annot "Ann.f").Klint.Annot.flushes;
+  check ids "mli contract merges on top" [ "t" ] (annot "Ann.f").Klint.Annot.orders_after;
+  check Alcotest.bool "attribute boolean form" true (annot "Ann.g").Klint.Annot.durable;
+  check Alcotest.bool "mli-only boolean contract" true (annot "Ann.h").Klint.Annot.durable
+
+let test_annot_unknown_marker_diagnostics () =
+  (* The typo'd @must_hol that would silently weaken a contract is
+     diagnosable; odoc's own tags and plain prose stay quiet. *)
+  check ids "typo'd marker diagnosed" [ "@must_hol" ]
+    (Klint.Annot.unknown_markers
+       "Updates the size.\n@must_hol: i_lock\n@param n the new size\n@flushes: h\n");
+  check ids "odoc tags and known markers stay quiet" []
+    (Klint.Annot.unknown_markers
+       "@see <url> docs\n@return the size\n@durable\n@orders_after: t\n");
+  check ids "emails are not markers" []
+    (Klint.Annot.unknown_markers "Contact dev@example.com about this.\n")
+
 (* The shipped tree ------------------------------------------------------ *)
 
 let with_repo_root f =
@@ -892,6 +1160,55 @@ let test_ktcb_shipped_tree () =
       let ev = { Klint.Kown.kind = "free"; heap = "kmem"; site = "s"; count = 1 } in
       check Alcotest.int "frame heap traffic is priced" 0
         (List.length (K.unsound_kmem_events ~files ~result:k [ ev ])))
+
+let test_kdur_shipped_tree () =
+  (* The durability acceptance self-lint: every R16-R18 on the shipped
+     tree lands in a declared exhibit (the journal's ?barriers:false
+     ablation paths or the rawlog specimen file), the rawlog exhibit
+     keeps one specimen per rule, the annotated write paths are seen as
+     contracts, and the checked-in count ratchet matches the live
+     findings exactly. *)
+  with_repo_root (fun root ->
+      let tree = E.lint_tree ~root in
+      let d = tree.E.kdur in
+      check Alcotest.bool "the exhibits keep their findings" true (d.D.findings <> []);
+      let exhibits = [ "lib/kblock/journal.ml"; "lib/kfs/rawlog_unsafe.ml" ] in
+      List.iter
+        (fun (f : F.t) ->
+          check Alcotest.bool (f.F.file ^ " is a declared exhibit") true
+            (List.mem f.F.file exhibits))
+        d.D.findings;
+      let rawlog_has rule =
+        List.exists
+          (fun (f : F.t) ->
+            f.F.rule = rule && String.equal f.F.file "lib/kfs/rawlog_unsafe.ml")
+          d.D.findings
+      in
+      check Alcotest.bool "rawlog keeps its R16 specimen" true
+        (rawlog_has F.R16_unordered_write);
+      check Alcotest.bool "rawlog keeps its R17 specimen" true
+        (rawlog_has F.R17_ack_before_durable);
+      check Alcotest.bool "rawlog keeps its R18 specimen" true
+        (rawlog_has F.R18_barrier_elision);
+      check Alcotest.bool "the journal mutant stays convicted" true
+        (List.exists
+           (fun (f : F.t) -> String.equal f.F.file "lib/kblock/journal.ml")
+           d.D.findings);
+      (* the annotated write paths registered as contracts *)
+      check Alcotest.bool "durable contracts are seen" true (d.D.durable_funcs >= 4);
+      check Alcotest.bool "ordering contracts are seen" true (d.D.ordering_funcs >= 2);
+      check Alcotest.bool "the tree has flushing functions" true (d.D.flushing_funcs > 0);
+      let baseline =
+        match D.load_baseline (Filename.concat root "dur.baseline") with
+        | Ok b -> b
+        | Error msg -> Alcotest.fail msg
+      in
+      let regressions, progress =
+        Klint.Baseline.Counts.compare_counts ~baseline
+          (Klint.Baseline.Counts.of_findings d.D.findings)
+      in
+      check Alcotest.int "no dur regressions" 0 (List.length regressions);
+      check Alcotest.int "checked-in dur baseline is not stale" 0 (List.length progress))
 
 let test_loc_derivation () =
   with_repo_root (fun root ->
@@ -1134,6 +1451,23 @@ let () =
           Alcotest.test_case "runtime reconciliation attribution" `Quick
             test_ktcb_runtime_reconciliation;
         ] );
+      ( "kdur",
+        [
+          Alcotest.test_case "r16 read-back dependent write" `Quick test_kdur_r16_read_back;
+          Alcotest.test_case "r16 match-bound read-back" `Quick test_kdur_r16_match_bind;
+          Alcotest.test_case "r16 derived taint" `Quick test_kdur_r16_derived_taint;
+          Alcotest.test_case "r17 ack before durable" `Quick test_kdur_r17_durable_ack;
+          Alcotest.test_case "r18 obligation dropped at a wrapper" `Quick
+            test_kdur_r18_obligation_dropped;
+          Alcotest.test_case "dur count ratchet round-trip" `Quick
+            test_kdur_baseline_roundtrip;
+          Alcotest.test_case "wcache runtime reconciliation" `Quick
+            test_kdur_wcache_reconciliation;
+          Alcotest.test_case "annotation forms and mli merge" `Quick
+            test_annot_forms_and_merge;
+          Alcotest.test_case "unknown-marker diagnostics" `Quick
+            test_annot_unknown_marker_diagnostics;
+        ] );
       ( "kverify",
         [
           Alcotest.test_case "harness registrations scanned" `Quick
@@ -1151,6 +1485,8 @@ let () =
             test_kown_shipped_exhibits;
           Alcotest.test_case "frame confinement on the shipped tree" `Quick
             test_ktcb_shipped_tree;
+          Alcotest.test_case "barrier discipline on the shipped tree" `Quick
+            test_kdur_shipped_tree;
           Alcotest.test_case "registry loc derived from klint" `Quick test_loc_derivation;
           Alcotest.test_case "effective line counting" `Quick test_effective_loc;
         ] );

@@ -157,6 +157,41 @@ let test_audit_flags_barrier_free_dependency () =
   ok "w0'" (Kblock.Wcache.write wc3 0 (blk 'b'));
   check int "overwrite exempt" 0 (Kblock.Wcache.ordering_violations wc3)
 
+(* Drive the rawlog exhibit over a cache named after its file — the
+   dependent-write specimen must trip the runtime audit, and the export
+   must round-trip through klint's reconciliation reader.  Running this
+   under `dune runtest` with KSIM_WCACHE_EXPORT set (as ci.sh does) also
+   seeds the violations dump, making the ci reconciliation stage
+   non-vacuous. *)
+let test_rawlog_reconciliation_fixture () =
+  let dev = mk_dev () in
+  let wc = Kblock.Wcache.create ~name:"rawlog_unsafe" (Kblock.Blockdev.io dev) in
+  let log = Kfs.Rawlog_unsafe.attach (Kblock.Wcache.io wc) in
+  ok "chained" (Kfs.Rawlog_unsafe.append_chained log (blk 'a') (blk 'b'));
+  check int "two records" 2 (Kfs.Rawlog_unsafe.records log);
+  check bool "the specimen trips the runtime audit" true
+    (Kblock.Wcache.ordering_violations wc > 0);
+  ok "commit (volatile ack)" (Kfs.Rawlog_unsafe.commit log);
+  (match Kblock.Wcache.audit wc with
+  | v :: _ ->
+      check int "read-back block" 1 v.Kblock.Wcache.v_blkno;
+      check int "dependent write block" 2 v.Kblock.Wcache.v_write_blkno
+  | [] -> Alcotest.fail "audit empty");
+  (* wire format: what the at_exit export writes, klint's reader parses *)
+  let path = Filename.temp_file "wcache_viol" ".txt" in
+  Kblock.Wcache.append_violations_to_file wc ~path;
+  (match Klint.Kdur.read_wcache_violations path with
+  | Ok (v :: _ as vs) ->
+      check int "every audit entry exported"
+        (List.length (Kblock.Wcache.audit wc))
+        (List.length vs);
+      check Alcotest.string "cache name on the wire" "rawlog_unsafe" v.Klint.Kdur.cache;
+      check int "read-back block on the wire" 1 v.Klint.Kdur.v_blkno;
+      check int "dependent write block on the wire" 2 v.Klint.Kdur.v_write_blkno
+  | Ok [] -> Alcotest.fail "no violations exported"
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
 (* -- failpoints --------------------------------------------------------- *)
 
 let test_flush_dropped_failpoint () =
@@ -448,6 +483,8 @@ let () =
         ] );
       ( "audit",
         [
+          Alcotest.test_case "rawlog exhibit: audit + export round-trip" `Quick
+            test_rawlog_reconciliation_fixture;
           Alcotest.test_case "barrier-free dependency flagged" `Quick
             test_audit_flags_barrier_free_dependency;
         ] );
